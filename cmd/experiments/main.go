@@ -1,0 +1,122 @@
+// Command experiments regenerates the paper's evaluation figures on the
+// simulated stack. Each figure prints the same rows/series the paper
+// reports; see EXPERIMENTS.md for paper-vs-measured commentary.
+//
+// Usage:
+//
+//	experiments -fig all            # everything at the default sizes
+//	experiments -fig 5 -size medium # Figure 5 (paper uses medium)
+//	experiments -fig 8 -size large  # Figures 7/8/9 (paper uses large)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nvbitgo/internal/experiments"
+	"nvbitgo/internal/workloads/specaccel"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, lib, wfft, all")
+	sizeName := flag.String("size", "", "problem size: small, medium, large (default: per-figure paper size)")
+	flag.Parse()
+
+	size := func(def specaccel.Size) specaccel.Size {
+		switch *sizeName {
+		case "small":
+			return specaccel.Small
+		case "medium":
+			return specaccel.Medium
+		case "large":
+			return specaccel.Large
+		case "":
+			return def
+		default:
+			fmt.Fprintf(os.Stderr, "unknown size %q\n", *sizeName)
+			os.Exit(2)
+		}
+		return def
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	section := func(name string, fn func() error) {
+		start := time.Now()
+		if err := fn(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("[%s took %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+
+	runFig5 := func() error {
+		rows, err := experiments.Fig5(size(specaccel.Medium))
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig5(rows))
+		return nil
+	}
+	runLib := func() error {
+		rows, err := experiments.LibFraction()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderLibFraction(rows))
+		return nil
+	}
+	runFig6 := func() error {
+		rows, err := experiments.Fig6()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig6(rows))
+		return nil
+	}
+	runFig789 := func() error {
+		f7, f8, f9, err := experiments.Fig789(size(specaccel.Large))
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig7(f7))
+		fmt.Println()
+		fmt.Print(experiments.RenderFig8(f8))
+		fmt.Println()
+		fmt.Print(experiments.RenderFig9(f9))
+		return nil
+	}
+	runWFFT := func() error {
+		r, err := experiments.WFFT()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderWFFT(r))
+		return nil
+	}
+
+	switch *fig {
+	case "5":
+		section("fig5", runFig5)
+	case "lib":
+		section("lib", runLib)
+	case "6":
+		section("fig6", runFig6)
+	case "7", "8", "9":
+		section("fig789", runFig789)
+	case "wfft":
+		section("wfft", runWFFT)
+	case "all":
+		section("fig5", runFig5)
+		section("lib", runLib)
+		section("fig6", runFig6)
+		section("fig789", runFig789)
+		section("wfft", runWFFT)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,187 @@
+// Command nvbit-run launches a workload with an NVBit tool attached — the
+// analog of LD_PRELOAD-ing a tool's shared library under an application:
+//
+//	nvbit-run -tool instrcount -workload specaccel:cg -size medium
+//	nvbit-run -tool memdiv -workload ml:ResNet
+//	nvbit-run -tool ophisto-sampled -workload specaccel:ostencil
+//
+// The tool may also be chosen with the NVBIT_TOOL environment variable
+// (flag wins), echoing how the real framework is injected via environment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nvbitgo/internal/driver"
+	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/sass"
+	"nvbitgo/internal/tools/cachesim"
+	"nvbitgo/internal/tools/instrcount"
+	"nvbitgo/internal/tools/itrace"
+	"nvbitgo/internal/tools/memdiv"
+	"nvbitgo/internal/tools/ophisto"
+	"nvbitgo/internal/workloads/mlsuite"
+	"nvbitgo/internal/workloads/specaccel"
+	"nvbitgo/nvbit"
+)
+
+func main() {
+	toolName := flag.String("tool", os.Getenv("NVBIT_TOOL"), "tool: none, instrcount, instrcount-bb, memdiv, ophisto, ophisto-sampled, cachesim, itrace")
+	traceOut := flag.String("trace-out", "", "itrace: write the collected trace to this file")
+	workload := flag.String("workload", "specaccel:ostencil", "workload: specaccel:<name> or ml:<Network>")
+	sizeName := flag.String("size", "medium", "specaccel size: small, medium, large")
+	familyName := flag.String("family", "volta", "device family")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "nvbit-run:", err)
+		os.Exit(1)
+	}
+
+	fam, ok := map[string]sass.Family{
+		"kepler": sass.Kepler, "maxwell": sass.Maxwell,
+		"pascal": sass.Pascal, "volta": sass.Volta,
+	}[*familyName]
+	if !ok {
+		fail(fmt.Errorf("unknown family %q", *familyName))
+	}
+	size, ok := map[string]specaccel.Size{
+		"small": specaccel.Small, "medium": specaccel.Medium, "large": specaccel.Large,
+	}[*sizeName]
+	if !ok {
+		fail(fmt.Errorf("unknown size %q", *sizeName))
+	}
+
+	api, err := driver.New(gpu.DefaultConfig(fam))
+	if err != nil {
+		fail(err)
+	}
+
+	// Inject the selected tool (at most one library can be injected).
+	var tool nvbit.Tool
+	var report func(nv *nvbit.NVBit)
+	switch *toolName {
+	case "", "none":
+	case "instrcount", "instrcount-bb":
+		t := instrcount.New()
+		t.PerBasicBlock = *toolName == "instrcount-bb"
+		tool = t
+		report = func(nv *nvbit.NVBit) {
+			fmt.Printf("thread-level instructions: app %d, libraries %d (%.1f%% in libraries)\n",
+				t.AppInstrs(nv), t.LibInstrs(nv), 100*t.LibraryFraction(nv))
+		}
+	case "memdiv":
+		t := memdiv.New()
+		tool = t
+		report = func(nv *nvbit.NVBit) {
+			fmt.Printf("average cache lines requested per memory instruction %f\n",
+				t.AvgLinesPerMemInstr(nv))
+		}
+	case "cachesim":
+		t := cachesim.New(cachesim.DefaultConfig())
+		tool = t
+		report = func(nv *nvbit.NVBit) {
+			st := t.Stats()
+			fmt.Printf("cache replay: %d accesses, L1 %.1f%% hit, L2 %d hits / %d misses, %d dropped\n",
+				st.Accesses, 100*st.L1HitRate(), st.L2Hits, st.L2Misses, st.Dropped)
+		}
+	case "itrace":
+		t := itrace.New(1 << 20)
+		tool = t
+		report = func(nv *nvbit.NVBit) {
+			kernels := map[uint32]bool{}
+			for _, r := range t.Records {
+				kernels[r.KernelID] = true
+			}
+			fmt.Printf("trace: %d warp-level records across %d kernels, %d dropped\n",
+				len(t.Records), len(kernels), t.Dropped)
+			if *traceOut != "" {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					fail(err)
+				}
+				if _, err := t.WriteTo(f); err != nil {
+					fail(err)
+				}
+				if err := f.Close(); err != nil {
+					fail(err)
+				}
+				fmt.Printf("trace written to %s\n", *traceOut)
+			}
+		}
+	case "ophisto", "ophisto-sampled":
+		t := ophisto.New(*toolName == "ophisto-sampled")
+		tool = t
+		report = func(nv *nvbit.NVBit) {
+			fmt.Println("top-5 executed instructions:")
+			for _, e := range t.Top(nv, 5) {
+				fmt.Printf("  %-8s %12d\n", e.Opcode, e.Count)
+			}
+		}
+	default:
+		fail(fmt.Errorf("unknown tool %q", *toolName))
+	}
+	var nv *nvbit.NVBit
+	if tool != nil {
+		if nv, err = nvbit.Attach(api, tool); err != nil {
+			fail(err)
+		}
+	}
+
+	ctx, err := api.CtxCreate()
+	if err != nil {
+		fail(err)
+	}
+
+	start := time.Now()
+	kind, name, _ := strings.Cut(*workload, ":")
+	switch kind {
+	case "specaccel":
+		var b *specaccel.Benchmark
+		for _, cand := range specaccel.Benchmarks() {
+			if cand.Name == name {
+				b = cand
+			}
+		}
+		if b == nil {
+			fail(fmt.Errorf("unknown specaccel benchmark %q", name))
+		}
+		if err := b.Run(ctx, size); err != nil {
+			fail(err)
+		}
+	case "ml":
+		var net *mlsuite.Network
+		for _, cand := range mlsuite.Networks() {
+			if cand.Name == name {
+				c := cand
+				net = &c
+			}
+		}
+		if net == nil {
+			fail(fmt.Errorf("unknown ML network %q", name))
+		}
+		if _, err := mlsuite.Run(ctx, nil, *net); err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("unknown workload kind %q (want specaccel: or ml:)", kind))
+	}
+	elapsed := time.Since(start)
+	api.Close()
+
+	st := api.Device().Stats()
+	fmt.Printf("workload %s: %d launches, %d warp instructions, %d cycles, %.2fs wall\n",
+		*workload, st.Launches, st.WarpInstrs, st.Cycles, elapsed.Seconds())
+	if report != nil {
+		report(nv)
+	}
+	if nv != nil {
+		js := nv.JITStats()
+		fmt.Printf("jit: lifted %d funcs / %d instrs, %d trampolines, %v total (%v disasm)\n",
+			js.FunctionsLifted, js.InstrsLifted, js.TrampolinesEmitted, js.Total().Round(time.Microsecond), js.Disassemble.Round(time.Microsecond))
+	}
+}

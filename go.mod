@@ -1,0 +1,3 @@
+module nvbitgo
+
+go 1.22

@@ -1,0 +1,117 @@
+package gpusim_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"nvbitgo/gpusim"
+)
+
+const incPTX = `
+.visible .entry inc(.param .u64 buf, .param .u32 n)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<4>;
+	.reg .pred %p<2>;
+	mov.u32 %r0, %ctaid.x;
+	mov.u32 %r1, %ntid.x;
+	mov.u32 %r2, %tid.x;
+	mad.lo.u32 %r3, %r0, %r1, %r2;
+	ld.param.u32 %r4, [n];
+	setp.ge.u32 %p0, %r3, %r4;
+	@%p0 exit;
+	ld.param.u64 %rd0, [buf];
+	mul.wide.u32 %rd2, %r3, 4;
+	add.u64 %rd0, %rd0, %rd2;
+	ld.global.u32 %r5, [%rd0];
+	add.u32 %r5, %r5, 1;
+	st.global.u32 [%rd0], %r5;
+	exit;
+}
+`
+
+// TestPublicAPIEndToEnd is the application-facing happy path a downstream
+// user follows: device, context, JIT module, memory, launch, readback.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	for _, fam := range []gpusim.Family{gpusim.Kepler, gpusim.Maxwell, gpusim.Pascal, gpusim.Volta} {
+		api, err := gpusim.New(fam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, err := api.CtxCreate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod, err := ctx.ModuleLoadPTX("inc", incPTX)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := mod.GetFunction("inc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 100
+		buf, err := ctx.MemAlloc(4 * n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params, err := gpusim.PackParams(f, buf, uint32(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ctx.LaunchKernel(f, gpusim.D1(1), gpusim.D1(128), 0, params); err != nil {
+			t.Fatal(err)
+		}
+		host := make([]byte, 4*n)
+		if err := ctx.MemcpyDtoH(host, buf); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if got := binary.LittleEndian.Uint32(host[4*i:]); got != 1 {
+				t.Fatalf("%v: buf[%d] = %d, want 1", fam, i, got)
+			}
+		}
+		api.Close()
+	}
+}
+
+func TestCompileToCubinAndLoad(t *testing.T) {
+	img, err := gpusim.CompileToCubin("lib", incPTX, gpusim.Pascal, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	api, err := gpusim.New(gpusim.Pascal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := api.CtxCreate()
+	mod, err := ctx.ModuleLoadCubin(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mod.FromCubin {
+		t.Fatal("cubin module not marked binary-only")
+	}
+	if _, err := mod.GetFunction("inc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gpusim.CompileToCubin("bad", "garbage", gpusim.Volta, false); err == nil {
+		t.Fatal("bad PTX accepted")
+	}
+}
+
+func TestConfigKnobs(t *testing.T) {
+	cfg := gpusim.DefaultConfig(gpusim.Volta)
+	cfg.NumSMs = 2
+	cfg.EnableWFFT = true
+	api, err := gpusim.NewWithConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := api.Device().Config().NumSMs; got != 2 {
+		t.Fatalf("NumSMs = %d", got)
+	}
+	if !api.Device().Config().EnableWFFT {
+		t.Fatal("EnableWFFT lost")
+	}
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"nvbitgo/internal/sass"
+)
+
+// generate runs the Code Generator (paper Section 5.1, Figure 4) for one
+// function: it copies the original code into system memory, builds one
+// trampoline per instrumented instruction, substitutes each instrumented
+// instruction with a jump to its trampoline, and leaves the instrumented
+// copy ready for the Code Loader to swap in. Inserting trampolines preserves
+// the instruction layout — instrumented and original code have the exact
+// same size and occupy the same location in GPU memory, so absolute jumps
+// keep working regardless of which version is resident.
+func (n *NVBit) generate(fs *funcState) error {
+	start := time.Now()
+	defer func() { n.stats.CodeGen += time.Since(start) }()
+
+	hal := n.hal
+	ib := hal.InstBytes
+	if fs.instrCode == nil {
+		fs.instrCode = append([]byte(nil), fs.origCode...)
+	}
+	f := fs.f
+	for _, i := range fs.insts {
+		if !i.hasWork() {
+			continue
+		}
+		// Removal without injected calls degenerates to an in-place NOP.
+		if i.removeOrig && len(i.before) == 0 && len(i.after) == 0 {
+			nop := sass.NewInst(sass.OpNOP)
+			if err := hal.Codec().Encode(nop, fs.instrCode[i.idx*ib:]); err != nil {
+				return err
+			}
+			continue
+		}
+
+		// Size the save set: the maximum register requirement of the
+		// original code (including dependent functions), every injected
+		// function, and every register the argument marshalling reads.
+		maxRegs := f.MaxRegs()
+		calls := make([]*callRequest, 0, len(i.before)+len(i.after))
+		calls = append(calls, i.before...)
+		calls = append(calls, i.after...)
+		for _, cr := range calls {
+			tf, err := n.loader.lookup(cr.funcName)
+			if err != nil {
+				return err
+			}
+			if err := validateArgs(tf, cr.args); err != nil {
+				return err
+			}
+			if tf.numRegs > maxRegs {
+				maxRegs = tf.numRegs
+			}
+			for _, a := range cr.args {
+				if a.kind == argRegVal && a.reg+1 > maxRegs {
+					maxRegs = a.reg + 1
+				}
+				if a.kind == argRegVal64 && a.reg+2 > maxRegs {
+					maxRegs = a.reg + 2
+				}
+			}
+		}
+		saveN := hal.SaveSetSize(maxRegs)
+		if n.forceFullSave {
+			saveN = hal.RegsPerThread
+		}
+		saveFn, restoreFn, err := n.loader.saveRestore(saveN)
+		if err != nil {
+			return err
+		}
+
+		// Build the trampoline body with trampoline-relative positions;
+		// relative-branch fixups happen once the base address is known.
+		var tr []sass.Inst
+		emitCall := func(target int64) {
+			c := sass.NewInst(sass.OpCAL)
+			c.Imm = target
+			tr = append(tr, c)
+		}
+		emitGroup := func(group []*callRequest) error {
+			if len(group) == 0 {
+				return nil
+			}
+			emitCall(int64(saveFn))
+			for _, cr := range group {
+				tf, _ := n.loader.lookup(cr.funcName)
+				insts, err := n.marshalArgs(tf, cr.args, i)
+				if err != nil {
+					return err
+				}
+				tr = append(tr, insts...)
+				emitCall(int64(tf.addr))
+				if cr.guarded {
+					// Predicate matching on the call itself (Section
+					// 7 future work): non-matching lanes fall through
+					// past the CAL. Predicates still hold their
+					// original values here — nothing before the
+					// restore writes them.
+					cal := &tr[len(tr)-1]
+					if cr.useSite {
+						cal.Pred, cal.PredNeg = i.inst.Pred, i.inst.PredNeg
+					} else {
+						cal.Pred, cal.PredNeg = cr.guardP, cr.guardNeg
+					}
+				}
+			}
+			emitCall(int64(restoreFn))
+			return nil
+		}
+
+		if err := emitGroup(i.before); err != nil {
+			return err
+		}
+		// The relocated original instruction (step 5 of Figure 4), or a
+		// NOP when nvbit_remove_orig was requested.
+		relocSlot := len(tr)
+		if i.removeOrig {
+			tr = append(tr, sass.NewInst(sass.OpNOP))
+		} else {
+			tr = append(tr, i.inst)
+		}
+		if err := emitGroup(i.after); err != nil {
+			return err
+		}
+		// Return to the instrumented code at the next program counter.
+		back := sass.NewInst(sass.OpJMP)
+		back.Imm = int64(f.Addr) + int64(i.idx) + 1
+		tr = append(tr, back)
+
+		base, err := n.loader.allocTramp(len(tr))
+		if err != nil {
+			return err
+		}
+		// Critically, a relocated relative control-flow instruction must
+		// have its offset adjusted for its new position (Section 5.1).
+		if !i.removeOrig && i.inst.Op.IsRelativeBranch() {
+			origTarget := int64(f.Addr) + int64(i.idx) + 1 + i.inst.Imm
+			newImm := origTarget - (int64(base) + int64(relocSlot) + 1)
+			if !hal.ImmFits(sass.OpBRA, newImm) {
+				return fmt.Errorf("nvbit: relocated branch in %s at word %d cannot reach its target (offset %d)", f.Name, i.idx, newImm)
+			}
+			tr[relocSlot].Imm = newImm
+		}
+		raw, err := hal.Codec().EncodeAll(tr)
+		if err != nil {
+			return fmt.Errorf("nvbit: encoding trampoline for %s word %d: %w", f.Name, i.idx, err)
+		}
+		if err := n.Device().WriteCode(base, raw); err != nil {
+			return err
+		}
+		// Substitute the instrumented instruction with an unguarded jump
+		// to the trampoline; every active thread enters it, and the guard
+		// predicate travels as an argument when the tool asked for it.
+		jmp := sass.NewInst(sass.OpJMP)
+		jmp.Imm = int64(base)
+		if err := hal.Codec().Encode(jmp, fs.instrCode[i.idx*ib:]); err != nil {
+			return err
+		}
+		n.stats.TrampolinesEmitted++
+	}
+	fs.instrumented = true
+	fs.dirty = false
+	return nil
+}
+
+// marshalArgs emits the argument-passing sequence for one injected call.
+// Arguments are read from the save frame (not live registers, which earlier
+// marshalling or previous injected calls may have clobbered) and placed in
+// ABI argument registers according to the device calling convention.
+func (n *NVBit) marshalArgs(tf *toolFunc, args []CallArg, site *Instr) ([]sass.Inst, error) {
+	var out []sass.Inst
+	for k, a := range args {
+		abiReg := sass.Reg(tf.params[k].Offset)
+		switch a.kind {
+		case argRegVal:
+			ld := sass.NewInst(sass.OpLDSA)
+			ld.Dst, ld.Imm = abiReg, int64(a.reg)
+			out = append(out, ld)
+		case argRegVal64:
+			lo := sass.NewInst(sass.OpLDSA)
+			lo.Dst, lo.Imm = abiReg, int64(a.reg)
+			hi := sass.NewInst(sass.OpLDSA)
+			hi.Dst, hi.Imm = abiReg+1, int64(a.reg+1)
+			out = append(out, lo, hi)
+		case argImm32:
+			out = append(out, n.materialize(abiReg, uint32(a.imm))...)
+		case argImm64:
+			out = append(out, n.materialize(abiReg, uint32(a.imm))...)
+			out = append(out, n.materialize(abiReg+1, uint32(a.imm>>32))...)
+		case argCBank:
+			ld := sass.NewInst(sass.OpLDC)
+			ld.Dst, ld.Src1, ld.Imm = abiReg, sass.RZ, int64(a.off)
+			ld.Mods = sass.MakeMods(a.bank, false, false, sass.PT)
+			out = append(out, ld)
+		case argPredVal, argGuardPred:
+			p, neg := a.pred, a.predNeg
+			if a.kind == argGuardPred {
+				p, neg = site.inst.Pred, site.inst.PredNeg
+			}
+			out = append(out, predValSeq(abiReg, p, neg)...)
+		default:
+			return nil, fmt.Errorf("nvbit: unknown argument kind %d", a.kind)
+		}
+	}
+	return out, nil
+}
+
+// predValSeq emits code leaving the (saved) value of a predicate, as 0/1, in
+// dst. PT is constant-folded.
+func predValSeq(dst sass.Reg, p sass.Pred, neg bool) []sass.Inst {
+	if p == sass.PT {
+		mv := sass.NewInst(sass.OpMOVI)
+		mv.Dst = dst
+		if !neg {
+			mv.Imm = 1
+		}
+		return []sass.Inst{mv}
+	}
+	rd := sass.NewInst(sass.OpRDPRED)
+	rd.Dst = dst
+	sh := sass.NewInst(sass.OpSHR)
+	sh.Dst, sh.Src1, sh.Src2, sh.Imm = dst, dst, sass.RZ, int64(p)
+	and := sass.NewInst(sass.OpLOP)
+	and.Dst, and.Src1, and.Src2, and.Imm = dst, dst, sass.RZ, 1
+	and.Mods = sass.MakeMods(sass.LopAnd, false, false, sass.PT)
+	seq := []sass.Inst{rd, sh, and}
+	if neg {
+		x := sass.NewInst(sass.OpLOP)
+		x.Dst, x.Src1, x.Src2, x.Imm = dst, dst, sass.RZ, 1
+		x.Mods = sass.MakeMods(sass.LopXor, false, false, sass.PT)
+		seq = append(seq, x)
+	}
+	return seq
+}
+
+// materialize emits a 32-bit constant load legalized for the family.
+func (n *NVBit) materialize(dst sass.Reg, v uint32) []sass.Inst {
+	sv := int64(int32(v))
+	if n.hal.ImmFits(sass.OpMOVI, sv) {
+		mv := sass.NewInst(sass.OpMOVI)
+		mv.Dst, mv.Imm = dst, sv
+		return []sass.Inst{mv}
+	}
+	lo := sass.NewInst(sass.OpMOVI)
+	lo.Dst = dst
+	lo.Imm = int64(v & 0xFFFFF)
+	if lo.Imm > 1<<19-1 {
+		lo.Imm -= 1 << 20
+	}
+	hi := sass.NewInst(sass.OpMOVIH)
+	hi.Dst, hi.Imm = dst, int64(v>>20)
+	return []sass.Inst{lo, hi}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/sass"
+)
+
+// TestTrampolineStructure disassembles the instrumented code version and the
+// generated trampolines, asserting the Figure 4 layout properties directly:
+// same code size, an unguarded absolute jump at each instrumented site, and
+// the save → args → call → restore → relocated-original → jump-back shape.
+func TestTrampolineStructure(t *testing.T) {
+	var ctr uint64
+	tool := &testTool{}
+	env := setup(t, sass.Volta, tool)
+	ctr, _ = env.nv.Malloc(8)
+	tool.onLaunch = instrumentAll(ctr)
+	env.launch(t)
+
+	fs := env.nv.funcs[env.fn]
+	if fs == nil || !fs.instrumented {
+		t.Fatal("no instrumentation state")
+	}
+	// Structural property behind "trampolines elegantly preserve
+	// instruction layout": both versions occupy the same bytes.
+	if len(fs.instrCode) != len(fs.origCode) {
+		t.Fatalf("instrumented code %d bytes, original %d", len(fs.instrCode), len(fs.origCode))
+	}
+	codec := env.nv.HAL().Codec()
+	orig, err := codec.DecodeAll(fs.origCode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr, err := codec.DecodeAll(fs.instrCode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := env.nv.Device()
+	for idx := range orig {
+		j := instr[idx]
+		if j.Op != sass.OpJMP {
+			t.Fatalf("word %d: instrumented site is %v, want JMP to trampoline", idx, j.Op)
+		}
+		if j.Guarded() {
+			t.Fatalf("word %d: trampoline jump must be unguarded (guard travels as an argument)", idx)
+		}
+		// Walk the trampoline: CAL save, ..., CAL restore, relocated
+		// original, JMP back.
+		base := int(j.Imm)
+		raw, err := dev.ReadCode(gpu.CodeAddr(base), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Decode word-by-word: the trampoline is shorter than 64 words
+		// and the space beyond it is unwritten.
+		var tramp []sass.Inst
+		ib := env.nv.HAL().InstBytes
+		for off := 0; off+ib <= len(raw); off += ib {
+			in, derr := codec.Decode(raw[off:])
+			if derr != nil {
+				break
+			}
+			tramp = append(tramp, in)
+		}
+		if tramp[0].Op != sass.OpCAL {
+			t.Fatalf("word %d: trampoline starts with %v, want CAL save", idx, tramp[0].Op)
+		}
+		// Find the jump back; the instruction before it must be the
+		// relocated original (or NOP after remove_orig).
+		backAt := -1
+		for k, in := range tramp {
+			if in.Op == sass.OpJMP && in.Imm == int64(env.fn.Addr)+int64(idx)+1 {
+				backAt = k
+				break
+			}
+		}
+		if backAt < 0 {
+			t.Fatalf("word %d: no jump back to next PC in trampoline", idx)
+		}
+		reloc := tramp[backAt-1]
+		want := orig[idx]
+		if want.Op == sass.OpBRA {
+			// Relative branches are re-aimed: the absolute target must
+			// be preserved.
+			origTarget := int64(env.fn.Addr) + int64(idx) + 1 + want.Imm
+			relocTarget := int64(base) + int64(backAt-1) + 1 + reloc.Imm
+			if reloc.Op != sass.OpBRA || origTarget != relocTarget {
+				t.Fatalf("word %d: relocated branch aims at %d, original aimed at %d", idx, relocTarget, origTarget)
+			}
+		} else if reloc != want {
+			t.Fatalf("word %d: relocated original is %s, want %s",
+				idx, sass.Format(reloc), sass.Format(want))
+		}
+		// The call sequence must include the tool function between save
+		// and restore: at least three CALs total.
+		cals := 0
+		for _, in := range tramp[:backAt] {
+			if in.Op == sass.OpCAL {
+				cals++
+			}
+		}
+		if cals < 3 {
+			t.Fatalf("word %d: trampoline has %d CALs, want save+tool+restore", idx, cals)
+		}
+	}
+}

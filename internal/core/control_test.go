@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"nvbitgo/internal/driver"
+	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/sass"
+)
+
+// cbTool instruments at cuModuleGetFunction time rather than at launch —
+// the paper notes instrumentation is "typically done when the kernel is
+// launched for the first time, although it can be done at other times
+// within the CUDA driver callbacks". The Code Generator still runs at the
+// next launch boundary.
+type cbTool struct {
+	ctr uint64
+}
+
+func (t *cbTool) AtInit(n *NVBit) {
+	if err := n.RegisterToolPTX(toolSrc); err != nil {
+		panic(err)
+	}
+	var err error
+	if t.ctr, err = n.Malloc(8); err != nil {
+		panic(err)
+	}
+}
+
+func (t *cbTool) AtTerm(n *NVBit) {}
+
+func (t *cbTool) AtCUDACall(n *NVBit, exit bool, cbid driver.CBID, name string, p *driver.CallParams) {
+	// The resolved CUfunction is populated on the exit callback of
+	// cuModuleGetFunction (the enter side has not looked it up yet).
+	if !exit || cbid != driver.CBModuleGetFunction || p.Func == nil || !p.Func.Entry {
+		return
+	}
+	if n.IsInstrumented(p.Func) {
+		return
+	}
+	insts, err := n.GetInstrs(p.Func)
+	if err != nil {
+		panic(err)
+	}
+	for _, i := range insts {
+		n.InsertCallArgs(i, "tally", IPointBefore, ArgImm64(t.ctr))
+	}
+}
+
+func TestInstrumentAtModuleLoadCallback(t *testing.T) {
+	tool := &cbTool{}
+	api, err := driver.New(gpu.DefaultConfig(sass.Volta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, err := Attach(api, tool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := api.CtxCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := ctx.ModuleLoadPTX("app.ptx", workPTX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := mod.GetFunction("work") // instrumentation requested here
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	data, _ := ctx.MemAlloc(4 * n)
+	params, _ := driver.PackParams(fn, data, uint32(n))
+	if err := ctx.LaunchKernel(fn, gpu.D1(1), gpu.D1(64), 0, params); err != nil {
+		t.Fatal(err)
+	}
+	count, err := nv.ReadU64(tool.ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 {
+		t.Fatal("instrumentation requested at cuModuleGetFunction never took effect")
+	}
+}
+
+// TestEnableBeforeInstrumentIsHarmless: enabling the instrumented version of
+// a function that has no instrumentation is a no-op (original code runs).
+func TestEnableBeforeInstrumentIsHarmless(t *testing.T) {
+	tool := &testTool{}
+	env := setup(t, sass.Volta, tool)
+	tool.onLaunch = func(n *NVBit, p *driver.CallParams) {
+		if err := n.EnableInstrumented(p.Launch.Func, true); err != nil {
+			panic(err)
+		}
+	}
+	env.launch(t)
+	for i, got := range env.results(t) {
+		if want := wantWorkResults(env.n)[i]; got != want {
+			t.Fatalf("result[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestResetThenReinstrument: after ResetInstrumented a tool can instrument
+// the same function again from scratch.
+func TestResetThenReinstrument(t *testing.T) {
+	var ctr uint64
+	tool := &testTool{}
+	env := setup(t, sass.Volta, tool)
+	ctr, _ = env.nv.Malloc(8)
+	tool.onLaunch = instrumentAll(ctr)
+	env.launch(t)
+	c1, _ := env.nv.ReadU64(ctr)
+	if err := env.nv.ResetInstrumented(env.fn); err != nil {
+		t.Fatal(err)
+	}
+	// The standing instrumentAll closure re-instruments at the next
+	// launch, which must succeed post-reset.
+	env.reloadData(t)
+	env.launch(t)
+	c2, _ := env.nv.ReadU64(ctr)
+	if c2 != 2*c1 {
+		t.Fatalf("re-instrumented count %d, want %d", c2, 2*c1)
+	}
+	for i, got := range env.results(t) {
+		if want := wantWorkResults(env.n)[i]; got != want {
+			t.Fatalf("result[%d] = %d, want %d", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+
+	"nvbitgo/internal/driver"
+	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/sass"
+)
+
+// predAppPTX sets P0 true for threads < 12 (only in the first warp of the
+// 64-thread block), then executes a guarded add: the second warp is fully
+// predicated off, so predicate-matched calls skip it wholesale.
+const predAppPTX = `
+.visible .entry predapp(.param .u64 out)
+{
+	.reg .u32 %r<6>;
+	.reg .u64 %rd<4>;
+	.reg .pred %p<2>;
+	mov.u32 %r0, %tid.x;
+	setp.lt.u32 %p0, %r0, 12;
+	mov.u32 %r1, 0;
+	@%p0 add.u32 %r1, %r1, 1;
+	ld.param.u64 %rd0, [out];
+	mul.wide.u32 %rd2, %r0, 4;
+	add.u64 %rd0, %rd0, %rd2;
+	st.global.u32 [%rd0], %r1;
+	exit;
+}
+`
+
+func runPredApp(t *testing.T, arm func(n *NVBit, i *Instr, ctr uint64)) (uint64, *NVBit, gpu.Stats) {
+	t.Helper()
+	api, err := driver.New(gpu.DefaultConfig(sass.Volta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := &testTool{}
+	nv, err := Attach(api, tool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, _ := nv.Malloc(8)
+	tool.onLaunch = func(n *NVBit, p *driver.CallParams) {
+		f := p.Launch.Func
+		if n.IsInstrumented(f) {
+			return
+		}
+		insts, err := n.GetInstrs(f)
+		if err != nil {
+			panic(err)
+		}
+		for _, i := range insts {
+			if _, _, guarded := i.GetPredicate(); guarded && i.Op() == sass.OpIADD {
+				arm(n, i, ctr)
+			}
+		}
+	}
+	ctx, _ := api.CtxCreate()
+	mod, err := ctx.ModuleLoadPTX("app", predAppPTX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := mod.GetFunction("predapp")
+	out, _ := ctx.MemAlloc(4 * 64)
+	params, _ := driver.PackParams(f, out)
+	if err := ctx.LaunchKernel(f, gpu.D1(1), gpu.D1(64), 0, params); err != nil {
+		t.Fatal(err)
+	}
+	count, err := nv.ReadU64(ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return count, nv, api.Device().Stats()
+}
+
+// TestGuardCallBySiteMatchesEarlyReturn: predicate matching on the call
+// (Section 7's future work) must count exactly the lanes the Listing 8
+// early-return idiom counts — 12 executing lanes of the guarded IADD per
+// first warp; the second warp skips the matched call wholesale.
+func TestGuardCallBySiteMatchesEarlyReturn(t *testing.T) {
+	early, _, earlySt := runPredApp(t, func(n *NVBit, i *Instr, ctr uint64) {
+		n.InsertCallArgs(i, "predtally", IPointBefore, ArgGuardPred(), ArgImm64(ctr))
+	})
+	matched, _, matchedSt := runPredApp(t, func(n *NVBit, i *Instr, ctr uint64) {
+		n.InsertCallArgs(i, "tally", IPointBefore, ArgImm64(ctr))
+		n.GuardCallBySite(i)
+	})
+	if early != 12 || matched != 12 {
+		t.Fatalf("counts: early-return %d, predicate-matched %d, want 12", early, matched)
+	}
+	// Predicate matching executes fewer instructions: lanes 12..31 of
+	// warp 0 and all of warp 1 never enter the tool function, and the
+	// early-return variant additionally burns its in-function check.
+	if matchedSt.WarpInstrs >= earlySt.WarpInstrs {
+		t.Fatalf("predicate matching (%d warp instrs) not cheaper than early return (%d)",
+			matchedSt.WarpInstrs, earlySt.WarpInstrs)
+	}
+}
+
+// TestGuardCallExplicitPredicate: guarding by a named predicate with both
+// polarities selects complementary lane sets.
+func TestGuardCallExplicitPredicate(t *testing.T) {
+	pos, _, _ := runPredApp(t, func(n *NVBit, i *Instr, ctr uint64) {
+		n.InsertCallArgs(i, "tally", IPointBefore, ArgImm64(ctr))
+		n.GuardCall(i, sass.Pred(0), false)
+	})
+	neg, _, _ := runPredApp(t, func(n *NVBit, i *Instr, ctr uint64) {
+		n.InsertCallArgs(i, "tally", IPointBefore, ArgImm64(ctr))
+		n.GuardCall(i, sass.Pred(0), true)
+	})
+	// P0 derives from tid.x: 12 true lanes in warp 0, none in warp 1 —
+	// which therefore skips the positively guarded call wholesale.
+	if pos != 12 || neg != 52 {
+		t.Fatalf("pos=%d neg=%d, want 12/52", pos, neg)
+	}
+}
+
+// TestGuardCallSemanticsPreserved: the app's results are unaffected.
+func TestGuardCallSemanticsPreserved(t *testing.T) {
+	api, err := driver.New(gpu.DefaultConfig(sass.Volta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := &testTool{}
+	nv, err := Attach(api, tool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, _ := nv.Malloc(8)
+	tool.onLaunch = func(n *NVBit, p *driver.CallParams) {
+		if n.IsInstrumented(p.Launch.Func) {
+			return
+		}
+		insts, _ := n.GetInstrs(p.Launch.Func)
+		for _, i := range insts {
+			n.InsertCallArgs(i, "tally", IPointBefore, ArgImm64(ctr))
+			n.GuardCallBySite(i)
+		}
+	}
+	ctx, _ := api.CtxCreate()
+	mod, err := ctx.ModuleLoadPTX("app", predAppPTX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := mod.GetFunction("predapp")
+	out, _ := ctx.MemAlloc(4 * 64)
+	params, _ := driver.PackParams(f, out)
+	if err := ctx.LaunchKernel(f, gpu.D1(1), gpu.D1(64), 0, params); err != nil {
+		t.Fatal(err)
+	}
+	host := make([]byte, 4*64)
+	if err := ctx.MemcpyDtoH(host, out); err != nil {
+		t.Fatal(err)
+	}
+	for lane := 0; lane < 64; lane++ {
+		want := byte(0)
+		if lane < 12 {
+			want = 1
+		}
+		if host[4*lane] != want {
+			t.Fatalf("lane %d = %d, want %d", lane, host[4*lane], want)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/sass"
+)
+
+// HAL is the Hardware Abstraction Layer (paper Section 5.1): the
+// family-specific knowledge the rest of the core consults instead of
+// hard-coding architecture details. It is initialized when a CUcontext is
+// started on a device, recording the instruction size, register file limits,
+// ABI version, and the family's assembly/disassembly functions (the codec).
+type HAL struct {
+	family sass.Family
+	codec  *sass.Codec
+
+	// InstBytes is the fixed instruction width (8 on Kepler/Maxwell/
+	// Pascal, 16 on Volta).
+	InstBytes int
+	// RegsPerThread is the number of general-purpose registers available
+	// per thread.
+	RegsPerThread int
+	// ABIVersion is 1 for pre-Volta families and 2 for Volta, whose ABI
+	// additionally requires saving the convergence-barrier state around
+	// injected functions.
+	ABIVersion int
+	// SaveBarrierState reports whether save/restore routines must include
+	// the convergence-barrier registers.
+	SaveBarrierState bool
+	// SaveGranularity is the rounding step for the fixed set of
+	// save/restore routines (save_8, save_16, ...).
+	SaveGranularity int
+}
+
+func newHAL(dev *gpu.Device) *HAL {
+	f := dev.Family()
+	h := &HAL{
+		family:          f,
+		codec:           dev.Codec(),
+		InstBytes:       f.InstBytes(),
+		RegsPerThread:   sass.NumRegs,
+		ABIVersion:      1,
+		SaveGranularity: 8,
+	}
+	if f == sass.Volta {
+		h.ABIVersion = 2
+		h.SaveBarrierState = true
+	}
+	return h
+}
+
+// Family returns the architecture family.
+func (h *HAL) Family() sass.Family { return h.family }
+
+// Codec returns the family's assembler/disassembler.
+func (h *HAL) Codec() *sass.Codec { return h.codec }
+
+// SaveSetSize rounds a register requirement up to the granularity of the
+// pre-built save/restore routines and clamps it to the register file.
+func (h *HAL) SaveSetSize(regs int) int {
+	if regs < 1 {
+		regs = 1
+	}
+	g := h.SaveGranularity
+	n := (regs + g - 1) / g * g
+	if n > h.RegsPerThread {
+		n = h.RegsPerThread
+	}
+	return n
+}
+
+// ImmFits reports whether an immediate is encodable for the opcode on this
+// family; the Code Generator consults it when relocating relative branches.
+func (h *HAL) ImmFits(op sass.Opcode, imm int64) bool {
+	return sass.ImmFits(h.family, op, imm)
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+
+	"nvbitgo/internal/sass"
+)
+
+// IPoint selects where an injected function executes relative to the
+// instrumented instruction (paper Listing 5).
+type IPoint int
+
+const (
+	IPointBefore IPoint = iota
+	IPointAfter
+)
+
+func (p IPoint) String() string {
+	if p == IPointBefore {
+		return "IPOINT_BEFORE"
+	}
+	return "IPOINT_AFTER"
+}
+
+type argKind int
+
+const (
+	argRegVal argKind = iota
+	argRegVal64
+	argImm32
+	argImm64
+	argCBank
+	argPredVal
+	argGuardPred
+)
+
+// CallArg is one positional argument for an injected function
+// (nvbit_add_call_arg). Argument passing is positional and must match the
+// signature of the injected device function; the Code Generator validates
+// widths and arity against the tool function's parameter table.
+type CallArg struct {
+	kind    argKind
+	reg     int
+	imm     uint64
+	bank    int
+	off     int
+	pred    sass.Pred
+	predNeg bool
+}
+
+// ArgRegVal passes the run-time value of a 32-bit register at the
+// instrumentation site.
+func ArgRegVal(reg int) CallArg { return CallArg{kind: argRegVal, reg: reg} }
+
+// ArgRegVal64 passes the 64-bit value held in the register pair (reg, reg+1).
+func ArgRegVal64(reg int) CallArg { return CallArg{kind: argRegVal64, reg: reg} }
+
+// ArgImm32 passes a 32-bit immediate chosen at instrumentation time.
+func ArgImm32(v uint32) CallArg { return CallArg{kind: argImm32, imm: uint64(v)} }
+
+// ArgImm64 passes a 64-bit immediate (e.g. the device address of a counter).
+func ArgImm64(v uint64) CallArg { return CallArg{kind: argImm64, imm: v} }
+
+// ArgCBank passes a 32-bit value read from a constant bank at run time.
+func ArgCBank(bank, off int) CallArg { return CallArg{kind: argCBank, bank: bank, off: off} }
+
+// ArgPredVal passes the run-time value (0/1) of a predicate register.
+func ArgPredVal(p sass.Pred, neg bool) CallArg {
+	return CallArg{kind: argPredVal, pred: p, predNeg: neg}
+}
+
+// ArgGuardPred passes the value of the instrumented instruction's own guard
+// predicate — the idiom of Listing 8, where the injected function returns
+// immediately if the instruction was not actually executing.
+func ArgGuardPred() CallArg { return CallArg{kind: argGuardPred} }
+
+// bytes returns the argument's ABI width.
+func (a CallArg) bytes() int {
+	if a.kind == argRegVal64 || a.kind == argImm64 {
+		return 8
+	}
+	return 4
+}
+
+// InsertCall injects a call to the named tool device function before or
+// after the instruction (nvbit_insert_call). Multiple functions can be
+// injected at the same location; they execute in insertion order.
+func (n *NVBit) InsertCall(i *Instr, funcName string, where IPoint) {
+	req := &callRequest{funcName: funcName}
+	if where == IPointBefore {
+		i.before = append(i.before, req)
+	} else {
+		i.after = append(i.after, req)
+	}
+	i.lastInserted = req
+	i.fs.dirty = true
+}
+
+// AddCallArg appends a positional argument to the most recently inserted
+// call on this instruction (nvbit_add_call_arg).
+func (n *NVBit) AddCallArg(i *Instr, a CallArg) {
+	if i.lastInserted == nil {
+		panic("nvbit: AddCallArg before InsertCall")
+	}
+	i.lastInserted.args = append(i.lastInserted.args, a)
+}
+
+// InsertCallArgs is a convenience combining InsertCall and AddCallArg.
+func (n *NVBit) InsertCallArgs(i *Instr, funcName string, where IPoint, args ...CallArg) {
+	n.InsertCall(i, funcName, where)
+	for _, a := range args {
+		n.AddCallArg(i, a)
+	}
+}
+
+// GuardCall restricts the most recently inserted call so that only lanes for
+// which predicate p (negated if neg) holds at the instrumentation site enter
+// the injected function at all — the lanes are filtered by predicate
+// matching on the call instruction itself rather than by an early return
+// inside the tool function. This implements the finer-grained thread
+// selection the paper sketches as future work in Section 7; when a whole
+// warp fails the predicate, the call is skipped entirely.
+func (n *NVBit) GuardCall(i *Instr, p sass.Pred, neg bool) {
+	if i.lastInserted == nil {
+		panic("nvbit: GuardCall before InsertCall")
+	}
+	i.lastInserted.guarded = true
+	i.lastInserted.guardP, i.lastInserted.guardNeg = p, neg
+}
+
+// GuardCallBySite restricts the most recently inserted call to the lanes for
+// which the instrumented instruction's own guard predicate holds — the
+// zero-argument alternative to passing ArgGuardPred and returning early.
+func (n *NVBit) GuardCallBySite(i *Instr) {
+	if i.lastInserted == nil {
+		panic("nvbit: GuardCallBySite before InsertCall")
+	}
+	i.lastInserted.guarded = true
+	i.lastInserted.useSite = true
+}
+
+// RemoveOrig removes the original instruction, keeping any injected calls
+// (nvbit_remove_orig) — the mechanism behind instruction emulation
+// (Section 6.3), where the injected function supersedes the instruction.
+func (n *NVBit) RemoveOrig(i *Instr) {
+	i.removeOrig = true
+	i.fs.dirty = true
+}
+
+// ForceFullSaveSet makes the Code Generator always save the entire register
+// file instead of the minimal set derived from register-requirement
+// analysis. It exists as the ablation baseline for the paper's design choice
+// that "NVBit saves only the minimum amount of general purpose registers"
+// (Section 5.1); no real tool should enable it.
+func (n *NVBit) ForceFullSaveSet(v bool) { n.forceFullSave = v }
+
+// hasWork reports whether the instruction carries instrumentation requests.
+func (i *Instr) hasWork() bool {
+	return len(i.before) > 0 || len(i.after) > 0 || i.removeOrig
+}
+
+func validateArgs(tf *toolFunc, args []CallArg) error {
+	if len(args) != len(tf.params) {
+		return fmt.Errorf("tool function %s takes %d arguments, got %d", tf.name, len(tf.params), len(args))
+	}
+	for k, a := range args {
+		if a.bytes() != tf.params[k].Bytes {
+			return fmt.Errorf("tool function %s argument %d (%s) is %d bytes, got %d",
+				tf.name, k, tf.params[k].Name, tf.params[k].Bytes, a.bytes())
+		}
+	}
+	return nil
+}

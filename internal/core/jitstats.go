@@ -1,0 +1,47 @@
+package core
+
+import "time"
+
+// JITStats is the six-component breakdown of JIT-compilation overhead from
+// the paper's Section 5.2:
+//
+//  1. retrieving the original GPU code,
+//  2. disassembling the GPU program,
+//  3. converting the binary into the format presented via the NVBit API,
+//  4. executing the user's C/C++ (here: Go) tool code that injects
+//     instrumentation,
+//  5. running the Code Generator to produce the final instrumented code,
+//  6. swapping the original code with the instrumented code.
+//
+// Components 1–3 and 6 depend on the application's code size; 4 and 5 on how
+// much of it is instrumented.
+type JITStats struct {
+	Retrieve    time.Duration // (1)
+	Disassemble time.Duration // (2)
+	Convert     time.Duration // (3)
+	UserCode    time.Duration // (4)
+	CodeGen     time.Duration // (5)
+	Swap        time.Duration // (6)
+
+	FunctionsLifted    int
+	InstrsLifted       int
+	TrampolinesEmitted int
+	SwapBytes          int
+}
+
+// Total returns the summed JIT-compilation overhead.
+func (s JITStats) Total() time.Duration {
+	return s.Retrieve + s.Disassemble + s.Convert + s.UserCode + s.CodeGen + s.Swap
+}
+
+// Components returns the six durations in paper order with their labels.
+func (s JITStats) Components() ([6]time.Duration, [6]string) {
+	return [6]time.Duration{s.Retrieve, s.Disassemble, s.Convert, s.UserCode, s.CodeGen, s.Swap},
+		[6]string{"retrieve", "disassemble", "convert", "user-code", "codegen", "swap"}
+}
+
+// JITStats returns the accumulated JIT-compilation overhead breakdown.
+func (n *NVBit) JITStats() JITStats { return n.stats }
+
+// ResetJITStats zeroes the accumulated overhead counters.
+func (n *NVBit) ResetJITStats() { n.stats = JITStats{} }

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"nvbitgo/internal/driver"
+	"nvbitgo/internal/sass"
+)
+
+// Instr abstracts one machine-level SASS instruction (paper Listing 4). The
+// Instruction Lifter produces exactly one Instr per SASS instruction; the
+// mapping is one-to-one and cached per function, so instrumentation state
+// sticks to the Instr across repeated inspections.
+type Instr struct {
+	fs   *funcState
+	idx  int // word index within the function
+	inst sass.Inst
+	opds []sass.Operand // built lazily by operands()
+
+	// Pending instrumentation requests (consumed by the Code Generator).
+	before       []*callRequest
+	after        []*callRequest
+	removeOrig   bool
+	lastInserted *callRequest
+}
+
+// callRequest is one injected function call with its positional arguments.
+type callRequest struct {
+	funcName string
+	args     []CallArg
+	// Optional injection guard (the paper's Section 7 future work:
+	// "predicate matching before jumping to the instrumentation
+	// function"): when guarded, only lanes with the predicate in the
+	// stated polarity enter the tool function at all.
+	guarded  bool
+	guardP   sass.Pred
+	guardNeg bool
+	useSite  bool // guard by the instrumented instruction's own predicate
+}
+
+// funcState is the per-CUfunction instrumentation state.
+type funcState struct {
+	f         *driver.Function
+	insts     []*Instr
+	sassText  []string // per-instruction disassembly, built at lift time
+	blocks    []BasicBlock
+	hasICF    bool
+	instBytes int
+
+	instrumented    bool   // Code Generator has produced instrumented code
+	enabled         bool   // which version the tool wants resident
+	enabledExplicit bool   // the tool called EnableInstrumented itself
+	resident        bool   // which version is actually resident on device
+	dirty           bool   // instrumentation requests not yet generated
+	origCode        []byte // pristine copy in system memory
+	instrCode       []byte // instrumented copy (same size, same load address)
+}
+
+// BasicBlock is one uninterrupted instruction sequence (paper Section 4).
+type BasicBlock struct {
+	Instrs []*Instr
+}
+
+func (n *NVBit) state(f *driver.Function) (*funcState, error) {
+	if fs, ok := n.funcs[f]; ok {
+		return fs, nil
+	}
+	if n.hal == nil {
+		return nil, fmt.Errorf("nvbit: no context initialized (HAL unavailable)")
+	}
+	fs := &funcState{f: f, instBytes: n.hal.InstBytes}
+
+	// Phase 1: retrieve the original code bytes from device memory.
+	t0 := time.Now()
+	raw, err := n.Device().ReadCode(f.Addr, f.NumWords)
+	if err != nil {
+		return nil, err
+	}
+	t1 := time.Now()
+	n.stats.Retrieve += t1.Sub(t0)
+	fs.origCode = raw
+
+	// Phase 2: disassemble into the internal representation. Like the
+	// real framework — whose lifter drives the nvdisasm-equivalent and
+	// consumes its textual output — disassembly materializes the SASS
+	// text alongside the decoded form; this is the dominant JIT phase in
+	// the paper's Figure 5 breakdown.
+	insts, err := n.hal.Codec().DecodeAll(raw)
+	if err != nil {
+		return nil, fmt.Errorf("nvbit: disassembling %s: %w", f.Name, err)
+	}
+	fs.sassText = make([]string, len(insts))
+	for i, in := range insts {
+		fs.sassText[i] = sass.Format(in)
+	}
+	t2 := time.Now()
+	n.stats.Disassemble += t2.Sub(t1)
+
+	// Phase 3: convert to the user-facing Instr form, including the
+	// structured operand views and the basic-block partition.
+	fs.insts = make([]*Instr, len(insts))
+	backing := make([]Instr, len(insts))
+	for i, in := range insts {
+		backing[i] = Instr{fs: fs, idx: i, inst: in}
+		fs.insts[i] = &backing[i]
+	}
+	if ranges, ok := sass.BasicBlocks(insts); ok {
+		for _, r := range ranges {
+			fs.blocks = append(fs.blocks, BasicBlock{Instrs: fs.insts[r.Start:r.End]})
+		}
+	} else {
+		fs.hasICF = true
+	}
+	t3 := time.Now()
+	n.stats.Convert += t3.Sub(t2)
+	n.liftTime += t3.Sub(t0)
+	n.stats.FunctionsLifted++
+	n.stats.InstrsLifted += len(insts)
+
+	n.funcs[f] = fs
+	return fs, nil
+}
+
+// GetInstrs returns the function body as a flat vector of instructions in
+// program order (nvbit_get_instrs).
+func (n *NVBit) GetInstrs(f *driver.Function) ([]*Instr, error) {
+	fs, err := n.state(f)
+	if err != nil {
+		return nil, err
+	}
+	return fs.insts, nil
+}
+
+// GetBasicBlocks returns the function body as basic blocks
+// (nvbit_get_basic_blocks). When the function contains indirect control flow
+// the basic-block view is unavailable and callers must fall back to the flat
+// view, as described in Section 4.
+func (n *NVBit) GetBasicBlocks(f *driver.Function) ([]BasicBlock, error) {
+	fs, err := n.state(f)
+	if err != nil {
+		return nil, err
+	}
+	if fs.hasICF {
+		return nil, fmt.Errorf("nvbit: %s contains indirect control flow; use the flat view", f.Name)
+	}
+	return fs.blocks, nil
+}
+
+// GetRelatedFuncs returns the device functions the kernel can call
+// (nvbit_get_related_funcs).
+func (n *NVBit) GetRelatedFuncs(f *driver.Function) []*driver.Function {
+	return f.Related
+}
+
+// IsInstrumented reports whether the Code Generator has already produced
+// instrumented code for the function (the "have we seen this kernel"
+// check of Listing 1).
+func (n *NVBit) IsInstrumented(f *driver.Function) bool {
+	fs, ok := n.funcs[f]
+	return ok && fs.instrumented
+}
+
+// --- Instr inspection methods (Listing 4) -----------------------------------
+
+// Idx returns the instruction's index within the function body.
+func (i *Instr) Idx() int { return i.idx }
+
+// Offset returns the instruction's byte offset within the function.
+func (i *Instr) Offset() int { return i.idx * i.fs.instBytes }
+
+// GetSASS returns the disassembled text of the instruction.
+func (i *Instr) GetSASS() string { return i.fs.sassText[i.idx] }
+
+// GetOpcode returns the mnemonic, e.g. "IADD" or "LDG".
+func (i *Instr) GetOpcode() string { return i.inst.Op.String() }
+
+// Op returns the raw opcode.
+func (i *Instr) Op() sass.Opcode { return i.inst.Op }
+
+// Raw returns the decoded machine instruction.
+func (i *Instr) Raw() sass.Inst { return i.inst }
+
+// GetMemOpSpace returns the memory space accessed (Instr::getMemOpType).
+func (i *Instr) GetMemOpSpace() sass.MemSpace { return i.inst.Op.MemOpSpace() }
+
+// IsLoad reports whether the instruction loads from memory.
+func (i *Instr) IsLoad() bool { return i.inst.Op.IsLoad() }
+
+// IsStore reports whether the instruction stores to memory.
+func (i *Instr) IsStore() bool { return i.inst.Op.IsStore() }
+
+// IsControlFlow reports whether the instruction redirects the PC.
+func (i *Instr) IsControlFlow() bool { return i.inst.Op.IsControlFlow() }
+
+func (i *Instr) operands() []sass.Operand {
+	if i.opds == nil {
+		i.opds = i.inst.Operands()
+		if i.opds == nil {
+			i.opds = []sass.Operand{} // distinguish "computed, empty"
+		}
+	}
+	return i.opds
+}
+
+// GetNumOperands returns the operand count.
+func (i *Instr) GetNumOperands() int { return len(i.operands()) }
+
+// GetOperand returns the n-th structured operand, destination first.
+func (i *Instr) GetOperand(k int) (sass.Operand, bool) {
+	o := i.operands()
+	if k < 0 || k >= len(o) {
+		return sass.Operand{}, false
+	}
+	return o[k], true
+}
+
+// MemOperand returns the instruction's memory-reference operand, if any.
+func (i *Instr) MemOperand() (sass.Operand, bool) { return i.inst.MemOperand() }
+
+// GetPredicate returns the guard predicate and its negation; guarded is
+// false for unguarded (@PT) instructions.
+func (i *Instr) GetPredicate() (p sass.Pred, neg, guarded bool) {
+	return i.inst.Pred, i.inst.PredNeg, i.inst.Guarded()
+}
+
+// GetLineInfo correlates the instruction with application source (file name
+// and line), provided line information was not stripped from the binary.
+func (i *Instr) GetLineInfo() (file string, line int, ok bool) {
+	f := i.fs.f
+	if len(f.Lines) != len(i.fs.insts) || i.idx >= len(f.Lines) {
+		return "", 0, false
+	}
+	return f.SourceName, int(f.Lines[i.idx]), true
+}
+
+// Function returns the CUfunction the instruction belongs to.
+func (i *Instr) Function() *driver.Function { return i.fs.f }

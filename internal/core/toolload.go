@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+
+	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/ptx"
+	"nvbitgo/internal/sass"
+)
+
+// toolFunc is one loaded tool device function, recorded in the injection
+// function map: name, attributes (register budget, parameter table) and the
+// location where its code was loaded in GPU memory (paper Section 5.1,
+// "Tool Functions Loader").
+type toolFunc struct {
+	name    string
+	addr    gpu.CodeAddr
+	numRegs int
+	params  []ptx.Param // Offset = ABI register index
+}
+
+// toolLoader is the Tool Functions Loader. It compiles and loads the tool's
+// device functions (which the driver is unaware of), and also loads the
+// pre-built save/restore routines embedded in the framework — a fixed set,
+// each targeting a specific number of general-purpose registers.
+type toolLoader struct {
+	n        *NVBit
+	sources  []string
+	compiled bool
+	funcs    map[string]*toolFunc
+	saves    map[int]gpu.CodeAddr
+	restores map[int]gpu.CodeAddr
+
+	// Bulk trampoline allocator (Section 5.1: trampoline space is
+	// allocated in bulk by a custom allocator).
+	trampCur  gpu.CodeAddr
+	trampLeft int
+}
+
+const trampChunkWords = 4096
+
+func newToolLoader(n *NVBit) *toolLoader {
+	return &toolLoader{
+		n:        n,
+		funcs:    make(map[string]*toolFunc),
+		saves:    make(map[int]gpu.CodeAddr),
+		restores: make(map[int]gpu.CodeAddr),
+	}
+}
+
+// RegisterToolPTX registers the PTX source of one or more tool device
+// functions (the analog of compiling a .cu tool file with NVCC and marking
+// its functions with NVBIT_EXPORT_DEV_FUNCTION). Compilation and loading
+// happen lazily once a context exists, since SASS is family-specific.
+func (n *NVBit) RegisterToolPTX(src string) error {
+	if n.loader.compiled {
+		return fmt.Errorf("nvbit: tool functions already loaded; register before the first instrumentation")
+	}
+	n.loader.sources = append(n.loader.sources, src)
+	return nil
+}
+
+// lookup compiles and loads all registered tool sources on first use, then
+// resolves the named function.
+func (l *toolLoader) lookup(name string) (*toolFunc, error) {
+	if !l.compiled {
+		if l.n.hal == nil {
+			return nil, fmt.Errorf("nvbit: tool functions requested before any context exists")
+		}
+		for i, src := range l.sources {
+			if err := l.loadSource(fmt.Sprintf("tool%d", i), src); err != nil {
+				return nil, err
+			}
+		}
+		l.compiled = true
+	}
+	tf, ok := l.funcs[name]
+	if !ok {
+		return nil, fmt.Errorf("nvbit: unknown tool device function %q", name)
+	}
+	return tf, nil
+}
+
+func (l *toolLoader) loadSource(modName, src string) error {
+	dev := l.n.Device()
+	pm, err := ptx.Compile(modName, src, dev.Family())
+	if err != nil {
+		return fmt.Errorf("nvbit: compiling tool functions: %w", err)
+	}
+	// Place all functions, then resolve intra-source calls.
+	addrs := make(map[string]gpu.CodeAddr)
+	for _, f := range pm.Funcs {
+		if f.Entry {
+			return fmt.Errorf("nvbit: tool source declares kernel %q; tool functions must be .toolfunc or .func", f.Name)
+		}
+		if _, dup := l.funcs[f.Name]; dup {
+			return fmt.Errorf("nvbit: duplicate tool function %q", f.Name)
+		}
+		addr, err := dev.AllocCode(len(f.Insts))
+		if err != nil {
+			return err
+		}
+		addrs[f.Name] = addr
+	}
+	codec := dev.Codec()
+	for _, f := range pm.Funcs {
+		insts := append([]sass.Inst(nil), f.Insts...)
+		for _, rl := range f.Relocs {
+			t, ok := addrs[rl.Symbol]
+			if !ok {
+				return fmt.Errorf("nvbit: tool function %s calls unresolved %q", f.Name, rl.Symbol)
+			}
+			insts[rl.InstIdx].Imm = int64(t)
+		}
+		raw, err := codec.EncodeAll(insts)
+		if err != nil {
+			return fmt.Errorf("nvbit: encoding tool function %s: %w", f.Name, err)
+		}
+		if err := dev.WriteCode(addrs[f.Name], raw); err != nil {
+			return err
+		}
+		l.funcs[f.Name] = &toolFunc{
+			name:    f.Name,
+			addr:    addrs[f.Name],
+			numRegs: f.NumRegs,
+			params:  f.Params,
+		}
+	}
+	return nil
+}
+
+// saveRestore returns (loading on demand) the pre-built save and restore
+// routines covering n general-purpose registers. The save routine pushes a
+// frame and stores R0..R(n-1), the predicate bank and — on ABI v2 — the
+// convergence-barrier state; the restore routine is its exact inverse.
+func (l *toolLoader) saveRestore(nRegs int) (save, restore gpu.CodeAddr, err error) {
+	if s, ok := l.saves[nRegs]; ok {
+		return s, l.restores[nRegs], nil
+	}
+	hal := l.n.hal
+	var sv []sass.Inst
+	push := sass.NewInst(sass.OpSAVEPUSH)
+	push.Imm = int64(nRegs)
+	sv = append(sv, push)
+	for r := 0; r < nRegs; r++ {
+		in := sass.NewInst(sass.OpSTSA)
+		in.Imm, in.Src1 = int64(r), sass.Reg(r)
+		sv = append(sv, in)
+	}
+	sv = append(sv, sass.NewInst(sass.OpSTSP))
+	if hal.SaveBarrierState {
+		sv = append(sv, sass.NewInst(sass.OpSTSB))
+	}
+	sv = append(sv, sass.NewInst(sass.OpRET))
+
+	var rs []sass.Inst
+	if hal.SaveBarrierState {
+		rs = append(rs, sass.NewInst(sass.OpLDSB))
+	}
+	rs = append(rs, sass.NewInst(sass.OpLDSP))
+	for r := 0; r < nRegs; r++ {
+		in := sass.NewInst(sass.OpLDSA)
+		in.Dst, in.Imm = sass.Reg(r), int64(r)
+		rs = append(rs, in)
+	}
+	rs = append(rs, sass.NewInst(sass.OpSAVEPOP), sass.NewInst(sass.OpRET))
+
+	dev := l.n.Device()
+	load := func(insts []sass.Inst) (gpu.CodeAddr, error) {
+		addr, err := dev.AllocCode(len(insts))
+		if err != nil {
+			return 0, err
+		}
+		raw, err := hal.Codec().EncodeAll(insts)
+		if err != nil {
+			return 0, err
+		}
+		return addr, dev.WriteCode(addr, raw)
+	}
+	s, err := load(sv)
+	if err != nil {
+		return 0, 0, err
+	}
+	r, err := load(rs)
+	if err != nil {
+		return 0, 0, err
+	}
+	l.saves[nRegs] = s
+	l.restores[nRegs] = r
+	return s, r, nil
+}
+
+// allocTramp carves trampoline space out of bulk chunks.
+func (l *toolLoader) allocTramp(words int) (gpu.CodeAddr, error) {
+	if words > l.trampLeft {
+		chunk := trampChunkWords
+		if words > chunk {
+			chunk = words
+		}
+		base, err := l.n.Device().AllocCode(chunk)
+		if err != nil {
+			return 0, err
+		}
+		l.trampCur, l.trampLeft = base, chunk
+	}
+	addr := l.trampCur
+	l.trampCur += gpu.CodeAddr(words)
+	l.trampLeft -= words
+	return addr, nil
+}

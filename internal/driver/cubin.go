@@ -1,0 +1,204 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"nvbitgo/internal/ptx"
+	"nvbitgo/internal/sass"
+)
+
+// Cubin is the serialized device-binary container format — the analog of a
+// .cubin. It carries family-specific encoded SASS plus the per-function
+// metadata the driver records at load (register/predicate budgets, parameter
+// layout, relocations, related functions, and optional line tables).
+//
+// Layout (little-endian):
+//
+//	magic "NVBC", version byte, family byte
+//	name: u16 len + bytes
+//	u32 function count, then per function:
+//	  name, flags u8 (bit0 entry, bit1 has line table)
+//	  u16 numRegs, u8 numPred, u32 paramBytes, u32 sharedBytes
+//	  u16 param count    { name, u8 bytes, u32 offset }
+//	  u16 reloc count    { u32 instIdx, name }
+//	  u16 related count  { name }
+//	  u32 line count     { i32 }
+//	  u32 code byte count + raw encoded SASS
+type Cubin struct {
+	Name   string
+	Family sass.Family
+	Funcs  []CubinFunc
+}
+
+// CubinFunc is one serialized function.
+type CubinFunc struct {
+	Name        string
+	Entry       bool
+	NumRegs     int
+	NumPred     int
+	ParamBytes  int
+	SharedBytes int
+	Params      []ptx.Param
+	Relocs      []ptx.Reloc
+	Related     []string
+	Lines       []int32
+	Code        []byte
+}
+
+var cubinMagic = []byte("NVBC")
+
+const cubinVersion = 1
+
+// BuildCubin serializes a compiled PTX module into a device binary. Setting
+// strip drops the line tables, like building without -lineinfo; the paper's
+// Instr::getLineInfo then has nothing to report.
+func BuildCubin(m *ptx.Module, strip bool) ([]byte, error) {
+	var b bytes.Buffer
+	b.Write(cubinMagic)
+	b.WriteByte(cubinVersion)
+	b.WriteByte(byte(m.Family))
+	writeStr(&b, m.Name)
+	writeU32(&b, uint32(len(m.Funcs)))
+	codec := sass.CodecFor(m.Family)
+	for _, f := range m.Funcs {
+		writeStr(&b, f.Name)
+		flags := byte(0)
+		if f.Entry {
+			flags |= 1
+		}
+		lines := f.Lines
+		if strip {
+			lines = nil
+		}
+		if len(lines) > 0 {
+			flags |= 2
+		}
+		b.WriteByte(flags)
+		writeU16(&b, uint16(f.NumRegs))
+		b.WriteByte(byte(f.NumPred))
+		writeU32(&b, uint32(f.ParamBytes))
+		writeU32(&b, uint32(f.SharedBytes))
+		writeU16(&b, uint16(len(f.Params)))
+		for _, p := range f.Params {
+			writeStr(&b, p.Name)
+			b.WriteByte(byte(p.Bytes))
+			writeU32(&b, uint32(p.Offset))
+		}
+		writeU16(&b, uint16(len(f.Relocs)))
+		for _, r := range f.Relocs {
+			writeU32(&b, uint32(r.InstIdx))
+			writeStr(&b, r.Symbol)
+		}
+		writeU16(&b, uint16(len(f.Related)))
+		for _, r := range f.Related {
+			writeStr(&b, r)
+		}
+		writeU32(&b, uint32(len(lines)))
+		for _, ln := range lines {
+			writeU32(&b, uint32(ln))
+		}
+		code, err := codec.EncodeAll(f.Insts)
+		if err != nil {
+			return nil, fmt.Errorf("driver: cubin %s: encoding %s: %w", m.Name, f.Name, err)
+		}
+		writeU32(&b, uint32(len(code)))
+		b.Write(code)
+	}
+	return b.Bytes(), nil
+}
+
+// ParseCubin decodes a device binary.
+func ParseCubin(image []byte) (*Cubin, error) {
+	r := &reader{b: image}
+	if !bytes.Equal(r.bytes(4), cubinMagic) {
+		return nil, fmt.Errorf("driver: not a cubin image")
+	}
+	if v := r.u8(); v != cubinVersion {
+		return nil, fmt.Errorf("driver: unsupported cubin version %d", v)
+	}
+	fam := sass.Family(r.u8())
+	if fam < sass.Kepler || fam > sass.Volta {
+		return nil, fmt.Errorf("driver: cubin has invalid family %d", fam)
+	}
+	c := &Cubin{Family: fam, Name: r.str()}
+	n := int(r.u32())
+	for i := 0; i < n && r.err == nil; i++ {
+		var f CubinFunc
+		f.Name = r.str()
+		flags := r.u8()
+		f.Entry = flags&1 != 0
+		f.NumRegs = int(r.u16())
+		f.NumPred = int(r.u8())
+		f.ParamBytes = int(r.u32())
+		f.SharedBytes = int(r.u32())
+		np := int(r.u16())
+		for k := 0; k < np && r.err == nil; k++ {
+			name := r.str()
+			bs := int(r.u8())
+			off := int(r.u32())
+			f.Params = append(f.Params, ptx.Param{Name: name, Bytes: bs, Offset: off})
+		}
+		nr := int(r.u16())
+		for k := 0; k < nr && r.err == nil; k++ {
+			idx := int(r.u32())
+			f.Relocs = append(f.Relocs, ptx.Reloc{InstIdx: idx, Symbol: r.str()})
+		}
+		nrel := int(r.u16())
+		for k := 0; k < nrel && r.err == nil; k++ {
+			f.Related = append(f.Related, r.str())
+		}
+		nl := int(r.u32())
+		for k := 0; k < nl && r.err == nil; k++ {
+			f.Lines = append(f.Lines, int32(r.u32()))
+		}
+		nc := int(r.u32())
+		f.Code = append([]byte(nil), r.bytes(nc)...)
+		c.Funcs = append(c.Funcs, f)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("driver: truncated cubin: %w", r.err)
+	}
+	return c, nil
+}
+
+func writeU16(b *bytes.Buffer, v uint16) {
+	var t [2]byte
+	binary.LittleEndian.PutUint16(t[:], v)
+	b.Write(t[:])
+}
+
+func writeU32(b *bytes.Buffer, v uint32) {
+	var t [4]byte
+	binary.LittleEndian.PutUint32(t[:], v)
+	b.Write(t[:])
+}
+
+func writeStr(b *bytes.Buffer, s string) {
+	writeU16(b, uint16(len(s)))
+	b.WriteString(s)
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil || r.off+n > len(r.b) {
+		if r.err == nil {
+			r.err = fmt.Errorf("need %d bytes at offset %d, have %d", n, r.off, len(r.b)-r.off)
+		}
+		return make([]byte, n)
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *reader) u8() byte    { return r.bytes(1)[0] }
+func (r *reader) u16() uint16 { return binary.LittleEndian.Uint16(r.bytes(2)) }
+func (r *reader) u32() uint32 { return binary.LittleEndian.Uint32(r.bytes(4)) }
+func (r *reader) str() string { return string(r.bytes(int(r.u16()))) }

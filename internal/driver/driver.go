@@ -1,0 +1,274 @@
+// Package driver implements the CUDA-driver analog of this NVBit
+// reproduction: contexts, modules, functions, memory and launch APIs, plus
+// the interposition boundary that the NVBit core hooks.
+//
+// On a real system, compute runtimes (CUDA, OpenCL, OpenACC, CUDA-Fortran)
+// all sit on top of the CUDA driver API, and NVBit interposes that API via
+// LD_PRELOAD. Here, applications call this package directly, and exactly one
+// Hook — the analog of one preloaded tool library — may be attached with
+// SetHook to observe every driver call with CUPTI-style enter/exit callbacks
+// and callback ids.
+package driver
+
+import (
+	"fmt"
+
+	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/ptx"
+)
+
+// CBID enumerates driver API callback ids, mirroring CUPTI's driver-call
+// enumeration (paper Section 2.2).
+type CBID int
+
+const (
+	CBCtxCreate CBID = iota
+	CBModuleLoadData
+	CBModuleGetFunction
+	CBMemAlloc
+	CBMemFree
+	CBMemcpyHtoD
+	CBMemcpyDtoH
+	CBLaunchKernel
+	CBAppExit // synthesized when the application shuts the driver down
+)
+
+var cbidNames = [...]string{
+	"cuCtxCreate", "cuModuleLoadData", "cuModuleGetFunction",
+	"cuMemAlloc", "cuMemFree", "cuMemcpyHtoD", "cuMemcpyDtoH",
+	"cuLaunchKernel", "appExit",
+}
+
+func (c CBID) String() string {
+	if c >= 0 && int(c) < len(cbidNames) {
+		return cbidNames[c]
+	}
+	return fmt.Sprintf("CBID(%d)", int(c))
+}
+
+// LaunchParams are the mutable parameters of a cuLaunchKernel interposition.
+type LaunchParams struct {
+	Func        *Function
+	Grid, Block gpu.Dim3
+	SharedBytes int    // dynamic shared memory
+	ParamData   []byte // raw parameter block
+}
+
+// CallParams is the parameter union passed to hooks; the populated field
+// depends on the CBID.
+type CallParams struct {
+	Ctx    *Context
+	Launch *LaunchParams // CBLaunchKernel
+	Module *Module       // CBModuleLoadData, CBModuleGetFunction
+	Func   *Function     // CBModuleGetFunction
+	Addr   uint64        // CBMemAlloc (result), CBMemFree, CBMemcpy*
+	Bytes  int           // CBMemAlloc, CBMemcpy*
+}
+
+// Hook observes driver API calls. Before fires when the application enters
+// the driver call; After fires once the driver has performed it. This is the
+// boundary the NVBit core's Driver Interposer occupies.
+type Hook interface {
+	Before(cbid CBID, name string, p *CallParams)
+	After(cbid CBID, name string, p *CallParams, result error)
+}
+
+// API is the driver instance bound to one simulated device.
+type API struct {
+	dev    *gpu.Device
+	hook   Hook
+	ctxs   []*Context
+	closed bool
+}
+
+// New initializes the driver on a fresh simulated device.
+func New(cfg gpu.Config) (*API, error) {
+	dev, err := gpu.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &API{dev: dev}, nil
+}
+
+// SetHook attaches the single interposer library. A second attachment fails,
+// matching the paper's "only a single library can be injected" rule.
+func (a *API) SetHook(h Hook) error {
+	if a.hook != nil {
+		return fmt.Errorf("driver: an interposer library is already injected")
+	}
+	a.hook = h
+	return nil
+}
+
+// Device exposes the underlying simulated device. The NVBit core uses this
+// privileged access for code reads/writes and trampoline allocation; well-
+// behaved applications never need it.
+func (a *API) Device() *gpu.Device { return a.dev }
+
+func (a *API) before(cbid CBID, p *CallParams) {
+	if a.hook != nil {
+		a.hook.Before(cbid, cbid.String(), p)
+	}
+}
+
+func (a *API) after(cbid CBID, p *CallParams, err error) {
+	if a.hook != nil {
+		a.hook.After(cbid, cbid.String(), p, err)
+	}
+}
+
+// Close shuts the driver down, firing the application-exit callback.
+func (a *API) Close() {
+	if a.closed {
+		return
+	}
+	a.closed = true
+	p := &CallParams{}
+	a.before(CBAppExit, p)
+	a.after(CBAppExit, p, nil)
+}
+
+// Context is the CUcontext analog: per-context module and allocation state.
+type Context struct {
+	api     *API
+	modules []*Module
+	nextMod int
+}
+
+// CtxCreate creates a context on the device.
+func (a *API) CtxCreate() (*Context, error) {
+	if a.closed {
+		return nil, fmt.Errorf("driver: closed")
+	}
+	c := &Context{api: a}
+	p := &CallParams{Ctx: c}
+	a.before(CBCtxCreate, p)
+	a.ctxs = append(a.ctxs, c)
+	a.after(CBCtxCreate, p, nil)
+	return c, nil
+}
+
+// API returns the driver instance that owns the context.
+func (c *Context) API() *API { return c.api }
+
+// Device returns the context's device.
+func (c *Context) Device() *gpu.Device { return c.api.dev }
+
+// MemAlloc allocates device global memory (cuMemAlloc).
+func (c *Context) MemAlloc(n uint64) (uint64, error) {
+	p := &CallParams{Ctx: c, Bytes: int(n)}
+	c.api.before(CBMemAlloc, p)
+	addr, err := c.api.dev.Malloc(n)
+	p.Addr = addr
+	c.api.after(CBMemAlloc, p, err)
+	return addr, err
+}
+
+// MemFree releases device memory (cuMemFree).
+func (c *Context) MemFree(addr uint64) error {
+	p := &CallParams{Ctx: c, Addr: addr}
+	c.api.before(CBMemFree, p)
+	err := c.api.dev.Free(addr)
+	c.api.after(CBMemFree, p, err)
+	return err
+}
+
+// MemcpyHtoD copies host memory to the device (cuMemcpyHtoD).
+func (c *Context) MemcpyHtoD(dst uint64, src []byte) error {
+	p := &CallParams{Ctx: c, Addr: dst, Bytes: len(src)}
+	c.api.before(CBMemcpyHtoD, p)
+	err := c.api.dev.Write(dst, src)
+	c.api.after(CBMemcpyHtoD, p, err)
+	return err
+}
+
+// MemcpyDtoH copies device memory to the host (cuMemcpyDtoH).
+func (c *Context) MemcpyDtoH(dst []byte, src uint64) error {
+	p := &CallParams{Ctx: c, Addr: src, Bytes: len(dst)}
+	c.api.before(CBMemcpyDtoH, p)
+	err := c.api.dev.Read(src, dst)
+	c.api.after(CBMemcpyDtoH, p, err)
+	return err
+}
+
+// LaunchKernel launches a kernel function (cuLaunchKernel). The interposer's
+// Before callback fires first — that is where the NVBit core inspects and
+// instruments the function and decides which code version runs — then the
+// kernel executes on the device.
+func (c *Context) LaunchKernel(f *Function, grid, block gpu.Dim3, sharedBytes int, params []byte) error {
+	if f == nil {
+		return fmt.Errorf("driver: launch of nil function")
+	}
+	if !f.Entry {
+		return fmt.Errorf("driver: %s is not a kernel entry", f.Name)
+	}
+	lp := &LaunchParams{Func: f, Grid: grid, Block: block, SharedBytes: sharedBytes, ParamData: params}
+	p := &CallParams{Ctx: c, Launch: lp}
+	c.api.before(CBLaunchKernel, p)
+	_, err := c.api.dev.Launch(gpu.LaunchSpec{
+		Entry:       f.launchAddr(),
+		Grid:        lp.Grid,
+		Block:       lp.Block,
+		Params:      lp.ParamData,
+		SharedBytes: f.SharedBytes + lp.SharedBytes,
+	})
+	if err != nil {
+		err = fmt.Errorf("driver: launching %s: %w", f.Name, err)
+	}
+	c.api.after(CBLaunchKernel, p, err)
+	return err
+}
+
+// PackParams marshals typed arguments into the raw parameter block matching
+// the function's parameter table (uint64 device pointers, uint32/int32
+// scalars, float32).
+func PackParams(f *Function, args ...any) ([]byte, error) {
+	if len(args) != len(f.Params) {
+		return nil, fmt.Errorf("driver: %s takes %d parameters, got %d", f.Name, len(f.Params), len(args))
+	}
+	buf := make([]byte, f.ParamBytes)
+	for i, p := range f.Params {
+		switch v := args[i].(type) {
+		case uint64:
+			if p.Bytes != 8 {
+				return nil, fmt.Errorf("driver: %s parameter %s is %d bytes, got uint64", f.Name, p.Name, p.Bytes)
+			}
+			putU64(buf[p.Offset:], v)
+		case uint32:
+			if p.Bytes != 4 {
+				return nil, fmt.Errorf("driver: %s parameter %s is %d bytes, got uint32", f.Name, p.Name, p.Bytes)
+			}
+			putU32(buf[p.Offset:], v)
+		case int:
+			if p.Bytes == 8 {
+				putU64(buf[p.Offset:], uint64(v))
+			} else {
+				putU32(buf[p.Offset:], uint32(v))
+			}
+		case float32:
+			if p.Bytes != 4 {
+				return nil, fmt.Errorf("driver: %s parameter %s is %d bytes, got float32", f.Name, p.Name, p.Bytes)
+			}
+			putF32(buf[p.Offset:], v)
+		default:
+			return nil, fmt.Errorf("driver: %s parameter %s: unsupported argument type %T", f.Name, p.Name, args[i])
+		}
+	}
+	return buf, nil
+}
+
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func putU64(b []byte, v uint64) {
+	putU32(b, uint32(v))
+	putU32(b[4:], uint32(v>>32))
+}
+
+func putF32(b []byte, v float32) {
+	putU32(b, f32bits(v))
+}
+
+// ptxParamsOf re-exports the compiled parameter table type for module.go.
+type ptxParam = ptx.Param

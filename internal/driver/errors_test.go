@@ -1,0 +1,105 @@
+package driver
+
+import (
+	"strings"
+	"testing"
+
+	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/sass"
+)
+
+// errorHook records the results passed to After callbacks.
+type errorHook struct {
+	results map[CBID][]error
+}
+
+func (h *errorHook) Before(cbid CBID, name string, p *CallParams) {}
+
+func (h *errorHook) After(cbid CBID, name string, p *CallParams, err error) {
+	if h.results == nil {
+		h.results = make(map[CBID][]error)
+	}
+	h.results[cbid] = append(h.results[cbid], err)
+}
+
+// TestAfterCallbackSeesErrors: the interposer must observe driver-call
+// failures — tools key error handling off the exit callback's result.
+func TestAfterCallbackSeesErrors(t *testing.T) {
+	a := newAPI(t, sass.Volta)
+	h := &errorHook{}
+	if err := a.SetHook(h); err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := a.CtxCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failing memcpy (null page).
+	if err := ctx.MemcpyHtoD(0, []byte{1}); err == nil {
+		t.Fatal("null-page copy accepted")
+	}
+	// Failing launch (kernel traps on a null store).
+	mod, err := ctx.ModuleLoadPTX("app", `
+.visible .entry crash()
+{
+	.reg .u32 %r<2>;
+	.reg .u64 %rd<2>;
+	mov.u64 %rd0, 0;
+	st.global.u32 [%rd0], %r0;
+	exit;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := mod.GetFunction("crash")
+	lerr := ctx.LaunchKernel(f, gpu.D1(1), gpu.D1(1), 0, nil)
+	if lerr == nil {
+		t.Fatal("trapping kernel did not error")
+	}
+	if !strings.Contains(lerr.Error(), "crash") {
+		t.Fatalf("launch error %q does not name the kernel", lerr)
+	}
+
+	if errs := h.results[CBMemcpyHtoD]; len(errs) != 1 || errs[0] == nil {
+		t.Fatalf("memcpy error not delivered to After: %v", errs)
+	}
+	if errs := h.results[CBLaunchKernel]; len(errs) != 1 || errs[0] == nil {
+		t.Fatalf("launch error not delivered to After: %v", errs)
+	}
+	// Successful calls deliver nil.
+	if errs := h.results[CBModuleLoadData]; len(errs) != 1 || errs[0] != nil {
+		t.Fatalf("module-load result wrong: %v", errs)
+	}
+}
+
+func TestCtxCreateAfterClose(t *testing.T) {
+	a := newAPI(t, sass.Pascal)
+	a.Close()
+	if _, err := a.CtxCreate(); err == nil {
+		t.Fatal("context created on a closed driver")
+	}
+}
+
+func TestDuplicateFunctionRejected(t *testing.T) {
+	a := newAPI(t, sass.Volta)
+	ctx, _ := a.CtxCreate()
+	_, err := ctx.ModuleLoadPTX("app", `
+.visible .entry same { exit; }
+.visible .entry same { exit; }
+`)
+	if err == nil || !strings.Contains(err.Error(), "duplicate function") {
+		t.Fatalf("duplicate function not rejected: %v", err)
+	}
+}
+
+func TestCubinUnresolvedSymbol(t *testing.T) {
+	a := newAPI(t, sass.Volta)
+	ctx, _ := a.CtxCreate()
+	_, err := ctx.ModuleLoadPTX("app", `
+.visible .entry main { .reg .u32 %r<2>; call ghost, (%r0); exit; }
+`)
+	if err == nil || !strings.Contains(err.Error(), "unresolved symbol") {
+		t.Fatalf("unresolved call target not rejected: %v", err)
+	}
+}

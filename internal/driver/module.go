@@ -1,0 +1,219 @@
+package driver
+
+import (
+	"fmt"
+	"math"
+
+	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/ptx"
+	"nvbitgo/internal/sass"
+)
+
+func f32bits(v float32) uint32 { return math.Float32bits(v) }
+
+// Module is the CUmodule analog: a container of loaded functions.
+type Module struct {
+	Name string
+	// FromCubin marks binary-only modules (precompiled accelerated
+	// libraries like the cuBLAS/cuDNN analogs): they were loaded from a
+	// device binary, with no PTX source available.
+	FromCubin bool
+
+	ctx   *Context
+	funcs map[string]*Function
+	order []string
+}
+
+// Function is the CUfunction analog. The fields are exactly the properties
+// the paper's Driver Interposer records when a function is loaded: register
+// and stack requirements, dependent functions, and the memory location where
+// the instructions were loaded.
+type Function struct {
+	Name        string
+	Module      *Module
+	Entry       bool
+	Addr        gpu.CodeAddr // load address (word index in code space)
+	NumWords    int
+	NumRegs     int
+	NumPred     int
+	Params      []ptxParam
+	ParamBytes  int
+	SharedBytes int
+	Related     []*Function // functions this one can call
+	Lines       []int32     // per-instruction source lines; nil when stripped
+	SourceName  string      // source file for line correlation
+}
+
+func (f *Function) launchAddr() gpu.CodeAddr { return f.Addr }
+
+// MaxRegs returns the register high-water mark across the function and all
+// its dependent functions — the figure the NVBit core uses when sizing the
+// trampoline save set.
+func (f *Function) MaxRegs() int {
+	n := f.NumRegs
+	for _, r := range f.Related {
+		if r.NumRegs > n {
+			n = r.NumRegs
+		}
+	}
+	return n
+}
+
+// MaxPreds returns the predicate high-water mark across the function and its
+// dependent functions.
+func (f *Function) MaxPreds() int {
+	n := f.NumPred
+	for _, r := range f.Related {
+		if r.NumPred > n {
+			n = r.NumPred
+		}
+	}
+	return n
+}
+
+// Functions returns the module's functions in load order.
+func (m *Module) Functions() []*Function {
+	out := make([]*Function, 0, len(m.order))
+	for _, n := range m.order {
+		out = append(out, m.funcs[n])
+	}
+	return out
+}
+
+// GetFunction resolves a kernel by name (cuModuleGetFunction).
+func (m *Module) GetFunction(name string) (*Function, error) {
+	p := &CallParams{Ctx: m.ctx, Module: m}
+	m.ctx.api.before(CBModuleGetFunction, p)
+	f, ok := m.funcs[name]
+	var err error
+	if !ok {
+		err = fmt.Errorf("driver: module %s has no function %q", m.Name, name)
+	}
+	p.Func = f
+	m.ctx.api.after(CBModuleGetFunction, p, err)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ModuleLoadPTX JIT-compiles embedded PTX for the context's device and loads
+// the result — the run-time path of the backend compiler embedded in the GPU
+// driver (paper Section 2.2).
+func (c *Context) ModuleLoadPTX(name, source string) (*Module, error) {
+	pm, err := ptx.Compile(name, source, c.api.dev.Family())
+	if err != nil {
+		return nil, err
+	}
+	return c.loadCompiled(name, pm, false, source != "")
+}
+
+// ModuleLoadCubin loads a precompiled device binary. The binary must target
+// the context's architecture family (there is no SASS compatibility across
+// families).
+func (c *Context) ModuleLoadCubin(image []byte) (*Module, error) {
+	cm, err := ParseCubin(image)
+	if err != nil {
+		return nil, err
+	}
+	if cm.Family != c.api.dev.Family() {
+		return nil, fmt.Errorf("driver: cubin %s targets %v, device is %v", cm.Name, cm.Family, c.api.dev.Family())
+	}
+	pm := &ptx.Module{Name: cm.Name, Family: cm.Family}
+	codec := sass.CodecFor(cm.Family)
+	for _, cf := range cm.Funcs {
+		insts, err := codec.DecodeAll(cf.Code)
+		if err != nil {
+			return nil, fmt.Errorf("driver: cubin %s function %s: %w", cm.Name, cf.Name, err)
+		}
+		pm.Funcs = append(pm.Funcs, &ptx.Func{
+			Name:        cf.Name,
+			Entry:       cf.Entry,
+			Insts:       insts,
+			NumRegs:     cf.NumRegs,
+			NumPred:     cf.NumPred,
+			Params:      cf.Params,
+			ParamBytes:  cf.ParamBytes,
+			SharedBytes: cf.SharedBytes,
+			Relocs:      cf.Relocs,
+			Related:     cf.Related,
+			Lines:       cf.Lines,
+		})
+	}
+	return c.loadCompiled(cm.Name, pm, true, false)
+}
+
+// loadCompiled places every function of a compiled module into device code
+// space, resolves intra-module CAL relocations, and encodes the final bytes.
+func (c *Context) loadCompiled(name string, pm *ptx.Module, fromCubin, withLines bool) (*Module, error) {
+	m := &Module{Name: name, FromCubin: fromCubin, ctx: c, funcs: make(map[string]*Function)}
+	p := &CallParams{Ctx: c, Module: m}
+	c.api.before(CBModuleLoadData, p)
+	err := c.doLoad(m, pm, withLines)
+	c.api.after(CBModuleLoadData, p, err)
+	if err != nil {
+		return nil, err
+	}
+	c.modules = append(c.modules, m)
+	return m, nil
+}
+
+func (c *Context) doLoad(m *Module, pm *ptx.Module, withLines bool) error {
+	dev := c.api.dev
+	codec := dev.Codec()
+	// First pass: place functions.
+	for _, pf := range pm.Funcs {
+		if _, dup := m.funcs[pf.Name]; dup {
+			return fmt.Errorf("driver: module %s: duplicate function %q", m.Name, pf.Name)
+		}
+		addr, err := dev.AllocCode(len(pf.Insts))
+		if err != nil {
+			return err
+		}
+		f := &Function{
+			Name:        pf.Name,
+			Module:      m,
+			Entry:       pf.Entry,
+			Addr:        addr,
+			NumWords:    len(pf.Insts),
+			NumRegs:     pf.NumRegs,
+			NumPred:     pf.NumPred,
+			Params:      pf.Params,
+			ParamBytes:  pf.ParamBytes,
+			SharedBytes: pf.SharedBytes,
+			SourceName:  m.Name,
+		}
+		if withLines || m.FromCubin {
+			f.Lines = pf.Lines
+		}
+		m.funcs[pf.Name] = f
+		m.order = append(m.order, pf.Name)
+	}
+	// Second pass: resolve relocations, link related functions, encode.
+	for _, pf := range pm.Funcs {
+		f := m.funcs[pf.Name]
+		insts := append([]sass.Inst(nil), pf.Insts...)
+		for _, rl := range pf.Relocs {
+			target, ok := m.funcs[rl.Symbol]
+			if !ok {
+				return fmt.Errorf("driver: module %s: function %s calls unresolved symbol %q", m.Name, pf.Name, rl.Symbol)
+			}
+			insts[rl.InstIdx].Imm = int64(target.Addr)
+		}
+		for _, rel := range pf.Related {
+			rf, ok := m.funcs[rel]
+			if !ok {
+				return fmt.Errorf("driver: module %s: missing related function %q", m.Name, rel)
+			}
+			f.Related = append(f.Related, rf)
+		}
+		raw, err := codec.EncodeAll(insts)
+		if err != nil {
+			return fmt.Errorf("driver: module %s: encoding %s: %w", m.Name, pf.Name, err)
+		}
+		if err := dev.WriteCode(f.Addr, raw); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"testing"
+
+	"nvbitgo/internal/workloads/specaccel"
+)
+
+// The experiment tests assert the paper's qualitative shape at Small scale:
+// who wins, in which direction, and where the zeros are. Absolute magnitudes
+// are asserted loosely (see EXPERIMENTS.md for Large-scale numbers).
+
+func TestFig5Shape(t *testing.T) {
+	rows, err := Fig5(specaccel.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.TotalPct <= 0 {
+			t.Fatalf("%s: no JIT overhead measured", r.Benchmark)
+		}
+		sum := 0.0
+		for _, p := range r.Pct {
+			if p < 0 {
+				t.Fatalf("%s: negative component", r.Benchmark)
+			}
+			sum += p
+		}
+		if sum != r.TotalPct {
+			t.Fatalf("%s: components do not sum to total", r.Benchmark)
+		}
+	}
+	if out := RenderFig5(rows); len(out) == 0 {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestLibFractionShape(t *testing.T) {
+	rows, err := LibFraction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Paper band: 74-96%. Allow slack at our synthetic scale.
+		if r.Fraction < 0.70 || r.Fraction > 0.99 {
+			t.Fatalf("%s: library fraction %.2f outside the plausible band", r.Network, r.Fraction)
+		}
+	}
+	_ = RenderLibFraction(rows)
+}
+
+func TestFig6Shape(t *testing.T) {
+	rows, err := Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.WithLibs <= 0 || r.WithoutLibs <= 0 {
+			t.Fatalf("%s: empty measurement %+v", r.Network, r)
+		}
+		// The paper's claim: excluding libraries overestimates divergence.
+		if r.WithoutLibs <= r.WithLibs {
+			t.Fatalf("%s: compiler-view divergence %.2f not above full-view %.2f",
+				r.Network, r.WithoutLibs, r.WithLibs)
+		}
+	}
+	_ = RenderFig6(rows)
+}
+
+func TestFig789Shape(t *testing.T) {
+	f7, f8, f9, err := Fig789(specaccel.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f7) != 15 || len(f8) != 15 || len(f9) != 15 {
+		t.Fatalf("row counts: %d %d %d", len(f7), len(f8), len(f9))
+	}
+	repeats := make(map[string]bool) // benchmarks with re-launched kernels
+	for _, b := range specaccel.Benchmarks() {
+		repeats[b.Name] = b.TotalLaunches(specaccel.Small) > b.UniqueKernels()
+	}
+	for i := range f7 {
+		if len(f7[i].Top) == 0 || f7[i].Total == 0 {
+			t.Fatalf("%s: empty histogram", f7[i].Benchmark)
+		}
+		// Figure 8 shape: full instrumentation is much slower than
+		// native; sampling recovers most of it.
+		if f8[i].Full < 2 {
+			t.Fatalf("%s: full-instrumentation slowdown %.2fx implausibly low", f8[i].Benchmark, f8[i].Full)
+		}
+		// Sampling only helps when kernels are re-launched; a kernel
+		// launched once is always the sampled launch.
+		if repeats[f8[i].Benchmark] {
+			if f8[i].Sampled >= f8[i].Full {
+				t.Fatalf("%s: sampling (%.1fx) not faster than full (%.1fx)",
+					f8[i].Benchmark, f8[i].Sampled, f8[i].Full)
+			}
+		} else if f8[i].Sampled > f8[i].Full*1.01 {
+			t.Fatalf("%s: sampling slower than full", f8[i].Benchmark)
+		}
+		// Figure 9 shape: error is exactly zero for grid-dim-dependent
+		// control flow, nonzero (but small) for value-dependent kernels.
+		if f9[i].ValueDependent {
+			if f9[i].ErrPct == 0 {
+				t.Fatalf("%s: value-dependent benchmark with zero sampling error", f9[i].Benchmark)
+			}
+		} else if f9[i].ErrPct != 0 {
+			t.Fatalf("%s: grid-dim benchmark with sampling error %.3f%%", f9[i].Benchmark, f9[i].ErrPct)
+		}
+	}
+	// Aggregate direction: average sampled slowdown well below full.
+	var full, sampled float64
+	for i := range f8 {
+		full += f8[i].Full
+		sampled += f8[i].Sampled
+	}
+	// At Small scale kernels launch only a handful of times, so sampling
+	// saves proportionally less than at the paper's Large scale (where it
+	// reaches ~2.3x vs 36.4x); require a clear aggregate win regardless.
+	if sampled >= full*0.8 {
+		t.Fatalf("sampling average %.1fx not clearly below full average %.1fx", sampled/15, full/15)
+	}
+	_ = RenderFig7(f7)
+	_ = RenderFig8(f8)
+	_ = RenderFig9(f9)
+}
+
+func TestWFFTShape(t *testing.T) {
+	r, err := WFFT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ProxyPerWarp < 5 || r.ProxyPerWarp > 40 {
+		t.Fatalf("proxy per-warp count %.1f outside the paper's ballpark (21)", r.ProxyPerWarp)
+	}
+	if r.SoftwarePerWarp < 80 || r.SoftwarePerWarp > 300 {
+		t.Fatalf("software per-warp count %.1f outside the paper's ballpark (150)", r.SoftwarePerWarp)
+	}
+	if ratio := r.SoftwarePerWarp / r.ProxyPerWarp; ratio < 4 {
+		t.Fatalf("ISA-extension reduction %.1fx too small (paper ~7x)", ratio)
+	}
+	_ = RenderWFFT(r)
+}

@@ -1,0 +1,113 @@
+// Package experiments contains the harnesses that regenerate every table and
+// figure of the paper's evaluation (see DESIGN.md's per-experiment index and
+// EXPERIMENTS.md for measured-vs-paper results).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nvbitgo/internal/driver"
+	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/sass"
+	"nvbitgo/internal/tools/instrcount"
+	"nvbitgo/internal/workloads/specaccel"
+	"nvbitgo/nvbit"
+)
+
+// Family is the device family all experiments run on (the TITAN V of the
+// paper is a Volta part).
+const Family = sass.Volta
+
+func newAPI() (*driver.API, error) { return driver.New(gpu.DefaultConfig(Family)) }
+
+// Fig5Row is one benchmark's JIT-compilation overhead breakdown, as a
+// percentage of the native application run time (paper Figure 5).
+type Fig5Row struct {
+	Benchmark string
+	// Pct holds the six components in paper order: retrieve, disassemble,
+	// convert, user-code, codegen, swap.
+	Pct      [6]float64
+	TotalPct float64
+	// Dominant is the label of the largest component.
+	Dominant string
+}
+
+// Fig5 reproduces Figure 5: the six-component JIT-compilation overhead of
+// instrumenting every instruction of every kernel once with the instruction
+// counting tool, relative to native execution time, across the SpecAccel
+// suite.
+func Fig5(size specaccel.Size) ([]Fig5Row, error) {
+	var rows []Fig5Row
+	for _, b := range specaccel.Benchmarks() {
+		// Native wall time (median of three runs to steady the clock).
+		var native time.Duration
+		for rep := 0; rep < 3; rep++ {
+			api, err := newAPI()
+			if err != nil {
+				return nil, err
+			}
+			ctx, err := api.CtxCreate()
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if err := b.Run(ctx, size); err != nil {
+				return nil, fmt.Errorf("fig5: native %s: %w", b.Name, err)
+			}
+			d := time.Since(start)
+			if rep == 0 || d < native {
+				native = d
+			}
+		}
+
+		// Instrumented run: every instruction of every kernel once.
+		api, err := newAPI()
+		if err != nil {
+			return nil, err
+		}
+		tool := instrcount.New()
+		nv, err := nvbit.Attach(api, tool)
+		if err != nil {
+			return nil, err
+		}
+		ctx, err := api.CtxCreate()
+		if err != nil {
+			return nil, err
+		}
+		if err := b.Run(ctx, size); err != nil {
+			return nil, fmt.Errorf("fig5: instrumented %s: %w", b.Name, err)
+		}
+		st := nv.JITStats()
+		comps, labels := st.Components()
+		row := Fig5Row{Benchmark: b.Name}
+		max := 0
+		for i, c := range comps {
+			row.Pct[i] = 100 * float64(c) / float64(native)
+			row.TotalPct += row.Pct[i]
+			if row.Pct[i] > row.Pct[max] {
+				max = i
+			}
+		}
+		row.Dominant = labels[max]
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig5 formats the Figure 5 table.
+func RenderFig5(rows []Fig5Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: JIT-compilation overhead breakdown (%% of native run time)\n")
+	fmt.Fprintf(&b, "%-10s %9s %9s %9s %9s %9s %9s %8s  %s\n",
+		"benchmark", "retrieve", "disasm", "convert", "usercode", "codegen", "swap", "total%", "dominant")
+	var avg float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %8.2f  %s\n",
+			r.Benchmark, r.Pct[0], r.Pct[1], r.Pct[2], r.Pct[3], r.Pct[4], r.Pct[5], r.TotalPct, r.Dominant)
+		avg += r.TotalPct
+	}
+	fmt.Fprintf(&b, "%-10s %68.2f\n", "average", avg/float64(len(rows)))
+	return b.String()
+}

@@ -1,0 +1,296 @@
+// Package gpu implements the SIMT GPU simulator that stands in for real
+// NVIDIA hardware in this NVBit reproduction.
+//
+// The simulator executes binary-encoded synthetic SASS (package sass) with
+// warp-level single-instruction-multiple-thread semantics: 32-thread warps,
+// per-thread program counters with minimum-PC reconvergence scheduling,
+// guard predication, divergence, CTA barriers, shared/local/constant/global
+// memories, a two-level cache-line model and a coarse timing model. Crucially
+// for the paper's experiments, it executes whatever bytes sit in device code
+// space — including the trampolines and relocated instructions produced by
+// the NVBit code generator — so instrumentation overhead is an emergent,
+// measured quantity.
+package gpu
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nvbitgo/internal/sass"
+)
+
+// WarpSize is the number of threads per warp, as on all NVIDIA GPUs.
+const WarpSize = 32
+
+// Config describes a simulated device.
+type Config struct {
+	Family          sass.Family
+	NumSMs          int    // streaming multiprocessors
+	GlobalMemBytes  uint64 // device heap size
+	CodeBytes       int    // code-space size (≤ 8 MiB on 64-bit families)
+	SharedMemPerCTA int    // shared memory available per thread block
+	LocalMemPerThr  int    // local memory per thread
+	L1LineBytes     int    // cache line size (both levels)
+	L1Lines         int    // L1 lines per SM
+	L2Lines         int    // shared L2 lines
+	EnableWFFT      bool   // execute WFFT32 natively ("future hardware" mode)
+}
+
+// DefaultConfig returns a modest device resembling a scaled-down TITAN V-
+// class part (the paper's evaluation machine) of the given family.
+func DefaultConfig(f sass.Family) Config {
+	return Config{
+		Family:          f,
+		NumSMs:          8,
+		GlobalMemBytes:  64 << 20,
+		CodeBytes:       4 << 20,
+		SharedMemPerCTA: 48 << 10,
+		LocalMemPerThr:  4 << 10,
+		L1LineBytes:     128,
+		L1Lines:         256,  // 32 KiB L1 per SM
+		L2Lines:         8192, // 1 MiB L2
+	}
+}
+
+// Device is one simulated GPU.
+type Device struct {
+	cfg   Config
+	codec *sass.Codec
+
+	mem   []byte // global memory
+	alloc *allocator
+
+	code     []byte      // code space; PCs are word indexes into it
+	codeTop  int         // bump pointer (bytes)
+	decoded  []sass.Inst // decode cache, one entry per code word
+	decValid []bool
+
+	l2  *cache
+	l1s []*cache
+
+	stats Stats
+
+	mu sync.Mutex // guards atomics when CTAs run concurrently
+}
+
+// New creates a device. The code-space limit is clamped to what the family's
+// absolute-jump immediate can address.
+func New(cfg Config) (*Device, error) {
+	if cfg.NumSMs <= 0 {
+		return nil, fmt.Errorf("gpu: config needs at least one SM")
+	}
+	ib := cfg.Family.InstBytes()
+	maxCode := (sass.Imm20UMax + 1) * ib
+	if cfg.Family == sass.Volta {
+		maxCode = 1 << 30
+	}
+	if cfg.CodeBytes <= 0 || cfg.CodeBytes > maxCode {
+		return nil, fmt.Errorf("gpu: code space %d bytes out of range (max %d for %v)", cfg.CodeBytes, maxCode, cfg.Family)
+	}
+	if cfg.L1LineBytes == 0 || cfg.L1LineBytes&(cfg.L1LineBytes-1) != 0 {
+		return nil, fmt.Errorf("gpu: cache line size %d not a power of two", cfg.L1LineBytes)
+	}
+	d := &Device{
+		cfg:      cfg,
+		codec:    sass.CodecFor(cfg.Family),
+		mem:      make([]byte, cfg.GlobalMemBytes),
+		alloc:    newAllocator(heapBase, cfg.GlobalMemBytes-heapBase),
+		code:     make([]byte, cfg.CodeBytes),
+		decoded:  make([]sass.Inst, cfg.CodeBytes/ib),
+		decValid: make([]bool, cfg.CodeBytes/ib),
+		l2:       newCache(cfg.L2Lines, 8),
+	}
+	for i := 0; i < cfg.NumSMs; i++ {
+		d.l1s = append(d.l1s, newCache(cfg.L1Lines, 4))
+	}
+	return d, nil
+}
+
+// heapBase keeps address 0 unmapped so nil-pointer dereferences trap.
+const heapBase = 1 << 16
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Family returns the device's architecture family.
+func (d *Device) Family() sass.Family { return d.cfg.Family }
+
+// Codec returns the device's instruction codec (what the HAL wraps).
+func (d *Device) Codec() *sass.Codec { return d.codec }
+
+// Stats returns a snapshot of accumulated execution statistics.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the accumulated statistics.
+func (d *Device) ResetStats() { d.stats = Stats{} }
+
+// --- Global memory ---------------------------------------------------------
+
+// Malloc allocates device global memory and returns its 64-bit address.
+func (d *Device) Malloc(n uint64) (uint64, error) {
+	return d.alloc.alloc(n)
+}
+
+// Free releases an allocation made by Malloc.
+func (d *Device) Free(addr uint64) error {
+	return d.alloc.free(addr)
+}
+
+func (d *Device) checkRange(addr uint64, n int) error {
+	if addr < heapBase || addr+uint64(n) > uint64(len(d.mem)) || addr+uint64(n) < addr {
+		return fmt.Errorf("gpu: global memory access [%#x,+%d) out of range", addr, n)
+	}
+	return nil
+}
+
+// Write copies host bytes into device global memory (cuMemcpyHtoD).
+func (d *Device) Write(addr uint64, p []byte) error {
+	if err := d.checkRange(addr, len(p)); err != nil {
+		return err
+	}
+	copy(d.mem[addr:], p)
+	return nil
+}
+
+// Read copies device global memory to the host (cuMemcpyDtoH).
+func (d *Device) Read(addr uint64, p []byte) error {
+	if err := d.checkRange(addr, len(p)); err != nil {
+		return err
+	}
+	copy(p, d.mem[addr:])
+	return nil
+}
+
+// --- Code space -------------------------------------------------------------
+
+// CodeAddr is a word index into device code space. Word 0 is reserved (an
+// all-zero kernel would otherwise be loaded at the JMP-to-zero target).
+type CodeAddr int
+
+// AllocCode reserves space for n instruction words and returns its base.
+// Code space is never freed: like the paper's trampolines, loaded code stays
+// GPU-resident until module unload, which this simulator does not model.
+func (d *Device) AllocCode(nWords int) (CodeAddr, error) {
+	ib := d.codec.InstBytes()
+	if d.codeTop == 0 {
+		d.codeTop = ib // reserve word 0
+	}
+	need := nWords * ib
+	if d.codeTop+need > len(d.code) {
+		return 0, fmt.Errorf("gpu: out of code space (%d of %d bytes used, %d requested)", d.codeTop, len(d.code), need)
+	}
+	base := CodeAddr(d.codeTop / ib)
+	d.codeTop += need
+	return base, nil
+}
+
+// WriteCode copies raw instruction bytes into code space and invalidates the
+// decode cache for the covered words. This is the operation whose cost the
+// paper equates to a host-to-device cudaMemcpy of the code size.
+func (d *Device) WriteCode(addr CodeAddr, raw []byte) error {
+	ib := d.codec.InstBytes()
+	if len(raw)%ib != 0 {
+		return fmt.Errorf("gpu: code write of %d bytes not a multiple of the %d-byte instruction size", len(raw), ib)
+	}
+	off := int(addr) * ib
+	if off < 0 || off+len(raw) > len(d.code) {
+		return fmt.Errorf("gpu: code write at word %d (+%d bytes) out of range", addr, len(raw))
+	}
+	copy(d.code[off:], raw)
+	for w := int(addr); w < int(addr)+len(raw)/ib; w++ {
+		d.decValid[w] = false
+	}
+	d.stats.CodeBytesWritten += uint64(len(raw))
+	return nil
+}
+
+// ReadCode copies nWords of raw code back to the host (how the NVBit core's
+// instruction lifter retrieves the original bytes of a loaded function).
+func (d *Device) ReadCode(addr CodeAddr, nWords int) ([]byte, error) {
+	ib := d.codec.InstBytes()
+	off, n := int(addr)*ib, nWords*ib
+	if off < 0 || off+n > len(d.code) {
+		return nil, fmt.Errorf("gpu: code read at word %d (+%d words) out of range", addr, nWords)
+	}
+	out := make([]byte, n)
+	copy(out, d.code[off:])
+	return out, nil
+}
+
+// fetch decodes the instruction at word index pc, using the decode cache.
+func (d *Device) fetch(pc int32) (sass.Inst, error) {
+	w := int(pc)
+	if w <= 0 || w >= len(d.decValid) {
+		return sass.Inst{}, fmt.Errorf("gpu: PC %#x outside code space", pc)
+	}
+	if d.decValid[w] {
+		return d.decoded[w], nil
+	}
+	ib := d.codec.InstBytes()
+	in, err := d.codec.Decode(d.code[w*ib:])
+	if err != nil {
+		return sass.Inst{}, fmt.Errorf("gpu: at PC %#x: %w", pc, err)
+	}
+	d.decoded[w] = in
+	d.decValid[w] = true
+	return in, nil
+}
+
+// --- Allocator ---------------------------------------------------------------
+
+// allocator is a simple first-fit free-list allocator for device memory.
+type allocator struct {
+	spans []span // sorted by base
+	sizes map[uint64]uint64
+}
+
+type span struct{ base, size uint64 }
+
+func newAllocator(base, size uint64) *allocator {
+	return &allocator{spans: []span{{base, size}}, sizes: make(map[uint64]uint64)}
+}
+
+const allocAlign = 256
+
+func (a *allocator) alloc(n uint64) (uint64, error) {
+	if n == 0 {
+		n = 1
+	}
+	n = (n + allocAlign - 1) &^ uint64(allocAlign-1)
+	for i, s := range a.spans {
+		if s.size >= n {
+			addr := s.base
+			if s.size == n {
+				a.spans = append(a.spans[:i], a.spans[i+1:]...)
+			} else {
+				a.spans[i] = span{s.base + n, s.size - n}
+			}
+			a.sizes[addr] = n
+			return addr, nil
+		}
+	}
+	return 0, fmt.Errorf("gpu: out of device memory allocating %d bytes", n)
+}
+
+func (a *allocator) free(addr uint64) error {
+	n, ok := a.sizes[addr]
+	if !ok {
+		return fmt.Errorf("gpu: free of unallocated address %#x", addr)
+	}
+	delete(a.sizes, addr)
+	i := sort.Search(len(a.spans), func(i int) bool { return a.spans[i].base > addr })
+	a.spans = append(a.spans, span{})
+	copy(a.spans[i+1:], a.spans[i:])
+	a.spans[i] = span{addr, n}
+	// Coalesce with neighbours.
+	if i+1 < len(a.spans) && a.spans[i].base+a.spans[i].size == a.spans[i+1].base {
+		a.spans[i].size += a.spans[i+1].size
+		a.spans = append(a.spans[:i+1], a.spans[i+2:]...)
+	}
+	if i > 0 && a.spans[i-1].base+a.spans[i-1].size == a.spans[i].base {
+		a.spans[i-1].size += a.spans[i].size
+		a.spans = append(a.spans[:i], a.spans[i+1:]...)
+	}
+	return nil
+}

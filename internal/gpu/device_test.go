@@ -1,0 +1,190 @@
+package gpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"nvbitgo/internal/sass"
+)
+
+func newTestDevice(t *testing.T, f sass.Family) *Device {
+	t.Helper()
+	d, err := New(DefaultConfig(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestMallocFreeRoundTrip(t *testing.T) {
+	d := newTestDevice(t, sass.Pascal)
+	a, err := d.Malloc(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Malloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("overlapping allocations")
+	}
+	data := []byte{1, 2, 3, 4}
+	if err := d.Write(a, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if err := d.Read(a, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("got %v", got)
+	}
+	if err := d.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Free(a); err == nil {
+		t.Fatal("double free accepted")
+	}
+	if err := d.Free(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocatorStress(t *testing.T) {
+	// Property: live allocations never overlap and freeing everything
+	// restores the full arena.
+	a := newAllocator(0x1000, 1<<20)
+	r := rand.New(rand.NewSource(1))
+	type block struct{ base, size uint64 }
+	var live []block
+	for i := 0; i < 2000; i++ {
+		if len(live) > 0 && r.Intn(2) == 0 {
+			k := r.Intn(len(live))
+			if err := a.free(live[k].base); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:k], live[k+1:]...)
+			continue
+		}
+		n := uint64(r.Intn(4096) + 1)
+		base, err := a.alloc(n)
+		if err != nil {
+			continue // arena full; fine
+		}
+		for _, b := range live {
+			if base < b.base+b.size && b.base < base+n {
+				t.Fatalf("allocation [%#x,+%d) overlaps [%#x,+%d)", base, n, b.base, b.size)
+			}
+		}
+		live = append(live, block{base, n})
+	}
+	for _, b := range live {
+		if err := a.free(b.base); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(a.spans) != 1 || a.spans[0].size != 1<<20 {
+		t.Fatalf("arena not fully coalesced: %+v", a.spans)
+	}
+}
+
+func TestMemoryRangeChecks(t *testing.T) {
+	d := newTestDevice(t, sass.Volta)
+	if err := d.Write(0, []byte{1}); err == nil {
+		t.Fatal("write to null page accepted")
+	}
+	if err := d.Read(d.cfg.GlobalMemBytes-2, make([]byte, 8)); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+}
+
+func TestCodeSpace(t *testing.T) {
+	d := newTestDevice(t, sass.Maxwell)
+	insts, err := sass.ParseProgram("MOVI R0, 42\nEXIT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := d.Codec().EncodeAll(insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := d.AllocCode(len(insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == 0 {
+		t.Fatal("code allocated at reserved word 0")
+	}
+	if err := d.WriteCode(base, raw); err != nil {
+		t.Fatal(err)
+	}
+	back, err := d.ReadCode(base, len(insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != string(raw) {
+		t.Fatal("code readback mismatch")
+	}
+	// Decode cache invalidation: fetch, overwrite, fetch again.
+	in, err := d.fetch(int32(base))
+	if err != nil || in.Op != sass.OpMOVI {
+		t.Fatalf("fetch: %v %v", in.Op, err)
+	}
+	nop := sass.NewInst(sass.OpNOP)
+	buf := make([]byte, d.Codec().InstBytes())
+	if err := d.Codec().Encode(nop, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteCode(base, buf); err != nil {
+		t.Fatal(err)
+	}
+	in, err = d.fetch(int32(base))
+	if err != nil || in.Op != sass.OpNOP {
+		t.Fatalf("stale decode cache: got %v, %v", in.Op, err)
+	}
+}
+
+func TestCacheModel(t *testing.T) {
+	c := newCache(64, 4)
+	if c.access(100) {
+		t.Fatal("cold access hit")
+	}
+	if !c.access(100) {
+		t.Fatal("warm access missed")
+	}
+	// Fill the set of line 100 with conflicting lines and evict it.
+	for i := 1; i <= 8; i++ {
+		c.access(100 + uint64(i*c.sets))
+	}
+	if c.access(100) {
+		t.Fatal("expected eviction after conflict sweep")
+	}
+	c.reset()
+	if c.access(100) {
+		t.Fatal("hit after reset")
+	}
+}
+
+func TestNewRejectsBadConfigs(t *testing.T) {
+	cfg := DefaultConfig(sass.Kepler)
+	cfg.NumSMs = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero SMs accepted")
+	}
+	cfg = DefaultConfig(sass.Kepler)
+	cfg.CodeBytes = 64 << 20 // beyond the 8 MiB JMP-addressable limit
+	if _, err := New(cfg); err == nil {
+		t.Fatal("oversized code space accepted on 64-bit family")
+	}
+	cfg = DefaultConfig(sass.Volta)
+	cfg.CodeBytes = 64 << 20 // fine on Volta
+	if _, err := New(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg = DefaultConfig(sass.Kepler)
+	cfg.L1LineBytes = 96
+	if _, err := New(cfg); err == nil {
+		t.Fatal("non-power-of-two line accepted")
+	}
+}

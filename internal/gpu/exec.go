@@ -1,0 +1,991 @@
+package gpu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"nvbitgo/internal/sass"
+)
+
+func f32(bits uint32) float32    { return math.Float32frombits(bits) }
+func f32bits(f float32) uint32   { return math.Float32bits(f) }
+func addF32(a, b uint32) uint32  { return f32bits(f32(a) + f32(b)) }
+func maxF32u(a, b uint32) uint32 { return f32bits(float32(math.Max(float64(f32(a)), float64(f32(b))))) }
+func minF32u(a, b uint32) uint32 { return f32bits(float32(math.Min(float64(f32(a)), float64(f32(b))))) }
+
+// step executes one warp-level instruction (the group of live lanes sharing
+// the minimum PC).
+func (c *execContext) step(w *warp) error {
+	pc := w.minPC()
+	if pc == pcExited {
+		return nil
+	}
+	in, err := c.dev.fetch(pc)
+	if err != nil {
+		return err
+	}
+
+	var active [WarpSize]bool
+	var execLanes [WarpSize]bool
+	nActive := 0
+	var execMask uint32
+	for i := 0; i < w.nLanes; i++ {
+		if w.pc[i] != pc {
+			continue
+		}
+		active[i] = true
+		nActive++
+		if w.predTrue(i, in.Pred, in.PredNeg) {
+			execLanes[i] = true
+			execMask |= 1 << uint(i)
+		}
+	}
+
+	st := &c.dev.stats
+	st.WarpInstrs++
+	st.ThreadInstrs += uint64(nActive)
+	st.OpCounts[in.Op]++
+	st.OpThreads[in.Op] += uint64(nActive)
+	w.cycles += issueCost(in.Op)
+
+	// Default: all active lanes fall through; control flow overrides.
+	next := pc + 1
+	advance := func() {
+		for i := 0; i < w.nLanes; i++ {
+			if active[i] {
+				w.pc[i] = next
+			}
+		}
+	}
+
+	trap := func(format string, args ...any) error {
+		return fmt.Errorf("at PC %#x (%s): %s", pc, sass.Format(in), fmt.Sprintf(format, args...))
+	}
+
+	eff2 := func(lane int) uint32 { return w.reg(lane, in.Src2) + uint32(int32(in.Imm)) }
+
+	switch in.Op {
+	case sass.OpNOP:
+		advance()
+
+	case sass.OpEXIT:
+		for i := 0; i < w.nLanes; i++ {
+			if !active[i] {
+				continue
+			}
+			if execLanes[i] {
+				w.pc[i] = pcExited
+			} else {
+				w.pc[i] = next
+			}
+		}
+
+	case sass.OpBRA, sass.OpJMP:
+		var target int32
+		if in.Op == sass.OpBRA {
+			target = next + int32(in.Imm)
+		} else {
+			target = int32(in.Imm)
+		}
+		for i := 0; i < w.nLanes; i++ {
+			if !active[i] {
+				continue
+			}
+			if execLanes[i] {
+				w.pc[i] = target
+			} else {
+				w.pc[i] = next
+			}
+		}
+
+	case sass.OpBRX:
+		for i := 0; i < w.nLanes; i++ {
+			if !active[i] {
+				continue
+			}
+			if execLanes[i] {
+				w.pc[i] = int32(w.reg(i, in.Src1)) + int32(in.Imm)
+			} else {
+				w.pc[i] = next
+			}
+		}
+
+	case sass.OpCAL:
+		for i := 0; i < w.nLanes; i++ {
+			if !active[i] {
+				continue
+			}
+			if execLanes[i] {
+				w.callStack[i] = append(w.callStack[i], next)
+				w.pc[i] = int32(in.Imm)
+			} else {
+				w.pc[i] = next
+			}
+		}
+
+	case sass.OpRET:
+		for i := 0; i < w.nLanes; i++ {
+			if !active[i] {
+				continue
+			}
+			if execLanes[i] {
+				n := len(w.callStack[i])
+				if n == 0 {
+					return trap("RET with empty call stack on lane %d", i)
+				}
+				w.pc[i] = w.callStack[i][n-1]
+				w.callStack[i] = w.callStack[i][:n-1]
+			} else {
+				w.pc[i] = next
+			}
+		}
+
+	case sass.OpBAR:
+		advance()
+		if execMask != 0 {
+			w.barWait = true
+		}
+
+	case sass.OpMOV:
+		for i := 0; i < w.nLanes; i++ {
+			if execLanes[i] {
+				if in.Mods.Wide() {
+					w.setReg64(i, in.Dst, w.reg64(i, in.Src1))
+				} else {
+					w.setReg(i, in.Dst, w.reg(i, in.Src1))
+				}
+			}
+		}
+		advance()
+
+	case sass.OpMOVI:
+		for i := 0; i < w.nLanes; i++ {
+			if execLanes[i] {
+				w.setReg(i, in.Dst, uint32(int32(in.Imm)))
+			}
+		}
+		advance()
+
+	case sass.OpMOVIH:
+		for i := 0; i < w.nLanes; i++ {
+			if execLanes[i] {
+				v := w.reg(i, in.Dst)&0xFFFFF | uint32(in.Imm)<<20
+				w.setReg(i, in.Dst, v)
+			}
+		}
+		advance()
+
+	case sass.OpS2R:
+		for i := 0; i < w.nLanes; i++ {
+			if execLanes[i] {
+				w.setReg(i, in.Dst, c.specialReg(w, i, in.Imm))
+			}
+		}
+		advance()
+
+	case sass.OpP2R:
+		single := in.Mods.SubOp() == sass.P2RSingle
+		for i := 0; i < w.nLanes; i++ {
+			if !execLanes[i] {
+				continue
+			}
+			if single {
+				v := uint32(0)
+				if w.predTrue(i, in.Mods.Aux(), false) {
+					v = 1
+				}
+				w.setReg(i, in.Dst, v)
+			} else {
+				w.setReg(i, in.Dst, uint32(w.preds[i]))
+			}
+		}
+		advance()
+
+	case sass.OpR2P:
+		for i := 0; i < w.nLanes; i++ {
+			if execLanes[i] {
+				w.preds[i] = uint8(w.reg(i, in.Src1)) & 0x7f
+			}
+		}
+		advance()
+
+	case sass.OpSEL:
+		for i := 0; i < w.nLanes; i++ {
+			if execLanes[i] {
+				if w.predTrue(i, in.Mods.Aux(), false) {
+					w.setReg(i, in.Dst, w.reg(i, in.Src1))
+				} else {
+					w.setReg(i, in.Dst, w.reg(i, in.Src2))
+				}
+			}
+		}
+		advance()
+
+	case sass.OpIADD:
+		for i := 0; i < w.nLanes; i++ {
+			if execLanes[i] {
+				if in.Mods.Wide() {
+					w.setReg64(i, in.Dst, w.reg64(i, in.Src1)+w.reg64(i, in.Src2)+uint64(in.Imm))
+				} else {
+					w.setReg(i, in.Dst, w.reg(i, in.Src1)+eff2(i))
+				}
+			}
+		}
+		advance()
+
+	case sass.OpIMUL:
+		for i := 0; i < w.nLanes; i++ {
+			if execLanes[i] {
+				w.setReg(i, in.Dst, w.reg(i, in.Src1)*w.reg(i, in.Src2))
+			}
+		}
+		advance()
+
+	case sass.OpIMAD:
+		for i := 0; i < w.nLanes; i++ {
+			if execLanes[i] {
+				if in.Mods.Wide() {
+					// IMAD.WIDE: 32x32 unsigned multiply + 64-bit add.
+					v := uint64(w.reg(i, in.Src1))*uint64(w.reg(i, in.Src2)) + w.reg64(i, in.Src3)
+					w.setReg64(i, in.Dst, v)
+				} else {
+					w.setReg(i, in.Dst, w.reg(i, in.Src1)*w.reg(i, in.Src2)+w.reg(i, in.Src3))
+				}
+			}
+		}
+		advance()
+
+	case sass.OpISETP:
+		for i := 0; i < w.nLanes; i++ {
+			if !execLanes[i] {
+				continue
+			}
+			var r bool
+			if in.Mods.Flag() { // unsigned
+				a, b := w.reg(i, in.Src1), eff2(i)
+				r = cmpU32(in.Mods.SubOp(), a, b)
+			} else {
+				a, b := int32(w.reg(i, in.Src1)), int32(eff2(i))
+				r = cmpI32(in.Mods.SubOp(), a, b)
+			}
+			w.setPred(i, in.Mods.Aux(), r)
+		}
+		advance()
+
+	case sass.OpSHL:
+		for i := 0; i < w.nLanes; i++ {
+			if execLanes[i] {
+				w.setReg(i, in.Dst, w.reg(i, in.Src1)<<(eff2(i)&31))
+			}
+		}
+		advance()
+
+	case sass.OpSHR:
+		for i := 0; i < w.nLanes; i++ {
+			if execLanes[i] {
+				w.setReg(i, in.Dst, w.reg(i, in.Src1)>>(eff2(i)&31))
+			}
+		}
+		advance()
+
+	case sass.OpLOP:
+		for i := 0; i < w.nLanes; i++ {
+			if !execLanes[i] {
+				continue
+			}
+			a, b := w.reg(i, in.Src1), eff2(i)
+			var v uint32
+			switch in.Mods.SubOp() {
+			case sass.LopAnd:
+				v = a & b
+			case sass.LopOr:
+				v = a | b
+			case sass.LopXor:
+				v = a ^ b
+			case sass.LopNot:
+				v = ^a
+			default:
+				return trap("bad LOP sub-op %d", in.Mods.SubOp())
+			}
+			w.setReg(i, in.Dst, v)
+		}
+		advance()
+
+	case sass.OpPOPC:
+		for i := 0; i < w.nLanes; i++ {
+			if execLanes[i] {
+				v := w.reg(i, in.Src1)
+				n := uint32(0)
+				for v != 0 {
+					v &= v - 1
+					n++
+				}
+				w.setReg(i, in.Dst, n)
+			}
+		}
+		advance()
+
+	case sass.OpFADD:
+		for i := 0; i < w.nLanes; i++ {
+			if execLanes[i] {
+				w.setReg(i, in.Dst, addF32(w.reg(i, in.Src1), w.reg(i, in.Src2)))
+			}
+		}
+		advance()
+
+	case sass.OpFMUL:
+		for i := 0; i < w.nLanes; i++ {
+			if execLanes[i] {
+				w.setReg(i, in.Dst, f32bits(f32(w.reg(i, in.Src1))*f32(w.reg(i, in.Src2))))
+			}
+		}
+		advance()
+
+	case sass.OpFFMA:
+		for i := 0; i < w.nLanes; i++ {
+			if execLanes[i] {
+				v := f32(w.reg(i, in.Src1))*f32(w.reg(i, in.Src2)) + f32(w.reg(i, in.Src3))
+				w.setReg(i, in.Dst, f32bits(v))
+			}
+		}
+		advance()
+
+	case sass.OpFSETP:
+		for i := 0; i < w.nLanes; i++ {
+			if execLanes[i] {
+				a, b := f32(w.reg(i, in.Src1)), f32(w.reg(i, in.Src2))
+				w.setPred(i, in.Mods.Aux(), cmpF32(in.Mods.SubOp(), a, b))
+			}
+		}
+		advance()
+
+	case sass.OpMUFU:
+		for i := 0; i < w.nLanes; i++ {
+			if !execLanes[i] {
+				continue
+			}
+			x := float64(f32(w.reg(i, in.Src1)))
+			var v float64
+			switch in.Mods.SubOp() {
+			case sass.MufuRcp:
+				v = 1 / x
+			case sass.MufuRsq:
+				v = 1 / math.Sqrt(x)
+			case sass.MufuSqrt:
+				v = math.Sqrt(x)
+			case sass.MufuSin:
+				v = math.Sin(x)
+			case sass.MufuCos:
+				v = math.Cos(x)
+			case sass.MufuEx2:
+				v = math.Exp2(x)
+			case sass.MufuLg2:
+				v = math.Log2(x)
+			default:
+				return trap("bad MUFU sub-op %d", in.Mods.SubOp())
+			}
+			w.setReg(i, in.Dst, f32bits(float32(v)))
+		}
+		advance()
+
+	case sass.OpI2F:
+		for i := 0; i < w.nLanes; i++ {
+			if execLanes[i] {
+				w.setReg(i, in.Dst, f32bits(float32(int32(w.reg(i, in.Src1)))))
+			}
+		}
+		advance()
+
+	case sass.OpF2I:
+		for i := 0; i < w.nLanes; i++ {
+			if execLanes[i] {
+				f := f32(w.reg(i, in.Src1))
+				switch {
+				case math.IsNaN(float64(f)):
+					w.setReg(i, in.Dst, 0)
+				case f >= math.MaxInt32:
+					w.setReg(i, in.Dst, uint32(math.MaxInt32))
+				case f <= math.MinInt32:
+					w.setReg(i, in.Dst, 0x80000000)
+				default:
+					w.setReg(i, in.Dst, uint32(int32(f)))
+				}
+			}
+		}
+		advance()
+
+	case sass.OpLDG, sass.OpSTG:
+		if err := c.globalAccess(w, in, &execLanes, pc); err != nil {
+			return trap("%v", err)
+		}
+		advance()
+
+	case sass.OpLDS, sass.OpSTS:
+		width := accessWidth(in)
+		for i := 0; i < w.nLanes; i++ {
+			if !execLanes[i] {
+				continue
+			}
+			addr := int(int32(w.reg(i, in.Src1)) + int32(in.Imm))
+			if addr < 0 || addr+width > len(c.shared) {
+				return trap("shared access [%#x,+%d) out of range (lane %d, %d bytes shared)", addr, width, i, len(c.shared))
+			}
+			if in.Op == sass.OpLDS {
+				if width == 8 {
+					w.setReg64(i, in.Dst, binary.LittleEndian.Uint64(c.shared[addr:]))
+				} else {
+					w.setReg(i, in.Dst, binary.LittleEndian.Uint32(c.shared[addr:]))
+				}
+			} else {
+				if width == 8 {
+					binary.LittleEndian.PutUint64(c.shared[addr:], w.reg64(i, in.Src2))
+				} else {
+					binary.LittleEndian.PutUint32(c.shared[addr:], w.reg(i, in.Src2))
+				}
+			}
+		}
+		advance()
+
+	case sass.OpLDL, sass.OpSTL:
+		width := accessWidth(in)
+		for i := 0; i < w.nLanes; i++ {
+			if !execLanes[i] {
+				continue
+			}
+			if w.local[i] == nil {
+				w.local[i] = make([]byte, c.dev.cfg.LocalMemPerThr)
+			}
+			addr := int(int32(w.reg(i, in.Src1)) + int32(in.Imm))
+			if addr < 0 || addr+width > len(w.local[i]) {
+				return trap("local access [%#x,+%d) out of range (lane %d)", addr, width, i)
+			}
+			if in.Op == sass.OpLDL {
+				if width == 8 {
+					w.setReg64(i, in.Dst, binary.LittleEndian.Uint64(w.local[i][addr:]))
+				} else {
+					w.setReg(i, in.Dst, binary.LittleEndian.Uint32(w.local[i][addr:]))
+				}
+			} else {
+				if width == 8 {
+					binary.LittleEndian.PutUint64(w.local[i][addr:], w.reg64(i, in.Src2))
+				} else {
+					binary.LittleEndian.PutUint32(w.local[i][addr:], w.reg(i, in.Src2))
+				}
+			}
+		}
+		advance()
+
+	case sass.OpLDC:
+		bank := in.Mods.SubOp()
+		data := c.banks[bank]
+		width := accessWidth(in)
+		for i := 0; i < w.nLanes; i++ {
+			if !execLanes[i] {
+				continue
+			}
+			addr := int(int32(w.reg(i, in.Src1)) + int32(in.Imm))
+			if addr < 0 || addr+width > len(data) {
+				return trap("constant access c[%d][%#x] out of range (%d bytes in bank)", bank, addr, len(data))
+			}
+			if width == 8 {
+				w.setReg64(i, in.Dst, binary.LittleEndian.Uint64(data[addr:]))
+			} else {
+				w.setReg(i, in.Dst, binary.LittleEndian.Uint32(data[addr:]))
+			}
+		}
+		advance()
+
+	case sass.OpATOM, sass.OpRED:
+		if err := c.atomicAccess(w, in, &execLanes); err != nil {
+			return trap("%v", err)
+		}
+		advance()
+
+	case sass.OpSHFL:
+		var vals [WarpSize]uint32
+		for i := 0; i < w.nLanes; i++ {
+			vals[i] = w.reg(i, in.Src1)
+		}
+		for i := 0; i < w.nLanes; i++ {
+			if !execLanes[i] {
+				continue
+			}
+			delta := int(int32(eff2(i)))
+			src := i
+			switch in.Mods.SubOp() {
+			case sass.ShflUp:
+				src = i - delta
+			case sass.ShflDown:
+				src = i + delta
+			case sass.ShflBfly:
+				src = i ^ delta
+			case sass.ShflIdx:
+				src = delta
+			}
+			if src >= 0 && src < WarpSize && execLanes[src] {
+				w.setReg(i, in.Dst, vals[src])
+			} else {
+				// Out-of-range or inactive source returns the lane's
+				// own source value, as CUDA shuffles do.
+				w.setReg(i, in.Dst, vals[i])
+			}
+		}
+		advance()
+
+	case sass.OpVOTE:
+		var mask uint32
+		for i := 0; i < w.nLanes; i++ {
+			if execLanes[i] && w.predTrue(i, in.Mods.Aux(), false) {
+				mask |= 1 << uint(i)
+			}
+		}
+		switch in.Mods.SubOp() {
+		case sass.VoteBallot:
+			for i := 0; i < w.nLanes; i++ {
+				if execLanes[i] {
+					w.setReg(i, in.Dst, mask)
+				}
+			}
+		case sass.VoteAny:
+			for i := 0; i < w.nLanes; i++ {
+				if execLanes[i] {
+					w.setPred(i, sass.Pred(in.Dst&7), mask != 0)
+				}
+			}
+		case sass.VoteAll:
+			for i := 0; i < w.nLanes; i++ {
+				if execLanes[i] {
+					w.setPred(i, sass.Pred(in.Dst&7), mask == execMask)
+				}
+			}
+		default:
+			return trap("bad VOTE sub-op %d", in.Mods.SubOp())
+		}
+		advance()
+
+	case sass.OpMATCH:
+		wide := in.Mods.Wide()
+		for i := 0; i < w.nLanes; i++ {
+			if !execLanes[i] {
+				continue
+			}
+			var mine uint64
+			if wide {
+				mine = w.reg64(i, in.Src1)
+			} else {
+				mine = uint64(w.reg(i, in.Src1))
+			}
+			var m uint32
+			for j := 0; j < w.nLanes; j++ {
+				if !execLanes[j] {
+					continue
+				}
+				var theirs uint64
+				if wide {
+					theirs = w.reg64(j, in.Src1)
+				} else {
+					theirs = uint64(w.reg(j, in.Src1))
+				}
+				if theirs == mine {
+					m |= 1 << uint(j)
+				}
+			}
+			w.setReg(i, in.Dst, m)
+		}
+		advance()
+
+	case sass.OpWFFT32:
+		if !c.dev.cfg.EnableWFFT {
+			return trap("WFFT32 is a hypothetical instruction; this device does not implement it " +
+				"(instrument it with the emulation tool, or enable Config.EnableWFFT)")
+		}
+		execWFFT32(w, in, &execLanes)
+		advance()
+
+	case sass.OpSAVEPUSH:
+		for i := 0; i < w.nLanes; i++ {
+			if execLanes[i] {
+				w.saveStack[i] = append(w.saveStack[i], saveFrame{regs: make([]uint32, in.Imm)})
+			}
+		}
+		advance()
+
+	case sass.OpSAVEPOP:
+		for i := 0; i < w.nLanes; i++ {
+			if execLanes[i] {
+				n := len(w.saveStack[i])
+				if n == 0 {
+					return trap("SAVEPOP with empty save stack on lane %d", i)
+				}
+				w.saveStack[i] = w.saveStack[i][:n-1]
+			}
+		}
+		advance()
+
+	case sass.OpSTSA, sass.OpLDSA, sass.OpSTSP, sass.OpLDSP, sass.OpSTSB, sass.OpLDSB,
+		sass.OpRDREG, sass.OpWRREG, sass.OpRDPRED, sass.OpWRPRED:
+		for i := 0; i < w.nLanes; i++ {
+			if !execLanes[i] {
+				continue
+			}
+			n := len(w.saveStack[i])
+			if n == 0 {
+				return trap("%v with no save frame on lane %d", in.Op, i)
+			}
+			fr := &w.saveStack[i][n-1]
+			switch in.Op {
+			case sass.OpSTSA:
+				if int(in.Imm) >= len(fr.regs) {
+					return trap("save slot %d beyond frame of %d", in.Imm, len(fr.regs))
+				}
+				fr.regs[in.Imm] = w.reg(i, in.Src1)
+			case sass.OpLDSA:
+				if int(in.Imm) >= len(fr.regs) {
+					return trap("save slot %d beyond frame of %d", in.Imm, len(fr.regs))
+				}
+				w.setReg(i, in.Dst, fr.regs[in.Imm])
+			case sass.OpSTSP:
+				fr.preds = w.preds[i]
+			case sass.OpLDSP:
+				w.preds[i] = fr.preds
+			case sass.OpSTSB:
+				fr.barrier = w.barrier[i]
+			case sass.OpLDSB:
+				w.barrier[i] = fr.barrier
+			case sass.OpRDREG:
+				idx := int(w.reg(i, in.Src1)) + int(in.Imm)
+				if idx < 0 || idx >= len(fr.regs) {
+					return trap("RDREG of register %d beyond saved set of %d", idx, len(fr.regs))
+				}
+				w.setReg(i, in.Dst, fr.regs[idx])
+			case sass.OpWRREG:
+				idx := int(w.reg(i, in.Src1)) + int(in.Imm)
+				if idx < 0 || idx >= len(fr.regs) {
+					return trap("WRREG of register %d beyond saved set of %d", idx, len(fr.regs))
+				}
+				fr.regs[idx] = w.reg(i, in.Src2)
+			case sass.OpRDPRED:
+				w.setReg(i, in.Dst, uint32(fr.preds))
+			case sass.OpWRPRED:
+				fr.preds = uint8(w.reg(i, in.Src2)) & 0x7f
+			}
+		}
+		advance()
+
+	default:
+		return trap("unimplemented opcode")
+	}
+	return nil
+}
+
+func cmpI32(sub int, a, b int32) bool {
+	switch sub {
+	case sass.CmpEQ:
+		return a == b
+	case sass.CmpNE:
+		return a != b
+	case sass.CmpLT:
+		return a < b
+	case sass.CmpLE:
+		return a <= b
+	case sass.CmpGT:
+		return a > b
+	case sass.CmpGE:
+		return a >= b
+	}
+	return false
+}
+
+func cmpU32(sub int, a, b uint32) bool {
+	switch sub {
+	case sass.CmpEQ:
+		return a == b
+	case sass.CmpNE:
+		return a != b
+	case sass.CmpLT:
+		return a < b
+	case sass.CmpLE:
+		return a <= b
+	case sass.CmpGT:
+		return a > b
+	case sass.CmpGE:
+		return a >= b
+	}
+	return false
+}
+
+func cmpF32(sub int, a, b float32) bool {
+	switch sub {
+	case sass.CmpEQ:
+		return a == b
+	case sass.CmpNE:
+		return a != b
+	case sass.CmpLT:
+		return a < b
+	case sass.CmpLE:
+		return a <= b
+	case sass.CmpGT:
+		return a > b
+	case sass.CmpGE:
+		return a >= b
+	}
+	return false
+}
+
+// specialReg evaluates an S2R source for one lane.
+func (c *execContext) specialReg(w *warp, lane int, id int64) uint32 {
+	t := w.id*WarpSize + lane // linear thread index within the CTA
+	b := c.spec.Block
+	switch id {
+	case sass.SRLaneID:
+		return uint32(lane)
+	case sass.SRWarpID:
+		return uint32(w.id)
+	case sass.SRTIDX:
+		return uint32(t % max1(b.X))
+	case sass.SRTIDY:
+		return uint32(t / max1(b.X) % max1(b.Y))
+	case sass.SRTIDZ:
+		return uint32(t / (max1(b.X) * max1(b.Y)))
+	case sass.SRCTAIDX:
+		return uint32(c.cta.X)
+	case sass.SRCTAIDY:
+		return uint32(c.cta.Y)
+	case sass.SRCTAIDZ:
+		return uint32(c.cta.Z)
+	case sass.SRNTIDX:
+		return uint32(max1(b.X))
+	case sass.SRNTIDY:
+		return uint32(max1(b.Y))
+	case sass.SRNTIDZ:
+		return uint32(max1(b.Z))
+	case sass.SRNCTAIDX:
+		return uint32(max1(c.spec.Grid.X))
+	case sass.SRNCTAIDY:
+		return uint32(max1(c.spec.Grid.Y))
+	case sass.SRNCTAIDZ:
+		return uint32(max1(c.spec.Grid.Z))
+	case sass.SRClock:
+		return uint32(w.cycles)
+	case sass.SRSMID:
+		return uint32(c.sm)
+	}
+	return 0
+}
+
+func accessWidth(in sass.Inst) int {
+	if in.Mods.Wide() {
+		return 8
+	}
+	return 4
+}
+
+// globalAccess performs a coalesced warp-level global load/store and feeds
+// the cache/timing model.
+func (c *execContext) globalAccess(w *warp, in sass.Inst, execLanes *[WarpSize]bool, pc int32) error {
+	width := accessWidth(in)
+	d := c.dev
+	lineShift := uint(0)
+	for 1<<lineShift < d.cfg.L1LineBytes {
+		lineShift++
+	}
+	var lines [WarpSize]uint64
+	nLines := 0
+	any := false
+	for i := 0; i < w.nLanes; i++ {
+		if !execLanes[i] {
+			continue
+		}
+		any = true
+		addr := w.reg64(i, in.Src1) + uint64(in.Imm)
+		if err := d.checkRange(addr, width); err != nil {
+			return fmt.Errorf("lane %d: %w", i, err)
+		}
+		if in.Op == sass.OpLDG {
+			if width == 8 {
+				w.setReg64(i, in.Dst, binary.LittleEndian.Uint64(d.mem[addr:]))
+			} else {
+				w.setReg(i, in.Dst, binary.LittleEndian.Uint32(d.mem[addr:]))
+			}
+		} else {
+			if width == 8 {
+				binary.LittleEndian.PutUint64(d.mem[addr:], w.reg64(i, in.Src2))
+			} else {
+				binary.LittleEndian.PutUint32(d.mem[addr:], w.reg(i, in.Src2))
+			}
+		}
+		// Record the unique lines touched (both words of a straddling
+		// access count, matching hardware sectoring).
+		for _, a := range [2]uint64{addr, addr + uint64(width) - 1} {
+			line := a >> lineShift
+			dup := false
+			for k := 0; k < nLines; k++ {
+				if lines[k] == line {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				lines[nLines] = line
+				nLines++
+			}
+		}
+	}
+	if !any {
+		return nil
+	}
+	st := &d.stats
+	st.GlobalAccesses++
+	st.GlobalLines += uint64(nLines)
+	for k := 0; k < nLines; k++ {
+		w.cycles += c.lineCost(lines[k])
+	}
+	return nil
+}
+
+// lineCost runs one line through L1/L2 and returns its latency contribution.
+func (c *execContext) lineCost(line uint64) uint64 {
+	d := c.dev
+	st := &d.stats
+	if d.l1s[c.sm].access(line) {
+		st.L1Hits++
+		return costL1Hit
+	}
+	st.L1Misses++
+	if d.l2.access(line) {
+		st.L2Hits++
+		return costL2Hit
+	}
+	st.L2Misses++
+	return costL2Miss
+}
+
+// atomicAccess executes ATOM/RED lane by lane in lane order (deterministic).
+func (c *execContext) atomicAccess(w *warp, in sass.Inst, execLanes *[WarpSize]bool) error {
+	d := c.dev
+	width := accessWidth(in)
+	lineShift := uint(0)
+	for 1<<lineShift < d.cfg.L1LineBytes {
+		lineShift++
+	}
+	any := false
+	for i := 0; i < w.nLanes; i++ {
+		if !execLanes[i] {
+			continue
+		}
+		any = true
+		addr := w.reg64(i, in.Src1) + uint64(in.Imm)
+		if err := d.checkRange(addr, width); err != nil {
+			return fmt.Errorf("lane %d: %w", i, err)
+		}
+		if width == 8 {
+			old := binary.LittleEndian.Uint64(d.mem[addr:])
+			val := w.reg64(i, in.Src2)
+			var nv uint64
+			switch in.Mods.SubOp() {
+			case sass.AtomAdd:
+				nv = old + val
+			case sass.AtomMin:
+				nv = old
+				if val < old {
+					nv = val
+				}
+			case sass.AtomMax:
+				nv = old
+				if val > old {
+					nv = val
+				}
+			case sass.AtomExch:
+				nv = val
+			case sass.AtomAnd:
+				nv = old & val
+			case sass.AtomOr:
+				nv = old | val
+			case sass.AtomXor:
+				nv = old ^ val
+			}
+			binary.LittleEndian.PutUint64(d.mem[addr:], nv)
+			if in.Op == sass.OpATOM {
+				w.setReg64(i, in.Dst, old)
+			}
+		} else {
+			old := binary.LittleEndian.Uint32(d.mem[addr:])
+			val := w.reg(i, in.Src2)
+			var nv uint32
+			if in.Mods.Flag() { // float atomic
+				switch in.Mods.SubOp() {
+				case sass.AtomAdd:
+					nv = addF32(old, val)
+				case sass.AtomMin:
+					nv = minF32u(old, val)
+				case sass.AtomMax:
+					nv = maxF32u(old, val)
+				case sass.AtomExch:
+					nv = val
+				default:
+					return fmt.Errorf("float atomic %s unsupported", sass.AtomName(in.Mods.SubOp()))
+				}
+			} else {
+				switch in.Mods.SubOp() {
+				case sass.AtomAdd:
+					nv = old + val
+				case sass.AtomMin:
+					nv = old
+					if val < old {
+						nv = val
+					}
+				case sass.AtomMax:
+					nv = old
+					if val > old {
+						nv = val
+					}
+				case sass.AtomExch:
+					nv = val
+				case sass.AtomAnd:
+					nv = old & val
+				case sass.AtomOr:
+					nv = old | val
+				case sass.AtomXor:
+					nv = old ^ val
+				}
+			}
+			binary.LittleEndian.PutUint32(d.mem[addr:], nv)
+			if in.Op == sass.OpATOM {
+				w.setReg(i, in.Dst, old)
+			}
+		}
+		w.cycles += c.lineCost((w.reg64(i, in.Src1) + uint64(in.Imm)) >> lineShift)
+	}
+	if any {
+		d.stats.GlobalAccesses++
+	}
+	return nil
+}
+
+// execWFFT32 natively evaluates the hypothetical warp-wide 32-point FFT:
+// lane k receives X[k] = sum_n x[n] * e^(-2*pi*i*k*n/32), with the real parts
+// in register Dst and the imaginary parts in register Src1 across the warp.
+func execWFFT32(w *warp, in sass.Inst, execLanes *[WarpSize]bool) {
+	var re, im [WarpSize]float64
+	for n := 0; n < WarpSize; n++ {
+		if execLanes[n] {
+			re[n] = float64(f32(w.reg(n, in.Dst)))
+			im[n] = float64(f32(w.reg(n, in.Src1)))
+		}
+	}
+	for k := 0; k < w.nLanes; k++ {
+		if !execLanes[k] {
+			continue
+		}
+		var sr, si float64
+		for n := 0; n < WarpSize; n++ {
+			ang := -2 * math.Pi * float64(k*n) / WarpSize
+			c, s := math.Cos(ang), math.Sin(ang)
+			sr += re[n]*c - im[n]*s
+			si += re[n]*s + im[n]*c
+		}
+		w.setReg(k, in.Dst, f32bits(float32(sr)))
+		w.setReg(k, in.Src1, f32bits(float32(si)))
+	}
+}

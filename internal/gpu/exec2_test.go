@@ -1,0 +1,198 @@
+package gpu
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"nvbitgo/internal/sass"
+)
+
+func TestMultiDimensionalLaunch(t *testing.T) {
+	// A 2-D grid of 2-D blocks: every thread writes gid = linearized
+	// (ctaid, tid) coordinates; verify the special-register decomposition.
+	d := newTestDevice(t, sass.Volta)
+	grid := Dim3{X: 2, Y: 3, Z: 1}
+	block := Dim3{X: 8, Y: 4, Z: 1}
+	total := grid.Count() * block.Count()
+	out, _ := d.Malloc(uint64(4 * total))
+	entry := loadSASS(t, d, `
+		S2R R0, SR_TID.X
+		S2R R1, SR_TID.Y
+		S2R R2, SR_NTID.X
+		IMAD R3, R1, R2, R0       // tid linear = ty*bx + tx
+		S2R R4, SR_CTAID.X
+		S2R R5, SR_CTAID.Y
+		S2R R6, SR_NCTAID.X
+		IMAD R7, R5, R6, R4       // cta linear = cy*gx + cx
+		S2R R8, SR_NTID.Y
+		IMUL R9, R2, R8           // threads per block
+		IMAD R10, R7, R9, R3      // global linear id
+		LDC.W R12, c[1][0]
+		MOVI R14, 4
+		IMAD.W R12, R10, R14, R12
+		STG [R12], R10
+		EXIT
+	`)
+	launch(t, d, entry, grid, block, u64param(out), 0)
+	buf := make([]byte, 4*total)
+	if err := d.Read(out, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < total; i++ {
+		if got := binary.LittleEndian.Uint32(buf[4*i:]); got != uint32(i) {
+			t.Fatalf("slot %d = %d (2-D id decomposition broken)", i, got)
+		}
+	}
+}
+
+func TestShflUpDownIdx(t *testing.T) {
+	d := newTestDevice(t, sass.Pascal)
+	out, _ := d.Malloc(4 * 32 * 3)
+	entry := loadSASS(t, d, `
+		S2R R0, SR_LANEID
+		SHFL.UP R1, R0, RZ, 1      // lane-1's value; lane 0 keeps own
+		SHFL.DOWN R2, R0, RZ, 2    // lane+2's value; 30,31 keep own
+		SHFL.IDX R3, R0, RZ, 5     // everyone reads lane 5
+		LDC.W R4, c[1][0]
+		MOVI R6, 4
+		IMAD.W R4, R0, R6, R4
+		STG [R4], R1
+		STG [R4+128], R2
+		STG [R4+256], R3
+		EXIT
+	`)
+	launch(t, d, entry, D1(1), D1(32), u64param(out), 0)
+	buf := make([]byte, 4*32*3)
+	if err := d.Read(out, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		up := binary.LittleEndian.Uint32(buf[4*i:])
+		wantUp := uint32(i - 1)
+		if i == 0 {
+			wantUp = 0
+		}
+		if up != wantUp {
+			t.Fatalf("lane %d shfl.up = %d, want %d", i, up, wantUp)
+		}
+		down := binary.LittleEndian.Uint32(buf[128+4*i:])
+		wantDown := uint32(i + 2)
+		if i >= 30 {
+			wantDown = uint32(i)
+		}
+		if down != wantDown {
+			t.Fatalf("lane %d shfl.down = %d, want %d", i, down, wantDown)
+		}
+		if idx := binary.LittleEndian.Uint32(buf[256+4*i:]); idx != 5 {
+			t.Fatalf("lane %d shfl.idx = %d, want 5", i, idx)
+		}
+	}
+}
+
+func TestVoteAllAndAny(t *testing.T) {
+	d := newTestDevice(t, sass.Volta)
+	out, _ := d.Malloc(4 * 32)
+	entry := loadSASS(t, d, `
+		S2R R0, SR_LANEID
+		ISETP.LT P0, R0, RZ, 32    // true for all
+		ISETP.LT P1, R0, RZ, 5     // true for a few
+		VOTE.ALL P2, P0
+		VOTE.ALL P3, P1
+		VOTE.ANY P4, P1
+		MOVI R1, 0
+		@P2 IADD R1, R1, RZ, 1     // +1: all-true vote
+		@P3 IADD R1, R1, RZ, 10    // +0: not all true
+		@P4 IADD R1, R1, RZ, 100   // +100: some true
+		LDC.W R4, c[1][0]
+		MOVI R6, 4
+		IMAD.W R4, R0, R6, R4
+		STG [R4], R1
+		EXIT
+	`)
+	launch(t, d, entry, D1(1), D1(32), u64param(out), 0)
+	buf := make([]byte, 4*32)
+	if err := d.Read(out, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if got := binary.LittleEndian.Uint32(buf[4*i:]); got != 101 {
+			t.Fatalf("lane %d vote sum = %d, want 101", i, got)
+		}
+	}
+}
+
+func TestConstBankBoundsTrap(t *testing.T) {
+	d := newTestDevice(t, sass.Pascal)
+	entry := loadSASS(t, d, `
+		LDC R0, c[1][0x7000]
+		EXIT
+	`)
+	if _, err := d.Launch(LaunchSpec{Entry: entry, Grid: D1(1), Block: D1(1), Params: make([]byte, 16)}); err == nil {
+		t.Fatal("constant bank overrun did not trap")
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	d := newTestDevice(t, sass.Volta)
+	out, _ := d.Malloc(8)
+	entry := loadSASS(t, d, `
+		S2R R0, SR_CLOCK
+		MOVI R2, 50
+	spin:
+		IADD R2, R2, RZ, -1
+		ISETP.GT P0, R2, RZ, 0
+		@P0 BRA spin
+		S2R R1, SR_CLOCK
+		LDC.W R4, c[1][0]
+		STG [R4], R0
+		STG [R4+4], R1
+		EXIT
+	`)
+	launch(t, d, entry, D1(1), D1(1), u64param(out), 0)
+	buf := make([]byte, 8)
+	if err := d.Read(out, buf); err != nil {
+		t.Fatal(err)
+	}
+	t0 := binary.LittleEndian.Uint32(buf)
+	t1 := binary.LittleEndian.Uint32(buf[4:])
+	if t1 <= t0 {
+		t.Fatalf("SR_CLOCK did not advance: %d -> %d", t0, t1)
+	}
+	if t1-t0 < 100 {
+		t.Fatalf("50-iteration spin advanced the clock by only %d", t1-t0)
+	}
+}
+
+func TestStatsDeltaPerLaunch(t *testing.T) {
+	d := newTestDevice(t, sass.Pascal)
+	entry := loadSASS(t, d, `
+		MOVI R0, 1
+		EXIT
+	`)
+	st1 := launch(t, d, entry, D1(1), D1(32), nil, 0)
+	st2 := launch(t, d, entry, D1(2), D1(32), nil, 0)
+	if st1.Launches != 1 || st2.Launches != 1 {
+		t.Fatal("per-launch delta wrong")
+	}
+	if st2.WarpInstrs != 2*st1.WarpInstrs {
+		t.Fatalf("delta warp instrs %d vs %d", st2.WarpInstrs, st1.WarpInstrs)
+	}
+	agg := d.Stats()
+	if agg.WarpInstrs != st1.WarpInstrs+st2.WarpInstrs {
+		t.Fatal("aggregate != sum of deltas")
+	}
+	d.ResetStats()
+	if d.Stats().WarpInstrs != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	var a, b Stats
+	a.WarpInstrs, a.OpCounts[sass.OpIADD], a.OpThreads[sass.OpIADD] = 5, 2, 64
+	b.WarpInstrs, b.OpCounts[sass.OpIADD], b.OpThreads[sass.OpIADD] = 7, 3, 96
+	a.Add(b)
+	if a.WarpInstrs != 12 || a.OpCounts[sass.OpIADD] != 5 || a.OpThreads[sass.OpIADD] != 160 {
+		t.Fatalf("Stats.Add: %+v", a)
+	}
+}

@@ -1,0 +1,217 @@
+package gpu
+
+import (
+	"fmt"
+)
+
+// Dim3 is a CUDA-style three-dimensional extent.
+type Dim3 struct{ X, Y, Z int }
+
+// Count returns the total number of elements in the extent, or 0 when any
+// dimension is missing.
+func (d Dim3) Count() int {
+	if d.X <= 0 || d.Y <= 0 || d.Z <= 0 {
+		return 0
+	}
+	return d.X * d.Y * d.Z
+}
+
+// D1 is shorthand for a one-dimensional extent.
+func D1(n int) Dim3 { return Dim3{n, 1, 1} }
+
+// LaunchSpec describes one kernel launch.
+type LaunchSpec struct {
+	Entry       CodeAddr // entry PC (word index in code space)
+	Grid, Block Dim3
+	Params      []byte // raw parameter block, mapped to constant bank 1
+	SharedBytes int    // dynamic shared memory per CTA
+}
+
+// Launch executes a kernel to completion and returns the statistics of this
+// launch only (they are also accumulated on the device).
+func (d *Device) Launch(spec LaunchSpec) (Stats, error) {
+	if spec.Block.Count() <= 0 || spec.Block.Count() > 1024 {
+		return Stats{}, fmt.Errorf("gpu: block of %d threads out of range (1..1024)", spec.Block.Count())
+	}
+	if spec.Grid.Count() <= 0 {
+		return Stats{}, fmt.Errorf("gpu: empty grid")
+	}
+	shared := spec.SharedBytes
+	if shared > d.cfg.SharedMemPerCTA {
+		return Stats{}, fmt.Errorf("gpu: %d bytes of shared memory exceed the per-CTA limit %d", shared, d.cfg.SharedMemPerCTA)
+	}
+	before := d.stats
+
+	// Constant bank 0: launch configuration (grid and block dimensions),
+	// as the backend compiler expects (see internal/ptx lowering).
+	bank0 := make([]byte, 32)
+	putU32 := func(off, v int) {
+		bank0[off] = byte(v)
+		bank0[off+1] = byte(v >> 8)
+		bank0[off+2] = byte(v >> 16)
+		bank0[off+3] = byte(v >> 24)
+	}
+	putU32(0, spec.Grid.X)
+	putU32(4, spec.Grid.Y)
+	putU32(8, spec.Grid.Z)
+	putU32(12, spec.Block.X)
+	putU32(16, spec.Block.Y)
+	putU32(20, spec.Block.Z)
+
+	nCTA := spec.Grid.Count()
+	warpsPerCTA := (spec.Block.Count() + WarpSize - 1) / WarpSize
+
+	ctx := &execContext{
+		dev:    d,
+		spec:   spec,
+		banks:  [8][]byte{0: bank0, 1: spec.Params},
+		shared: make([]byte, shared),
+		warps:  make([]*warp, warpsPerCTA),
+	}
+	for i := range ctx.warps {
+		ctx.warps[i] = newWarp()
+	}
+
+	smCycles := make([]uint64, d.cfg.NumSMs)
+	smWarps := make([]uint64, d.cfg.NumSMs)
+	for cta := 0; cta < nCTA; cta++ {
+		sm := cta % d.cfg.NumSMs
+		cycles, err := ctx.runCTA(cta, sm)
+		if err != nil {
+			return Stats{}, fmt.Errorf("gpu: CTA %d on SM %d: %w", cta, sm, err)
+		}
+		smCycles[sm] += cycles
+		smWarps[sm] += uint64(warpsPerCTA)
+	}
+
+	// Timing model: each SM overlaps its resident warps; with W warps it
+	// hides latency with factor min(W, hideLimit). Kernel time is the
+	// busiest SM.
+	var kernelCycles uint64
+	for sm := range smCycles {
+		if smWarps[sm] == 0 {
+			continue
+		}
+		hide := smWarps[sm]
+		if hide > hideLimit {
+			hide = hideLimit
+		}
+		c := smCycles[sm] / hide
+		if c > kernelCycles {
+			kernelCycles = c
+		}
+	}
+	d.stats.Cycles += kernelCycles
+	d.stats.Launches++
+
+	delta := d.stats
+	deltaSub(&delta, before)
+	return delta, nil
+}
+
+// hideLimit caps the latency-hiding benefit of warp multithreading per SM.
+const hideLimit = 8
+
+func deltaSub(s *Stats, o Stats) {
+	s.Launches -= o.Launches
+	s.WarpInstrs -= o.WarpInstrs
+	s.ThreadInstrs -= o.ThreadInstrs
+	s.Cycles -= o.Cycles
+	s.GlobalAccesses -= o.GlobalAccesses
+	s.GlobalLines -= o.GlobalLines
+	s.L1Hits -= o.L1Hits
+	s.L1Misses -= o.L1Misses
+	s.L2Hits -= o.L2Hits
+	s.L2Misses -= o.L2Misses
+	s.CodeBytesWritten -= o.CodeBytesWritten
+	for i := range s.OpCounts {
+		s.OpCounts[i] -= o.OpCounts[i]
+		s.OpThreads[i] -= o.OpThreads[i]
+	}
+}
+
+// execContext holds the per-launch state reused across CTAs (the simulator
+// executes CTAs sequentially for determinism; see DESIGN.md).
+type execContext struct {
+	dev    *Device
+	spec   LaunchSpec
+	banks  [8][]byte
+	shared []byte
+	warps  []*warp
+
+	cta   Dim3 // current CTA coordinates
+	ctaID int
+	sm    int
+}
+
+func (c *execContext) runCTA(ctaLinear, sm int) (uint64, error) {
+	g := c.spec.Grid
+	c.cta = Dim3{
+		X: ctaLinear % g.X,
+		Y: (ctaLinear / g.X) % max1(g.Y),
+		Z: ctaLinear / (g.X * max1(g.Y)),
+	}
+	c.ctaID = ctaLinear
+	c.sm = sm
+	threads := c.spec.Block.Count()
+	for i := range c.shared {
+		c.shared[i] = 0
+	}
+	for w, wp := range c.warps {
+		lanes := threads - w*WarpSize
+		if lanes > WarpSize {
+			lanes = WarpSize
+		}
+		wp.reset(w, lanes, int32(c.spec.Entry))
+	}
+
+	// Round-robin warp scheduling with CTA barrier support.
+	var cycles uint64
+	for {
+		progress := false
+		allDoneOrBarred := true
+		anyBarred := false
+		for _, wp := range c.warps {
+			if wp.done() {
+				continue
+			}
+			if wp.barWait {
+				anyBarred = true
+				continue
+			}
+			allDoneOrBarred = false
+			// Run a burst of instructions for locality.
+			for i := 0; i < 64 && !wp.done() && !wp.barWait; i++ {
+				if err := c.step(wp); err != nil {
+					return 0, fmt.Errorf("warp %d: %w", wp.id, err)
+				}
+				progress = true
+			}
+		}
+		if allDoneOrBarred {
+			if !anyBarred {
+				break // all warps exited
+			}
+			// Release the barrier: every live warp is waiting.
+			for _, wp := range c.warps {
+				wp.barWait = false
+			}
+			progress = true
+		}
+		if !progress {
+			return 0, fmt.Errorf("scheduler made no progress (deadlock)")
+		}
+	}
+	for _, wp := range c.warps {
+		cycles += wp.cycles
+		wp.cycles = 0
+	}
+	return cycles, nil
+}
+
+func max1(v int) int {
+	if v <= 0 {
+		return 1
+	}
+	return v
+}

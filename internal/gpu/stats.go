@@ -1,0 +1,46 @@
+package gpu
+
+import "nvbitgo/internal/sass"
+
+// Stats accumulates device-level execution statistics. They are the
+// simulator's ground truth; the NVBit instrumentation tools re-derive the
+// same quantities from injected code, and the test suite cross-checks the
+// two, which is how we validate that instrumentation is semantics-preserving
+// and complete.
+type Stats struct {
+	Launches     uint64
+	WarpInstrs   uint64 // warp-level instructions issued
+	ThreadInstrs uint64 // sum of active lanes over issued instructions
+	Cycles       uint64 // modelled kernel cycles, summed over launches
+
+	GlobalAccesses uint64 // warp-level global memory instructions
+	GlobalLines    uint64 // unique cache lines requested by those accesses
+	L1Hits         uint64
+	L1Misses       uint64
+	L2Hits         uint64
+	L2Misses       uint64
+
+	CodeBytesWritten uint64 // code-space writes (instrumentation swap cost)
+
+	OpCounts  [sass.NumOpcodes]uint64 // warp-level issue counts per opcode
+	OpThreads [sass.NumOpcodes]uint64 // thread-level (active-lane) counts per opcode
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.Launches += o.Launches
+	s.WarpInstrs += o.WarpInstrs
+	s.ThreadInstrs += o.ThreadInstrs
+	s.Cycles += o.Cycles
+	s.GlobalAccesses += o.GlobalAccesses
+	s.GlobalLines += o.GlobalLines
+	s.L1Hits += o.L1Hits
+	s.L1Misses += o.L1Misses
+	s.L2Hits += o.L2Hits
+	s.L2Misses += o.L2Misses
+	s.CodeBytesWritten += o.CodeBytesWritten
+	for i := range s.OpCounts {
+		s.OpCounts[i] += o.OpCounts[i]
+		s.OpThreads[i] += o.OpThreads[i]
+	}
+}

@@ -1,0 +1,152 @@
+package gpu
+
+import "nvbitgo/internal/sass"
+
+const (
+	pcExited = -1
+)
+
+// saveFrame is one pushed register-save frame on a thread's save stack — the
+// synthetic equivalent of the stack area where NVBit's pre-built routines
+// save general-purpose registers, predicates and (on Volta) convergence
+// barrier state before entering an instrumentation function.
+type saveFrame struct {
+	regs    []uint32
+	preds   uint8
+	barrier uint32
+}
+
+// warp is the execution state of one 32-thread warp. Threads have individual
+// program counters; the scheduler issues, per step, the group of live
+// threads sharing the minimum PC (min-PC reconvergence), which handles
+// arbitrary control flow including the trampolines NVBit splices in.
+type warp struct {
+	id      int
+	nLanes  int // live lanes in this warp (< 32 for the tail warp)
+	barWait bool
+	cycles  uint64
+
+	pc      [WarpSize]int32
+	regs    [WarpSize][256]uint32
+	preds   [WarpSize]uint8
+	barrier [WarpSize]uint32 // Volta convergence-barrier state (opaque)
+
+	callStack [WarpSize][]int32
+	saveStack [WarpSize][]saveFrame
+	local     [WarpSize][]byte
+}
+
+func newWarp() *warp { return &warp{} }
+
+// reset prepares the warp for a fresh CTA. Register and local-memory
+// contents are deliberately not cleared: as on real hardware their initial
+// values are undefined, and compiled kernels initialize before use.
+// Sequential CTA execution keeps the run deterministic regardless.
+func (w *warp) reset(id, lanes int, entry int32) {
+	w.id = id
+	w.nLanes = lanes
+	w.barWait = false
+	for i := 0; i < WarpSize; i++ {
+		if i < lanes {
+			w.pc[i] = entry
+		} else {
+			w.pc[i] = pcExited
+		}
+		w.preds[i] = 0
+		w.callStack[i] = w.callStack[i][:0]
+		w.saveStack[i] = w.saveStack[i][:0]
+	}
+}
+
+// done reports whether every lane has exited.
+func (w *warp) done() bool {
+	for i := 0; i < w.nLanes; i++ {
+		if w.pc[i] != pcExited {
+			return false
+		}
+	}
+	return true
+}
+
+// minPC returns the smallest live PC, or pcExited when none.
+func (w *warp) minPC() int32 {
+	min := int32(pcExited)
+	for i := 0; i < w.nLanes; i++ {
+		if p := w.pc[i]; p != pcExited && (min == pcExited || p < min) {
+			min = p
+		}
+	}
+	return min
+}
+
+// activeMask returns the lanes whose PC equals pc.
+func (w *warp) activeMask(pc int32) uint32 {
+	var m uint32
+	for i := 0; i < w.nLanes; i++ {
+		if w.pc[i] == pc {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// predTrue evaluates a guard predicate for one lane.
+func (w *warp) predTrue(lane int, p sass.Pred, neg bool) bool {
+	v := p == sass.PT || w.preds[lane]&(1<<uint(p)) != 0
+	if neg {
+		return !v
+	}
+	return v
+}
+
+// setPred writes one predicate bit for one lane (writes to PT are dropped).
+func (w *warp) setPred(lane int, p sass.Pred, v bool) {
+	if p == sass.PT {
+		return
+	}
+	if v {
+		w.preds[lane] |= 1 << uint(p)
+	} else {
+		w.preds[lane] &^= 1 << uint(p)
+	}
+}
+
+// reg reads a general-purpose register (RZ reads zero).
+func (w *warp) reg(lane int, r sass.Reg) uint32 {
+	if r == sass.RZ {
+		return 0
+	}
+	return w.regs[lane][r]
+}
+
+// setReg writes a general-purpose register (writes to RZ are dropped).
+func (w *warp) setReg(lane int, r sass.Reg, v uint32) {
+	if r == sass.RZ {
+		return
+	}
+	w.regs[lane][r] = v
+}
+
+// reg64 reads the 64-bit value in the register pair (r, r+1).
+func (w *warp) reg64(lane int, r sass.Reg) uint64 {
+	if r == sass.RZ {
+		return 0
+	}
+	lo := uint64(w.regs[lane][r])
+	hi := uint64(0)
+	if int(r)+1 < 256 {
+		hi = uint64(w.regs[lane][r+1])
+	}
+	return lo | hi<<32
+}
+
+// setReg64 writes the register pair (r, r+1).
+func (w *warp) setReg64(lane int, r sass.Reg, v uint64) {
+	if r == sass.RZ {
+		return
+	}
+	w.regs[lane][r] = uint32(v)
+	if int(r)+1 < 256 {
+		w.regs[lane][r+1] = uint32(v >> 32)
+	}
+}

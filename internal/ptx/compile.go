@@ -1,0 +1,406 @@
+package ptx
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"nvbitgo/internal/sass"
+)
+
+// compiler holds per-function lowering state.
+type compiler struct {
+	f      *pfunc
+	family sass.Family
+
+	out   []sass.Inst
+	lines []int32
+
+	regMap  map[string]sass.Reg
+	predMap map[string]sass.Pred
+	nextReg int
+	maxReg  int // highest physical GPR touched
+	maxPred int
+
+	params     map[string]Param
+	paramList  []Param
+	paramBytes int
+	sharedSyms map[string]int
+	sharedSize int
+
+	stmtStart []int // body stmt index -> first emitted inst index
+	branchFix []branchFixup
+	relocs    []Reloc
+	related   []string
+
+	guard    sass.Pred
+	guardNeg bool
+	line     int32
+}
+
+type branchFixup struct {
+	instIdx int
+	label   string
+	line    int
+}
+
+func compileFunc(pf *pfunc, family sass.Family) (*Func, error) {
+	c := &compiler{
+		f:          pf,
+		family:     family,
+		regMap:     make(map[string]sass.Reg),
+		predMap:    make(map[string]sass.Pred),
+		params:     make(map[string]Param),
+		sharedSyms: make(map[string]int),
+		maxReg:     -1,
+		maxPred:    -1,
+	}
+	if err := c.layoutParams(); err != nil {
+		return nil, err
+	}
+	if err := c.allocRegs(); err != nil {
+		return nil, err
+	}
+	for _, sh := range pf.shared {
+		c.sharedSyms[sh.name] = sh.offset
+		c.sharedSize = sh.offset + sh.bytes
+	}
+	for _, st := range pf.body {
+		c.stmtStart = append(c.stmtStart, len(c.out))
+		if err := c.lowerStmt(st); err != nil {
+			return nil, fmt.Errorf("line %d: %w", st.line, err)
+		}
+	}
+	c.stmtStart = append(c.stmtStart, len(c.out))
+	// Implicit terminator if the body does not end in one.
+	if n := len(c.out); n == 0 || (c.out[n-1].Op != sass.OpEXIT && c.out[n-1].Op != sass.OpRET) {
+		c.emit(sass.NewInst(c.terminator()))
+	}
+	// Resolve local branch targets.
+	for _, fx := range c.branchFix {
+		target, ok := pf.labels[fx.label]
+		if !ok {
+			return nil, fmt.Errorf("line %d: undefined label %q", fx.line, fx.label)
+		}
+		c.out[fx.instIdx].Imm = int64(c.stmtStart[target] - (fx.instIdx + 1))
+	}
+	return &Func{
+		Name:        pf.name,
+		Entry:       pf.entry,
+		Insts:       c.out,
+		NumRegs:     c.maxReg + 1,
+		NumPred:     c.maxPred + 1,
+		Params:      c.paramList,
+		ParamBytes:  c.paramBytes,
+		SharedBytes: c.sharedSize,
+		Relocs:      c.relocs,
+		Related:     c.related,
+		Lines:       c.lines,
+	}, nil
+}
+
+func (c *compiler) terminator() sass.Opcode {
+	if c.f.entry {
+		return sass.OpEXIT
+	}
+	return sass.OpRET
+}
+
+// layoutParams assigns parameter locations: constant-bank offsets for
+// entries, ABI registers for device functions.
+func (c *compiler) layoutParams() error {
+	if c.f.entry {
+		off := 0
+		for _, p := range c.f.params {
+			off = (off + p.bytes - 1) &^ (p.bytes - 1)
+			pp := Param{Name: p.name, Bytes: p.bytes, Offset: off}
+			c.params[p.name] = pp
+			c.paramList = append(c.paramList, pp)
+			off += p.bytes
+		}
+		c.paramBytes = off
+		return nil
+	}
+	reg := abiArgBase
+	for _, p := range c.f.params {
+		if p.bytes == 8 && reg%2 != 0 {
+			reg++
+		}
+		if reg+p.bytes/4 > abiArgBase+abiMaxArgs {
+			return fmt.Errorf("function %s: too many parameter registers", c.f.name)
+		}
+		pp := Param{Name: p.name, Bytes: p.bytes, Offset: reg} // Offset = ABI register
+		c.params[p.name] = pp
+		c.paramList = append(c.paramList, pp)
+		c.touchReg(sass.Reg(reg), p.bytes == 8)
+		reg += p.bytes / 4
+	}
+	return nil
+}
+
+// allocRegs maps every declared virtual register to a physical one. The
+// allocator is a deterministic linear assigner (no live-range reuse): pairs
+// are even-aligned, predicates are P0.. in declaration order. The base of
+// the local area depends on the function kind (see deviceABI in ptx.go).
+func (c *compiler) allocRegs() error {
+	switch {
+	case c.f.entry:
+		c.nextReg = 4
+	case c.f.declIdx == declToolFunc:
+		c.nextReg = abiArgBase + abiMaxArgs // R16: everything below is saved by the trampoline
+	default:
+		c.nextReg = calleeRegBase
+	}
+	for _, name := range c.f.regOrd {
+		switch c.f.regs[name] {
+		case ClassPred:
+			p := len(c.predMap)
+			if p >= sass.NumPreds {
+				return fmt.Errorf("function %s: more than %d predicate registers", c.f.name, sass.NumPreds)
+			}
+			c.predMap[name] = sass.Pred(p)
+			if p > c.maxPred {
+				c.maxPred = p
+			}
+		case ClassB64:
+			if c.nextReg%2 != 0 {
+				c.nextReg++
+			}
+			if c.nextReg+1 >= sass.NumRegs {
+				return fmt.Errorf("function %s: out of registers", c.f.name)
+			}
+			c.regMap[name] = sass.Reg(c.nextReg)
+			c.touchReg(sass.Reg(c.nextReg), true)
+			c.nextReg += 2
+		default:
+			if c.nextReg >= sass.NumRegs {
+				return fmt.Errorf("function %s: out of registers", c.f.name)
+			}
+			c.regMap[name] = sass.Reg(c.nextReg)
+			c.touchReg(sass.Reg(c.nextReg), false)
+			c.nextReg++
+		}
+	}
+	return nil
+}
+
+func (c *compiler) touchReg(r sass.Reg, wide bool) {
+	n := int(r)
+	if wide {
+		n++
+	}
+	if n > c.maxReg {
+		c.maxReg = n
+	}
+}
+
+// tmp allocates a fresh scratch physical register (counted in the budget).
+func (c *compiler) tmp() (sass.Reg, error) {
+	if c.nextReg >= sass.NumRegs {
+		return sass.RZ, fmt.Errorf("out of registers for scratch")
+	}
+	r := sass.Reg(c.nextReg)
+	c.nextReg++
+	c.touchReg(r, false)
+	return r, nil
+}
+
+func (c *compiler) tmpPair() (sass.Reg, error) {
+	if c.nextReg%2 != 0 {
+		c.nextReg++
+	}
+	if c.nextReg+1 >= sass.NumRegs {
+		return sass.RZ, fmt.Errorf("out of registers for scratch pair")
+	}
+	r := sass.Reg(c.nextReg)
+	c.nextReg += 2
+	c.touchReg(r, true)
+	return r, nil
+}
+
+func (c *compiler) emit(in sass.Inst) {
+	in.Pred, in.PredNeg = c.guard, c.guardNeg
+	c.out = append(c.out, in)
+	c.lines = append(c.lines, c.line)
+}
+
+// --- operand helpers ---------------------------------------------------------
+
+func (c *compiler) gpr(arg string) (sass.Reg, error) {
+	if r, ok := c.regMap[arg]; ok {
+		if c.f.regs[arg] == ClassB64 {
+			return sass.RZ, fmt.Errorf("%s is a 64-bit register where 32-bit is required", arg)
+		}
+		return r, nil
+	}
+	return sass.RZ, fmt.Errorf("undeclared register %q", arg)
+}
+
+func (c *compiler) pair(arg string) (sass.Reg, error) {
+	if r, ok := c.regMap[arg]; ok {
+		if c.f.regs[arg] != ClassB64 {
+			return sass.RZ, fmt.Errorf("%s is a 32-bit register where 64-bit is required", arg)
+		}
+		return r, nil
+	}
+	return sass.RZ, fmt.Errorf("undeclared register %q", arg)
+}
+
+func (c *compiler) pred(arg string) (sass.Pred, bool, error) {
+	neg := false
+	if strings.HasPrefix(arg, "!") {
+		neg = true
+		arg = arg[1:]
+	}
+	if p, ok := c.predMap[arg]; ok {
+		return p, neg, nil
+	}
+	return sass.PT, false, fmt.Errorf("undeclared predicate %q", arg)
+}
+
+// immValue parses integer immediates and float immediates (decimal like 1.5
+// or PTX hex-float 0F3f800000); floats are returned as their bit patterns.
+func immValue(arg string) (int64, bool) {
+	if strings.HasPrefix(arg, "0F") || strings.HasPrefix(arg, "0f") {
+		bits, err := strconv.ParseUint(arg[2:], 16, 32)
+		if err != nil {
+			return 0, false
+		}
+		return int64(bits), true
+	}
+	if strings.ContainsAny(arg, ".eE") && !strings.HasPrefix(arg, "0x") {
+		f, err := strconv.ParseFloat(arg, 32)
+		if err != nil {
+			return 0, false
+		}
+		return int64(math.Float32bits(float32(f))), true
+	}
+	v, err := strconv.ParseInt(arg, 0, 64)
+	if err != nil {
+		u, uerr := strconv.ParseUint(arg, 0, 64)
+		if uerr != nil {
+			return 0, false
+		}
+		return int64(u), true
+	}
+	return v, true
+}
+
+var specialRegs = map[string]int64{
+	"%laneid":   sass.SRLaneID,
+	"%warpid":   sass.SRWarpID,
+	"%tid.x":    sass.SRTIDX,
+	"%tid.y":    sass.SRTIDY,
+	"%tid.z":    sass.SRTIDZ,
+	"%ctaid.x":  sass.SRCTAIDX,
+	"%ctaid.y":  sass.SRCTAIDY,
+	"%ctaid.z":  sass.SRCTAIDZ,
+	"%ntid.x":   sass.SRNTIDX,
+	"%ntid.y":   sass.SRNTIDY,
+	"%ntid.z":   sass.SRNTIDZ,
+	"%nctaid.x": sass.SRNCTAIDX,
+	"%nctaid.y": sass.SRNCTAIDY,
+	"%nctaid.z": sass.SRNCTAIDZ,
+	"%clock":    sass.SRClock,
+	"%smid":     sass.SRSMID,
+}
+
+// materialize32 emits code loading a 32-bit constant into dst, legalizing
+// for the family's immediate width.
+func (c *compiler) materialize32(dst sass.Reg, v uint32) {
+	sv := int64(int32(v))
+	if sass.ImmFits(c.family, sass.OpMOVI, sv) {
+		in := sass.NewInst(sass.OpMOVI)
+		in.Dst, in.Imm = dst, sv
+		c.emit(in)
+		return
+	}
+	// Two-instruction sequence on 64-bit families: MOVI sets the low 20
+	// bits (encoded sign-extended; MOVIH overwrites the top bits anyway),
+	// MOVIH completes bits 20..31.
+	lo := sass.NewInst(sass.OpMOVI)
+	lo.Dst = dst
+	lo.Imm = int64(v & 0xFFFFF)
+	if lo.Imm > 1<<19-1 {
+		lo.Imm -= 1 << 20
+	}
+	c.emit(lo)
+	hi := sass.NewInst(sass.OpMOVIH)
+	hi.Dst, hi.Imm = dst, int64(v>>20)
+	c.emit(hi)
+}
+
+// materialize64 loads a 64-bit constant into the pair at dst.
+func (c *compiler) materialize64(dst sass.Reg, v uint64) {
+	c.materialize32(dst, uint32(v))
+	c.materialize32(dst+1, uint32(v>>32))
+}
+
+// valueB32 resolves an argument that may be a 32-bit register or an
+// immediate; immediates are materialized into a scratch register.
+func (c *compiler) valueB32(arg string) (sass.Reg, error) {
+	if strings.HasPrefix(arg, "%") {
+		return c.gpr(arg)
+	}
+	v, ok := immValue(arg)
+	if !ok {
+		return sass.RZ, fmt.Errorf("bad operand %q", arg)
+	}
+	t, err := c.tmp()
+	if err != nil {
+		return sass.RZ, err
+	}
+	c.materialize32(t, uint32(v))
+	return t, nil
+}
+
+// regPlusImm resolves reg-or-immediate second operands for ops whose SASS
+// form folds a small immediate (IADD/SHL/SHR/LOP/ISETP/SHFL): returns the
+// register (RZ if pure immediate) and the folded immediate.
+func (c *compiler) regPlusImm(arg string) (sass.Reg, int64, error) {
+	if strings.HasPrefix(arg, "%") {
+		r, err := c.gpr(arg)
+		return r, 0, err
+	}
+	v, ok := immValue(arg)
+	if !ok {
+		return sass.RZ, 0, fmt.Errorf("bad operand %q", arg)
+	}
+	if sass.ImmFits(c.family, sass.OpIADD, v) {
+		return sass.RZ, v, nil
+	}
+	t, err := c.tmp()
+	if err != nil {
+		return sass.RZ, 0, err
+	}
+	c.materialize32(t, uint32(v))
+	return t, 0, nil
+}
+
+// memRef parses "[%rd1+8]", "[%r2]", "[sym]", "[sym+4]" forms. It returns
+// the base register name (empty for symbol-based refs), symbol and offset.
+func parseMemArg(arg string) (base, sym string, off int64, err error) {
+	if !strings.HasPrefix(arg, "[") || !strings.HasSuffix(arg, "]") {
+		return "", "", 0, fmt.Errorf("expected memory operand, got %q", arg)
+	}
+	inner := strings.TrimSpace(arg[1 : len(arg)-1])
+	expr := inner
+	if i := strings.LastIndexAny(inner, "+-"); i > 0 {
+		v, perr := strconv.ParseInt(strings.TrimSpace(inner[i+1:]), 0, 64)
+		if perr == nil {
+			if inner[i] == '-' {
+				v = -v
+			}
+			off = v
+			expr = strings.TrimSpace(inner[:i])
+		}
+	}
+	if strings.HasPrefix(expr, "%") {
+		return expr, "", off, nil
+	}
+	if v, perr := strconv.ParseInt(expr, 0, 64); perr == nil {
+		return "", "", off + v, nil
+	}
+	return "", expr, off, nil
+}

@@ -1,0 +1,104 @@
+package ptx
+
+import (
+	"strings"
+	"testing"
+
+	"nvbitgo/internal/sass"
+)
+
+// TestCompileErrors sweeps the compiler's diagnostic surface: every invalid
+// module must be rejected with a message naming the problem.
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the error
+	}{
+		{"too many predicates",
+			".visible .entry f { .reg .pred %p<9>; exit; }",
+			"predicate"},
+		{"register exhaustion",
+			".visible .entry f { .reg .u64 %rd<200>; exit; }",
+			"out of registers"},
+		{"setret in entry",
+			".visible .entry f { .reg .u32 %r<2>; setret.u32 %r0; }",
+			"setret in a kernel"},
+		{"unknown label",
+			".visible .entry f { .reg .u32 %r<2>; bra FOO; }",
+			"undefined label"},
+		{"unknown instruction",
+			".visible .entry f { .reg .u32 %r<2>; zap.u32 %r0, %r1; }",
+			"unsupported instruction"},
+		{"undeclared register",
+			".visible .entry f { .reg .u32 %r<2>; mov.u32 %q9, 1; }",
+			"undeclared register"},
+		{"width mismatch 32 as 64",
+			".visible .entry f { .reg .u32 %r<2>; .reg .u64 %rd<2>; mov.u64 %rd0, %rd1; add.u64 %rd0, %rd0, %rd1; mov.u64 %r0, 1; }",
+			"64-bit"},
+		{"width mismatch 64 as 32",
+			".visible .entry f { .reg .u64 %rd<2>; mov.u32 %rd0, 1; }",
+			"32-bit"},
+		{"duplicate register family",
+			".visible .entry f { .reg .u32 %r<2>; .reg .u32 %r<2>; exit; }",
+			"redeclared"},
+		{"duplicate label",
+			".visible .entry f { .reg .u32 %r<2>; L: mov.u32 %r0, 1; L: exit; }",
+			"duplicate label"},
+		{"bad parameter type",
+			".visible .entry f(.param .v4 x) { exit; }",
+			"unsupported parameter type"},
+		{"statement outside function",
+			"mov.u32 %r0, 1;",
+			"outside a function"},
+		{"unterminated function",
+			".visible .entry f { .reg .u32 %r<2>;",
+			"unterminated"},
+		{"too many call args",
+			`.visible .entry f { .reg .u32 %a<14>;
+			   call g, (%a0,%a1,%a2,%a3,%a4,%a5,%a6,%a7,%a8,%a9,%a10,%a11,%a12); }`,
+			"too many argument registers"},
+		{"nested function",
+			".visible .entry f { .visible .entry g { exit; } exit; }",
+			"nested"},
+		{"empty module", "   ", "no functions"},
+		{"bad shared decl",
+			".visible .entry f { .shared .b32 s[4]; exit; }",
+			".shared .b8"},
+		{"vote negated source",
+			".visible .entry f { .reg .u32 %r<2>; .reg .pred %p<2>; vote.ballot.b32 %r0, !%p0; }",
+			"negated source"},
+		{"unknown shared symbol",
+			".visible .entry f { .reg .u32 %r<2>; ld.shared.u32 %r0, [nosuch]; }",
+			"unknown shared symbol"},
+		{"unknown param",
+			".visible .entry f { .reg .u32 %r<2>; ld.param.u32 %r0, [ghost]; }",
+			"unknown parameter"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile("bad", c.src, sass.Volta)
+			if err == nil {
+				t.Fatalf("accepted invalid module:\n%s", c.src)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestErrorsCarryLineNumbers: diagnostics must point at the offending line.
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	src := `.visible .entry f
+{
+	.reg .u32 %r<2>;
+	mov.u32 %r0, 1;
+	frob.u32 %r0, %r1;
+	exit;
+}`
+	_, err := Compile("bad", src, sass.Volta)
+	if err == nil || !strings.Contains(err.Error(), "line 5") {
+		t.Fatalf("error %v does not carry the offending line", err)
+	}
+}

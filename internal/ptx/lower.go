@@ -1,0 +1,1226 @@
+package ptx
+
+import (
+	"fmt"
+	"strings"
+
+	"nvbitgo/internal/sass"
+)
+
+// Function declaration kinds (pfunc.declIdx).
+const (
+	declNormal = iota
+	declToolFunc
+)
+
+// lowerStmt translates one PTX statement into SASS instructions.
+func (c *compiler) lowerStmt(st pstmt) error {
+	c.line = int32(st.line)
+	c.guard, c.guardNeg = sass.PT, false
+	if st.guard != "" {
+		p, neg, err := c.pred(st.guard)
+		if err != nil {
+			return err
+		}
+		c.guard, c.guardNeg = p, neg
+	}
+	op := st.parts[0]
+	sub := st.parts[1:]
+	a := st.args
+	need := func(n int) error {
+		if len(a) != n {
+			return fmt.Errorf("%s: want %d operands, got %d", strings.Join(st.parts, "."), n, len(a))
+		}
+		return nil
+	}
+
+	switch op {
+	case "mov":
+		return c.lowerMov(sub, a)
+	case "cvt":
+		return c.lowerCvt(sub, a)
+	case "add", "sub", "min", "max":
+		return c.lowerAddSub(op, sub, a)
+	case "mul":
+		return c.lowerMul(sub, a)
+	case "mad", "fma":
+		return c.lowerMad(sub, a)
+	case "div":
+		return c.lowerDiv(sub, a)
+	case "and", "or", "xor", "not":
+		return c.lowerLogic(op, sub, a)
+	case "shl", "shr":
+		return c.lowerShift(op, sub, a)
+	case "popc":
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := c.gpr(a[0])
+		if err != nil {
+			return err
+		}
+		s, err := c.gpr(a[1])
+		if err != nil {
+			return err
+		}
+		in := sass.NewInst(sass.OpPOPC)
+		in.Dst, in.Src1 = d, s
+		c.emit(in)
+		return nil
+	case "setp":
+		return c.lowerSetp(sub, a)
+	case "selp":
+		if err := need(4); err != nil {
+			return err
+		}
+		d, err := c.gpr(a[0])
+		if err != nil {
+			return err
+		}
+		s1, err := c.valueB32(a[1])
+		if err != nil {
+			return err
+		}
+		s2, err := c.valueB32(a[2])
+		if err != nil {
+			return err
+		}
+		p, neg, err := c.pred(a[3])
+		if err != nil {
+			return err
+		}
+		if neg {
+			s1, s2 = s2, s1
+		}
+		in := sass.NewInst(sass.OpSEL)
+		in.Dst, in.Src1, in.Src2 = d, s1, s2
+		in.Mods = sass.MakeMods(0, false, false, p)
+		c.emit(in)
+		return nil
+	case "rcp", "rsqrt", "sqrt", "sin", "cos", "ex2", "lg2":
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := c.gpr(a[0])
+		if err != nil {
+			return err
+		}
+		s, err := c.gpr(a[1])
+		if err != nil {
+			return err
+		}
+		mf := map[string]int{"rcp": sass.MufuRcp, "rsqrt": sass.MufuRsq, "sqrt": sass.MufuSqrt,
+			"sin": sass.MufuSin, "cos": sass.MufuCos, "ex2": sass.MufuEx2, "lg2": sass.MufuLg2}[op]
+		in := sass.NewInst(sass.OpMUFU)
+		in.Dst, in.Src1 = d, s
+		in.Mods = sass.MakeMods(mf, false, false, sass.PT)
+		c.emit(in)
+		return nil
+	case "ld":
+		return c.lowerLd(sub, a)
+	case "st":
+		return c.lowerSt(sub, a)
+	case "atom", "red":
+		return c.lowerAtom(op, sub, a)
+	case "bar":
+		c.emit(sass.NewInst(sass.OpBAR))
+		return nil
+	case "bra":
+		if err := need(1); err != nil {
+			return err
+		}
+		in := sass.NewInst(sass.OpBRA)
+		c.emit(in)
+		c.branchFix = append(c.branchFix, branchFixup{len(c.out) - 1, a[0], st.line})
+		return nil
+	case "exit":
+		c.emit(sass.NewInst(sass.OpEXIT))
+		return nil
+	case "ret":
+		c.emit(sass.NewInst(c.terminator()))
+		return nil
+	case "call":
+		return c.lowerCall(a)
+	case "setret":
+		return c.lowerSetret(sub, a)
+	case "shfl":
+		return c.lowerShfl(sub, a)
+	case "vote":
+		return c.lowerVote(sub, a)
+	case "match":
+		return c.lowerMatch(sub, a)
+	case "rdreg", "wrreg", "rdpred", "wrpred":
+		return c.lowerDeviceAPI(op, a)
+	case "wfft32":
+		if err := need(2); err != nil {
+			return err
+		}
+		re, err := c.gpr(a[0])
+		if err != nil {
+			return err
+		}
+		im, err := c.gpr(a[1])
+		if err != nil {
+			return err
+		}
+		in := sass.NewInst(sass.OpWFFT32)
+		in.Dst, in.Src1 = re, im
+		c.emit(in)
+		return nil
+	}
+	return fmt.Errorf("unsupported instruction %q", strings.Join(st.parts, "."))
+}
+
+// lowerDeviceAPI lowers the NVBit device-API operations (paper Listing 7):
+// reads and writes of the *saved* image of the interrupted thread context.
+// Only meaningful inside .toolfunc functions executing under a trampoline.
+//
+//	rdreg.b32  %d, %idx   — %d = saved GPR [%idx]
+//	wrreg.b32  %idx, %v   — saved GPR [%idx] = %v (survives the restore)
+//	rdpred.b32 %d         — %d = saved predicate bits
+//	wrpred.b32 %v         — saved predicate bits = %v
+func (c *compiler) lowerDeviceAPI(op string, a []string) error {
+	switch op {
+	case "rdreg":
+		if len(a) != 2 {
+			return fmt.Errorf("rdreg: want rdreg.b32 d, idx")
+		}
+		d, err := c.gpr(a[0])
+		if err != nil {
+			return err
+		}
+		idx, err := c.valueB32(a[1])
+		if err != nil {
+			return err
+		}
+		in := sass.NewInst(sass.OpRDREG)
+		in.Dst, in.Src1 = d, idx
+		c.emit(in)
+		return nil
+	case "wrreg":
+		if len(a) != 2 {
+			return fmt.Errorf("wrreg: want wrreg.b32 idx, v")
+		}
+		idx, err := c.valueB32(a[0])
+		if err != nil {
+			return err
+		}
+		v, err := c.valueB32(a[1])
+		if err != nil {
+			return err
+		}
+		in := sass.NewInst(sass.OpWRREG)
+		in.Src1, in.Src2 = idx, v
+		c.emit(in)
+		return nil
+	case "rdpred":
+		if len(a) != 1 {
+			return fmt.Errorf("rdpred: want rdpred.b32 d")
+		}
+		d, err := c.gpr(a[0])
+		if err != nil {
+			return err
+		}
+		in := sass.NewInst(sass.OpRDPRED)
+		in.Dst = d
+		c.emit(in)
+		return nil
+	default: // wrpred
+		if len(a) != 1 {
+			return fmt.Errorf("wrpred: want wrpred.b32 v")
+		}
+		v, err := c.valueB32(a[0])
+		if err != nil {
+			return err
+		}
+		in := sass.NewInst(sass.OpWRPRED)
+		in.Src2 = v
+		c.emit(in)
+		return nil
+	}
+}
+
+func (c *compiler) lowerMov(sub []string, a []string) error {
+	if len(sub) != 1 || len(a) != 2 {
+		return fmt.Errorf("mov: want mov.<type> dst, src")
+	}
+	wide := sub[0] == "u64" || sub[0] == "s64" || sub[0] == "b64"
+	if wide {
+		d, err := c.pair(a[0])
+		if err != nil {
+			return err
+		}
+		if strings.HasPrefix(a[1], "%") {
+			s, err := c.pair(a[1])
+			if err != nil {
+				return err
+			}
+			in := sass.NewInst(sass.OpMOV)
+			in.Dst, in.Src1 = d, s
+			in.Mods = sass.MakeMods(0, true, false, sass.PT)
+			c.emit(in)
+			return nil
+		}
+		v, ok := immValue(a[1])
+		if !ok {
+			return fmt.Errorf("mov: bad source %q", a[1])
+		}
+		c.materialize64(d, uint64(v))
+		return nil
+	}
+	d, err := c.gpr(a[0])
+	if err != nil {
+		return err
+	}
+	src := a[1]
+	if id, ok := specialRegs[src]; ok {
+		in := sass.NewInst(sass.OpS2R)
+		in.Dst, in.Imm = d, id
+		c.emit(in)
+		return nil
+	}
+	if off, ok := c.sharedSyms[src]; ok {
+		c.materialize32(d, uint32(off))
+		return nil
+	}
+	if strings.HasPrefix(src, "%") {
+		s, err := c.gpr(src)
+		if err != nil {
+			return err
+		}
+		in := sass.NewInst(sass.OpMOV)
+		in.Dst, in.Src1 = d, s
+		c.emit(in)
+		return nil
+	}
+	v, ok := immValue(src)
+	if !ok {
+		return fmt.Errorf("mov: bad source %q", src)
+	}
+	c.materialize32(d, uint32(v))
+	return nil
+}
+
+func (c *compiler) lowerCvt(sub []string, a []string) error {
+	if len(sub) != 2 || len(a) != 2 {
+		return fmt.Errorf("cvt: want cvt.<to>.<from> dst, src")
+	}
+	to, from := sub[0], sub[1]
+	switch {
+	case to == "f32" && (from == "u32" || from == "s32"):
+		d, err := c.gpr(a[0])
+		if err != nil {
+			return err
+		}
+		s, err := c.gpr(a[1])
+		if err != nil {
+			return err
+		}
+		in := sass.NewInst(sass.OpI2F)
+		in.Dst, in.Src1 = d, s
+		c.emit(in)
+		return nil
+	case (to == "u32" || to == "s32") && from == "f32":
+		d, err := c.gpr(a[0])
+		if err != nil {
+			return err
+		}
+		s, err := c.gpr(a[1])
+		if err != nil {
+			return err
+		}
+		in := sass.NewInst(sass.OpF2I)
+		in.Dst, in.Src1 = d, s
+		c.emit(in)
+		return nil
+	case (to == "u64" || to == "s64") && (from == "u32" || from == "s32"):
+		d, err := c.pair(a[0])
+		if err != nil {
+			return err
+		}
+		s, err := c.gpr(a[1])
+		if err != nil {
+			return err
+		}
+		mv := sass.NewInst(sass.OpMOV)
+		mv.Dst, mv.Src1 = d, s
+		c.emit(mv)
+		hi := sass.NewInst(sass.OpMOVI)
+		hi.Dst, hi.Imm = d+1, 0
+		c.emit(hi)
+		return nil
+	case (to == "u32" || to == "s32") && (from == "u64" || from == "s64"):
+		d, err := c.gpr(a[0])
+		if err != nil {
+			return err
+		}
+		s, err := c.pair(a[1])
+		if err != nil {
+			return err
+		}
+		mv := sass.NewInst(sass.OpMOV)
+		mv.Dst, mv.Src1 = d, s
+		c.emit(mv)
+		return nil
+	}
+	return fmt.Errorf("cvt.%s.%s unsupported", to, from)
+}
+
+func intType(t string) bool { return t == "u32" || t == "s32" || t == "b32" }
+
+func (c *compiler) lowerAddSub(op string, sub []string, a []string) error {
+	if len(sub) != 1 || len(a) != 3 {
+		return fmt.Errorf("%s: want %s.<type> d, a, b", op, op)
+	}
+	t := sub[0]
+	switch {
+	case t == "f32":
+		d, err := c.gpr(a[0])
+		if err != nil {
+			return err
+		}
+		s1, err := c.valueB32(a[1])
+		if err != nil {
+			return err
+		}
+		s2, err := c.valueB32(a[2])
+		if err != nil {
+			return err
+		}
+		switch op {
+		case "add", "sub":
+			if op == "sub" {
+				// Negate b via XOR of the sign bit into a scratch.
+				tmp, err := c.tmp()
+				if err != nil {
+					return err
+				}
+				c.materialize32(tmp, 0x80000000)
+				x := sass.NewInst(sass.OpLOP)
+				x.Dst, x.Src1, x.Src2 = tmp, s2, tmp
+				x.Mods = sass.MakeMods(sass.LopXor, false, false, sass.PT)
+				c.emit(x)
+				s2 = tmp
+			}
+			in := sass.NewInst(sass.OpFADD)
+			in.Dst, in.Src1, in.Src2 = d, s1, s2
+			c.emit(in)
+			return nil
+		default:
+			return fmt.Errorf("%s.f32 unsupported", op)
+		}
+	case intType(t):
+		d, err := c.gpr(a[0])
+		if err != nil {
+			return err
+		}
+		s1, err := c.gpr(a[1])
+		if err != nil {
+			return err
+		}
+		if op == "min" || op == "max" {
+			// Lower via ISETP+SEL.
+			s2, err := c.valueB32(a[2])
+			if err != nil {
+				return err
+			}
+			tp := sass.Pred(6) // reserved scratch predicate
+			cmp := sass.NewInst(sass.OpISETP)
+			cmp.Src1, cmp.Src2 = s1, s2
+			cmpOp := sass.CmpLT
+			if op == "max" {
+				cmpOp = sass.CmpGT
+			}
+			cmp.Mods = sass.MakeMods(cmpOp, false, t == "u32", tp)
+			c.emit(cmp)
+			sel := sass.NewInst(sass.OpSEL)
+			sel.Dst, sel.Src1, sel.Src2 = d, s1, s2
+			sel.Mods = sass.MakeMods(0, false, false, tp)
+			c.emit(sel)
+			if c.maxPred < 6 {
+				c.maxPred = 6
+			}
+			return nil
+		}
+		s2, imm, err := c.regPlusImm(a[2])
+		if err != nil {
+			return err
+		}
+		if op == "sub" {
+			if s2 == sass.RZ {
+				imm = -imm
+			} else {
+				// d = s1 + (-s2): negate via NOT+1.
+				tmp, err := c.tmp()
+				if err != nil {
+					return err
+				}
+				n := sass.NewInst(sass.OpLOP)
+				n.Dst, n.Src1 = tmp, s2
+				n.Mods = sass.MakeMods(sass.LopNot, false, false, sass.PT)
+				c.emit(n)
+				s2, imm = tmp, 1
+			}
+		}
+		in := sass.NewInst(sass.OpIADD)
+		in.Dst, in.Src1, in.Src2, in.Imm = d, s1, s2, imm
+		c.emit(in)
+		return nil
+	case t == "u64" || t == "s64":
+		d, err := c.pair(a[0])
+		if err != nil {
+			return err
+		}
+		s1, err := c.pair(a[1])
+		if err != nil {
+			return err
+		}
+		if op != "add" && op != "sub" {
+			return fmt.Errorf("%s.%s unsupported", op, t)
+		}
+		if strings.HasPrefix(a[2], "%") {
+			s2, err := c.pair(a[2])
+			if err != nil {
+				return err
+			}
+			if op == "sub" {
+				return fmt.Errorf("sub.u64 with register operand unsupported")
+			}
+			in := sass.NewInst(sass.OpIADD)
+			in.Dst, in.Src1, in.Src2 = d, s1, s2
+			in.Mods = sass.MakeMods(0, true, false, sass.PT)
+			c.emit(in)
+			return nil
+		}
+		v, ok := immValue(a[2])
+		if !ok {
+			return fmt.Errorf("bad operand %q", a[2])
+		}
+		if op == "sub" {
+			v = -v
+		}
+		if !sass.ImmFits(c.family, sass.OpIADD, v) {
+			t64, err := c.tmpPair()
+			if err != nil {
+				return err
+			}
+			c.materialize64(t64, uint64(v))
+			in := sass.NewInst(sass.OpIADD)
+			in.Dst, in.Src1, in.Src2 = d, s1, t64
+			in.Mods = sass.MakeMods(0, true, false, sass.PT)
+			c.emit(in)
+			return nil
+		}
+		in := sass.NewInst(sass.OpIADD)
+		in.Dst, in.Src1, in.Src2, in.Imm = d, s1, sass.RZ, v
+		in.Mods = sass.MakeMods(0, true, false, sass.PT)
+		c.emit(in)
+		return nil
+	}
+	return fmt.Errorf("%s.%s unsupported", op, t)
+}
+
+func (c *compiler) lowerMul(sub []string, a []string) error {
+	if len(a) != 3 {
+		return fmt.Errorf("mul: want 3 operands")
+	}
+	// mul.lo.u32 / mul.f32 / mul.wide.u32
+	switch {
+	case len(sub) == 1 && sub[0] == "f32":
+		d, err := c.gpr(a[0])
+		if err != nil {
+			return err
+		}
+		s1, err := c.valueB32(a[1])
+		if err != nil {
+			return err
+		}
+		s2, err := c.valueB32(a[2])
+		if err != nil {
+			return err
+		}
+		in := sass.NewInst(sass.OpFMUL)
+		in.Dst, in.Src1, in.Src2 = d, s1, s2
+		c.emit(in)
+		return nil
+	case len(sub) == 2 && sub[0] == "lo" && intType(sub[1]):
+		d, err := c.gpr(a[0])
+		if err != nil {
+			return err
+		}
+		s1, err := c.gpr(a[1])
+		if err != nil {
+			return err
+		}
+		s2, err := c.valueB32(a[2])
+		if err != nil {
+			return err
+		}
+		in := sass.NewInst(sass.OpIMUL)
+		in.Dst, in.Src1, in.Src2 = d, s1, s2
+		c.emit(in)
+		return nil
+	case len(sub) == 2 && sub[0] == "wide" && (sub[1] == "u32" || sub[1] == "s32"):
+		d, err := c.pair(a[0])
+		if err != nil {
+			return err
+		}
+		s1, err := c.gpr(a[1])
+		if err != nil {
+			return err
+		}
+		s2, err := c.valueB32(a[2])
+		if err != nil {
+			return err
+		}
+		in := sass.NewInst(sass.OpIMAD)
+		in.Dst, in.Src1, in.Src2, in.Src3 = d, s1, s2, sass.RZ
+		in.Mods = sass.MakeMods(0, true, false, sass.PT)
+		c.emit(in)
+		return nil
+	}
+	return fmt.Errorf("mul.%s unsupported", strings.Join(sub, "."))
+}
+
+func (c *compiler) lowerMad(sub []string, a []string) error {
+	if len(a) != 4 {
+		return fmt.Errorf("mad: want 4 operands")
+	}
+	switch {
+	case len(sub) >= 1 && sub[len(sub)-1] == "f32": // fma.rn.f32 or mad.f32
+		d, err := c.gpr(a[0])
+		if err != nil {
+			return err
+		}
+		s1, err := c.valueB32(a[1])
+		if err != nil {
+			return err
+		}
+		s2, err := c.valueB32(a[2])
+		if err != nil {
+			return err
+		}
+		s3, err := c.valueB32(a[3])
+		if err != nil {
+			return err
+		}
+		in := sass.NewInst(sass.OpFFMA)
+		in.Dst, in.Src1, in.Src2, in.Src3 = d, s1, s2, s3
+		c.emit(in)
+		return nil
+	case len(sub) == 2 && sub[0] == "lo" && intType(sub[1]):
+		d, err := c.gpr(a[0])
+		if err != nil {
+			return err
+		}
+		s1, err := c.gpr(a[1])
+		if err != nil {
+			return err
+		}
+		s2, err := c.valueB32(a[2])
+		if err != nil {
+			return err
+		}
+		s3, err := c.valueB32(a[3])
+		if err != nil {
+			return err
+		}
+		in := sass.NewInst(sass.OpIMAD)
+		in.Dst, in.Src1, in.Src2, in.Src3 = d, s1, s2, s3
+		c.emit(in)
+		return nil
+	case len(sub) == 2 && sub[0] == "wide" && (sub[1] == "u32" || sub[1] == "s32"):
+		d, err := c.pair(a[0])
+		if err != nil {
+			return err
+		}
+		s1, err := c.gpr(a[1])
+		if err != nil {
+			return err
+		}
+		s2, err := c.valueB32(a[2])
+		if err != nil {
+			return err
+		}
+		s3, err := c.pair(a[3])
+		if err != nil {
+			return err
+		}
+		in := sass.NewInst(sass.OpIMAD)
+		in.Dst, in.Src1, in.Src2, in.Src3 = d, s1, s2, s3
+		in.Mods = sass.MakeMods(0, true, false, sass.PT)
+		c.emit(in)
+		return nil
+	}
+	return fmt.Errorf("mad.%s unsupported", strings.Join(sub, "."))
+}
+
+// lowerDiv supports div.approx.f32 only (via MUFU reciprocal + multiply).
+func (c *compiler) lowerDiv(sub []string, a []string) error {
+	if len(sub) == 0 || sub[len(sub)-1] != "f32" || len(a) != 3 {
+		return fmt.Errorf("div: only div.approx.f32 is supported")
+	}
+	d, err := c.gpr(a[0])
+	if err != nil {
+		return err
+	}
+	s1, err := c.valueB32(a[1])
+	if err != nil {
+		return err
+	}
+	s2, err := c.valueB32(a[2])
+	if err != nil {
+		return err
+	}
+	t, err := c.tmp()
+	if err != nil {
+		return err
+	}
+	rcp := sass.NewInst(sass.OpMUFU)
+	rcp.Dst, rcp.Src1 = t, s2
+	rcp.Mods = sass.MakeMods(sass.MufuRcp, false, false, sass.PT)
+	c.emit(rcp)
+	mul := sass.NewInst(sass.OpFMUL)
+	mul.Dst, mul.Src1, mul.Src2 = d, s1, t
+	c.emit(mul)
+	return nil
+}
+
+func (c *compiler) lowerLogic(op string, sub []string, a []string) error {
+	if len(sub) != 1 {
+		return fmt.Errorf("%s: missing type", op)
+	}
+	lop := map[string]int{"and": sass.LopAnd, "or": sass.LopOr, "xor": sass.LopXor, "not": sass.LopNot}[op]
+	if op == "not" {
+		if len(a) != 2 {
+			return fmt.Errorf("not: want 2 operands")
+		}
+		d, err := c.gpr(a[0])
+		if err != nil {
+			return err
+		}
+		s, err := c.gpr(a[1])
+		if err != nil {
+			return err
+		}
+		in := sass.NewInst(sass.OpLOP)
+		in.Dst, in.Src1 = d, s
+		in.Mods = sass.MakeMods(lop, false, false, sass.PT)
+		c.emit(in)
+		return nil
+	}
+	if len(a) != 3 {
+		return fmt.Errorf("%s: want 3 operands", op)
+	}
+	d, err := c.gpr(a[0])
+	if err != nil {
+		return err
+	}
+	s1, err := c.gpr(a[1])
+	if err != nil {
+		return err
+	}
+	s2, imm, err := c.regPlusImm(a[2])
+	if err != nil {
+		return err
+	}
+	in := sass.NewInst(sass.OpLOP)
+	in.Dst, in.Src1, in.Src2, in.Imm = d, s1, s2, imm
+	in.Mods = sass.MakeMods(lop, false, false, sass.PT)
+	c.emit(in)
+	return nil
+}
+
+func (c *compiler) lowerShift(op string, sub []string, a []string) error {
+	if len(a) != 3 {
+		return fmt.Errorf("%s: want 3 operands", op)
+	}
+	d, err := c.gpr(a[0])
+	if err != nil {
+		return err
+	}
+	s1, err := c.gpr(a[1])
+	if err != nil {
+		return err
+	}
+	s2, imm, err := c.regPlusImm(a[2])
+	if err != nil {
+		return err
+	}
+	o := sass.OpSHL
+	if op == "shr" {
+		o = sass.OpSHR
+	}
+	in := sass.NewInst(o)
+	in.Dst, in.Src1, in.Src2, in.Imm = d, s1, s2, imm
+	c.emit(in)
+	return nil
+}
+
+func (c *compiler) lowerSetp(sub []string, a []string) error {
+	if len(sub) != 2 || len(a) != 3 {
+		return fmt.Errorf("setp: want setp.<cmp>.<type> p, a, b")
+	}
+	cmp := map[string]int{"eq": sass.CmpEQ, "ne": sass.CmpNE, "lt": sass.CmpLT,
+		"le": sass.CmpLE, "gt": sass.CmpGT, "ge": sass.CmpGE}
+	cv, ok := cmp[sub[0]]
+	if !ok {
+		return fmt.Errorf("setp: unknown comparison %q", sub[0])
+	}
+	p, neg, err := c.pred(a[0])
+	if err != nil {
+		return err
+	}
+	if neg {
+		return fmt.Errorf("setp: negated destination predicate")
+	}
+	if sub[1] == "f32" {
+		s1, err := c.valueB32(a[1])
+		if err != nil {
+			return err
+		}
+		s2, err := c.valueB32(a[2])
+		if err != nil {
+			return err
+		}
+		in := sass.NewInst(sass.OpFSETP)
+		in.Src1, in.Src2 = s1, s2
+		in.Mods = sass.MakeMods(cv, false, false, p)
+		c.emit(in)
+		return nil
+	}
+	s1, err := c.gpr(a[1])
+	if err != nil {
+		return err
+	}
+	s2, imm, err := c.regPlusImm(a[2])
+	if err != nil {
+		return err
+	}
+	in := sass.NewInst(sass.OpISETP)
+	in.Src1, in.Src2, in.Imm = s1, s2, imm
+	in.Mods = sass.MakeMods(cv, false, sub[1] == "u32", p)
+	c.emit(in)
+	return nil
+}
+
+func (c *compiler) lowerLd(sub []string, a []string) error {
+	if len(sub) != 2 || len(a) != 2 {
+		return fmt.Errorf("ld: want ld.<space>.<type> dst, [addr]")
+	}
+	space, typ := sub[0], sub[1]
+	wide := typ == "u64" || typ == "s64" || typ == "b64"
+	base, sym, off, err := parseMemArg(a[1])
+	if err != nil {
+		return err
+	}
+	if space == "param" {
+		pp, ok := c.params[sym]
+		if !ok {
+			return fmt.Errorf("ld.param: unknown parameter %q", sym)
+		}
+		if c.f.entry {
+			// Parameters live in constant bank 1.
+			in := sass.NewInst(sass.OpLDC)
+			in.Src1 = sass.RZ
+			in.Imm = int64(pp.Offset) + off
+			in.Mods = sass.MakeMods(1, wide, false, sass.PT)
+			if wide {
+				in.Dst, err = c.pair(a[0])
+			} else {
+				in.Dst, err = c.gpr(a[0])
+			}
+			if err != nil {
+				return err
+			}
+			c.emit(in)
+			return nil
+		}
+		// Device functions receive parameters in ABI registers.
+		in := sass.NewInst(sass.OpMOV)
+		in.Src1 = sass.Reg(pp.Offset)
+		in.Mods = sass.MakeMods(0, wide, false, sass.PT)
+		if wide {
+			in.Dst, err = c.pair(a[0])
+		} else {
+			in.Dst, err = c.gpr(a[0])
+		}
+		if err != nil {
+			return err
+		}
+		c.emit(in)
+		return nil
+	}
+	var opc sass.Opcode
+	var baseReg sass.Reg
+	switch space {
+	case "global":
+		opc = sass.OpLDG
+		baseReg, err = c.pair(base)
+	case "shared":
+		opc = sass.OpLDS
+		baseReg, err = c.sharedBase(base, sym, &off)
+	case "local":
+		opc = sass.OpLDL
+		baseReg, err = c.gpr(base)
+	default:
+		return fmt.Errorf("ld.%s unsupported", space)
+	}
+	if err != nil {
+		return err
+	}
+	in := sass.NewInst(opc)
+	in.Src1, in.Imm = baseReg, off
+	in.Mods = sass.MakeMods(0, wide, false, sass.PT)
+	if wide {
+		in.Dst, err = c.pair(a[0])
+	} else {
+		in.Dst, err = c.gpr(a[0])
+	}
+	if err != nil {
+		return err
+	}
+	c.emit(in)
+	return nil
+}
+
+// sharedBase resolves the base register of a shared reference: either a
+// register, or a shared symbol folded into the offset (base RZ).
+func (c *compiler) sharedBase(base, sym string, off *int64) (sass.Reg, error) {
+	if base != "" {
+		return c.gpr(base)
+	}
+	if sym == "" {
+		return sass.RZ, nil // absolute shared offset
+	}
+	so, ok := c.sharedSyms[sym]
+	if !ok {
+		return sass.RZ, fmt.Errorf("unknown shared symbol %q", sym)
+	}
+	*off += int64(so)
+	return sass.RZ, nil
+}
+
+func (c *compiler) lowerSt(sub []string, a []string) error {
+	if len(sub) != 2 || len(a) != 2 {
+		return fmt.Errorf("st: want st.<space>.<type> [addr], src")
+	}
+	space, typ := sub[0], sub[1]
+	wide := typ == "u64" || typ == "s64" || typ == "b64"
+	base, sym, off, err := parseMemArg(a[0])
+	if err != nil {
+		return err
+	}
+	var opc sass.Opcode
+	var baseReg sass.Reg
+	switch space {
+	case "global":
+		opc = sass.OpSTG
+		baseReg, err = c.pair(base)
+	case "shared":
+		opc = sass.OpSTS
+		baseReg, err = c.sharedBase(base, sym, &off)
+	case "local":
+		opc = sass.OpSTL
+		baseReg, err = c.gpr(base)
+	default:
+		return fmt.Errorf("st.%s unsupported", space)
+	}
+	if err != nil {
+		return err
+	}
+	in := sass.NewInst(opc)
+	in.Src1, in.Imm = baseReg, off
+	in.Mods = sass.MakeMods(0, wide, false, sass.PT)
+	if wide {
+		in.Src2, err = c.pair(a[1])
+	} else {
+		in.Src2, err = c.valueB32(a[1])
+	}
+	if err != nil {
+		return err
+	}
+	c.emit(in)
+	return nil
+}
+
+func (c *compiler) lowerAtom(op string, sub []string, a []string) error {
+	// atom.global.<op>.<type> d, [addr], v / red.global.<op>.<type> [addr], v
+	if len(sub) != 3 || sub[0] != "global" {
+		return fmt.Errorf("%s: want %s.global.<op>.<type>", op, op)
+	}
+	aop, ok := map[string]int{"add": sass.AtomAdd, "min": sass.AtomMin, "max": sass.AtomMax,
+		"exch": sass.AtomExch, "and": sass.AtomAnd, "or": sass.AtomOr, "xor": sass.AtomXor}[sub[1]]
+	if !ok {
+		return fmt.Errorf("%s: unknown atomic op %q", op, sub[1])
+	}
+	typ := sub[2]
+	wide := typ == "u64" || typ == "s64" || typ == "b64"
+	flt := typ == "f32"
+	var in sass.Inst
+	var memArg, valArg string
+	if op == "atom" {
+		if len(a) != 3 {
+			return fmt.Errorf("atom: want 3 operands")
+		}
+		in = sass.NewInst(sass.OpATOM)
+		var err error
+		if wide {
+			in.Dst, err = c.pair(a[0])
+		} else {
+			in.Dst, err = c.gpr(a[0])
+		}
+		if err != nil {
+			return err
+		}
+		memArg, valArg = a[1], a[2]
+	} else {
+		if len(a) != 2 {
+			return fmt.Errorf("red: want 2 operands")
+		}
+		in = sass.NewInst(sass.OpRED)
+		memArg, valArg = a[0], a[1]
+	}
+	base, _, off, err := parseMemArg(memArg)
+	if err != nil {
+		return err
+	}
+	in.Src1, err = c.pair(base)
+	if err != nil {
+		return err
+	}
+	in.Imm = off
+	if wide {
+		in.Src2, err = c.pair(valArg)
+	} else {
+		in.Src2, err = c.valueB32(valArg)
+	}
+	if err != nil {
+		return err
+	}
+	in.Mods = sass.MakeMods(aop, wide, flt, sass.PT)
+	c.emit(in)
+	return nil
+}
+
+func (c *compiler) lowerCall(a []string) error {
+	if len(a) < 1 || len(a) > 3 {
+		return fmt.Errorf("call: want call name[, (args)[, (rets)]]")
+	}
+	name := a[0]
+	// Marshal arguments into ABI registers.
+	if len(a) >= 2 {
+		args := splitParen(a[1])
+		reg := abiArgBase
+		for _, arg := range args {
+			if arg == "" {
+				continue
+			}
+			if cls, ok := c.f.regs[arg]; ok && cls == ClassB64 {
+				if reg%2 != 0 {
+					reg++
+				}
+				s, err := c.pair(arg)
+				if err != nil {
+					return err
+				}
+				mv := sass.NewInst(sass.OpMOV)
+				mv.Dst, mv.Src1 = sass.Reg(reg), s
+				mv.Mods = sass.MakeMods(0, true, false, sass.PT)
+				c.emit(mv)
+				c.touchReg(sass.Reg(reg), true)
+				reg += 2
+				continue
+			}
+			s, err := c.valueB32(arg)
+			if err != nil {
+				return err
+			}
+			mv := sass.NewInst(sass.OpMOV)
+			mv.Dst, mv.Src1 = sass.Reg(reg), s
+			c.emit(mv)
+			c.touchReg(sass.Reg(reg), false)
+			reg++
+		}
+		if reg > abiArgBase+abiMaxArgs {
+			return fmt.Errorf("call %s: too many argument registers", name)
+		}
+	}
+	cal := sass.NewInst(sass.OpCAL)
+	c.emit(cal)
+	c.relocs = append(c.relocs, Reloc{InstIdx: len(c.out) - 1, Symbol: name})
+	found := false
+	for _, r := range c.related {
+		if r == name {
+			found = true
+			break
+		}
+	}
+	if !found {
+		c.related = append(c.related, name)
+	}
+	// Copy the return value out of R4.
+	if len(a) == 3 {
+		rets := splitParen(a[2])
+		if len(rets) != 1 || rets[0] == "" {
+			return fmt.Errorf("call: exactly one return value is supported")
+		}
+		if cls, ok := c.f.regs[rets[0]]; ok && cls == ClassB64 {
+			d, err := c.pair(rets[0])
+			if err != nil {
+				return err
+			}
+			mv := sass.NewInst(sass.OpMOV)
+			mv.Dst, mv.Src1 = d, sass.Reg(abiArgBase)
+			mv.Mods = sass.MakeMods(0, true, false, sass.PT)
+			c.emit(mv)
+			return nil
+		}
+		d, err := c.gpr(rets[0])
+		if err != nil {
+			return err
+		}
+		mv := sass.NewInst(sass.OpMOV)
+		mv.Dst, mv.Src1 = d, sass.Reg(abiArgBase)
+		c.emit(mv)
+	}
+	return nil
+}
+
+// lowerSetret writes the (single) return value into the ABI result register.
+func (c *compiler) lowerSetret(sub []string, a []string) error {
+	if c.f.entry {
+		return fmt.Errorf("setret in a kernel entry")
+	}
+	if len(sub) != 1 || len(a) != 1 {
+		return fmt.Errorf("setret: want setret.<type> src")
+	}
+	wide := sub[0] == "u64" || sub[0] == "s64" || sub[0] == "b64"
+	if wide {
+		s, err := c.pair(a[0])
+		if err != nil {
+			return err
+		}
+		mv := sass.NewInst(sass.OpMOV)
+		mv.Dst, mv.Src1 = sass.Reg(abiArgBase), s
+		mv.Mods = sass.MakeMods(0, true, false, sass.PT)
+		c.emit(mv)
+		return nil
+	}
+	s, err := c.valueB32(a[0])
+	if err != nil {
+		return err
+	}
+	mv := sass.NewInst(sass.OpMOV)
+	mv.Dst, mv.Src1 = sass.Reg(abiArgBase), s
+	c.emit(mv)
+	c.touchReg(sass.Reg(abiArgBase), wide)
+	return nil
+}
+
+func splitParen(s string) []string {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "(")
+	s = strings.TrimSuffix(s, ")")
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	if len(parts) == 1 && parts[0] == "" {
+		return nil
+	}
+	return parts
+}
+
+func (c *compiler) lowerShfl(sub []string, a []string) error {
+	// shfl.<mode>.b32 d, a, lane
+	if len(sub) != 2 || len(a) != 3 {
+		return fmt.Errorf("shfl: want shfl.<mode>.b32 d, a, lane")
+	}
+	mode, ok := map[string]int{"up": sass.ShflUp, "down": sass.ShflDown,
+		"bfly": sass.ShflBfly, "idx": sass.ShflIdx}[sub[0]]
+	if !ok {
+		return fmt.Errorf("shfl: unknown mode %q", sub[0])
+	}
+	d, err := c.gpr(a[0])
+	if err != nil {
+		return err
+	}
+	s1, err := c.gpr(a[1])
+	if err != nil {
+		return err
+	}
+	s2, imm, err := c.regPlusImm(a[2])
+	if err != nil {
+		return err
+	}
+	in := sass.NewInst(sass.OpSHFL)
+	in.Dst, in.Src1, in.Src2, in.Imm = d, s1, s2, imm
+	in.Mods = sass.MakeMods(mode, false, false, sass.PT)
+	c.emit(in)
+	return nil
+}
+
+func (c *compiler) lowerVote(sub []string, a []string) error {
+	if len(sub) != 2 || len(a) != 2 {
+		return fmt.Errorf("vote: want vote.<mode>.<b32|pred> d, p")
+	}
+	src, neg, err := c.pred(a[1])
+	if err != nil {
+		return err
+	}
+	if neg {
+		return fmt.Errorf("vote: negated source predicate unsupported")
+	}
+	switch sub[0] {
+	case "ballot":
+		d, err := c.gpr(a[0])
+		if err != nil {
+			return err
+		}
+		in := sass.NewInst(sass.OpVOTE)
+		in.Dst = d
+		in.Mods = sass.MakeMods(sass.VoteBallot, false, false, src)
+		c.emit(in)
+		return nil
+	case "any", "all":
+		d, neg, err := c.pred(a[0])
+		if err != nil || neg {
+			return fmt.Errorf("vote: bad destination predicate %q", a[0])
+		}
+		mode := sass.VoteAny
+		if sub[0] == "all" {
+			mode = sass.VoteAll
+		}
+		in := sass.NewInst(sass.OpVOTE)
+		in.Dst = sass.Reg(d)
+		in.Mods = sass.MakeMods(mode, false, false, src)
+		c.emit(in)
+		return nil
+	}
+	return fmt.Errorf("vote.%s unsupported", sub[0])
+}
+
+func (c *compiler) lowerMatch(sub []string, a []string) error {
+	// match.any.b32 d, v / match.any.b64 d, vpair
+	if len(sub) != 2 || sub[0] != "any" || len(a) != 2 {
+		return fmt.Errorf("match: want match.any.<b32|b64> d, v")
+	}
+	d, err := c.gpr(a[0])
+	if err != nil {
+		return err
+	}
+	in := sass.NewInst(sass.OpMATCH)
+	if sub[1] == "b64" {
+		in.Src1, err = c.pair(a[1])
+		in.Mods = sass.MakeMods(0, true, false, sass.PT)
+	} else {
+		in.Src1, err = c.gpr(a[1])
+	}
+	if err != nil {
+		return err
+	}
+	in.Dst = d
+	c.emit(in)
+	return nil
+}

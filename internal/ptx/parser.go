@@ -1,0 +1,343 @@
+package ptx
+
+import (
+	"fmt"
+	"strings"
+)
+
+type pparam struct {
+	name  string
+	bytes int
+}
+
+type pshared struct {
+	name   string
+	bytes  int
+	offset int
+}
+
+type pstmt struct {
+	guard string // "", "%p1" or "!%p1"
+	parts []string
+	args  []string
+	line  int
+}
+
+type pfunc struct {
+	name    string
+	entry   bool
+	params  []pparam
+	regs    map[string]RegClass
+	regOrd  []string // declaration order, for deterministic allocation
+	shared  []pshared
+	body    []pstmt
+	labels  map[string]int
+	declIdx int
+}
+
+type pmodule struct {
+	funcs []*pfunc
+}
+
+// parse splits the source into functions, declarations and statements.
+// The grammar is line-tolerant: statements end with ';', labels with ':',
+// function bodies are brace-delimited.
+func parse(src string) (*pmodule, error) {
+	m := &pmodule{}
+	var cur *pfunc
+	line := 0
+	var pending strings.Builder // accumulates until ';', '{', or '}'
+
+	flush := func(stmtLine int, text string) error {
+		text = strings.TrimSpace(text)
+		if text == "" {
+			return nil
+		}
+		switch {
+		case strings.HasPrefix(text, ".version"), strings.HasPrefix(text, ".target"),
+			strings.HasPrefix(text, ".address_size"):
+			return nil // accepted and ignored module directives
+		case strings.HasPrefix(text, ".visible") || strings.HasPrefix(text, ".entry") ||
+			strings.HasPrefix(text, ".func") || strings.HasPrefix(text, ".toolfunc"):
+			if cur != nil {
+				return fmt.Errorf("line %d: nested function declaration", stmtLine)
+			}
+			f, err := parseHeader(text, stmtLine)
+			if err != nil {
+				return err
+			}
+			cur = f
+			return nil
+		}
+		if cur == nil {
+			return fmt.Errorf("line %d: statement %q outside a function", stmtLine, text)
+		}
+		switch {
+		case strings.HasPrefix(text, ".reg"):
+			return parseRegDecl(cur, text, stmtLine)
+		case strings.HasPrefix(text, ".shared"):
+			return parseSharedDecl(cur, text, stmtLine)
+		}
+		st, err := parseStmt(text, stmtLine)
+		if err != nil {
+			return err
+		}
+		cur.body = append(cur.body, st)
+		return nil
+	}
+
+	for _, raw := range strings.Split(src, "\n") {
+		line++
+		s := raw
+		if i := strings.Index(s, "//"); i >= 0 {
+			s = s[:i]
+		}
+		for len(s) > 0 {
+			cut := strings.IndexAny(s, ";{}:")
+			if cut < 0 {
+				pending.WriteString(s)
+				pending.WriteByte(' ')
+				break
+			}
+			pending.WriteString(s[:cut])
+			tok := s[cut]
+			s = s[cut+1:]
+			text := pending.String()
+			pending.Reset()
+			switch tok {
+			case ';':
+				if err := flush(line, text); err != nil {
+					return nil, err
+				}
+			case '{':
+				if err := flush(line, text); err != nil {
+					return nil, err
+				}
+				if cur == nil {
+					return nil, fmt.Errorf("line %d: '{' outside a function header", line)
+				}
+			case '}':
+				if strings.TrimSpace(text) != "" {
+					return nil, fmt.Errorf("line %d: statement %q missing ';'", line, text)
+				}
+				if cur == nil {
+					return nil, fmt.Errorf("line %d: unmatched '}'", line)
+				}
+				m.funcs = append(m.funcs, cur)
+				cur = nil
+			case ':':
+				name := strings.TrimSpace(text)
+				if cur == nil || name == "" || strings.ContainsAny(name, " \t.%") {
+					// Not a label (e.g. inside an operand we don't have);
+					// treat as error for clarity.
+					return nil, fmt.Errorf("line %d: bad label %q", line, name)
+				}
+				if _, dup := cur.labels[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate label %q", line, name)
+				}
+				cur.labels[name] = len(cur.body)
+			}
+		}
+		// Module-level directives (.version, .target, .address_size) are
+		// newline-terminated rather than ';'-terminated; drop them here so
+		// they do not glue onto the next statement.
+		if p := strings.TrimSpace(pending.String()); p != "" {
+			for _, dir := range []string{".version", ".target", ".address_size"} {
+				if strings.HasPrefix(p, dir) {
+					pending.Reset()
+					break
+				}
+			}
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("unterminated function %q", cur.name)
+	}
+	if strings.TrimSpace(pending.String()) != "" {
+		return nil, fmt.Errorf("trailing tokens %q", strings.TrimSpace(pending.String()))
+	}
+	if len(m.funcs) == 0 {
+		return nil, fmt.Errorf("no functions in module")
+	}
+	return m, nil
+}
+
+func parseHeader(text string, line int) (*pfunc, error) {
+	f := &pfunc{regs: make(map[string]RegClass), labels: make(map[string]int)}
+	s := strings.TrimSpace(strings.TrimPrefix(text, ".visible"))
+	switch {
+	case strings.HasPrefix(s, ".entry"):
+		f.entry = true
+		s = strings.TrimSpace(strings.TrimPrefix(s, ".entry"))
+	case strings.HasPrefix(s, ".toolfunc"):
+		// NVBit instrumentation functions: callable only from trampolines
+		// (which save all caller state), so their locals may sit right
+		// above the ABI argument registers. See deviceABI in ptx.go.
+		f.declIdx = declToolFunc
+		s = strings.TrimSpace(strings.TrimPrefix(s, ".toolfunc"))
+	case strings.HasPrefix(s, ".func"):
+		s = strings.TrimSpace(strings.TrimPrefix(s, ".func"))
+	default:
+		return nil, fmt.Errorf("line %d: expected .entry or .func in %q", line, text)
+	}
+	open := strings.Index(s, "(")
+	if open < 0 {
+		f.name = strings.TrimSpace(s)
+		if f.name == "" {
+			return nil, fmt.Errorf("line %d: missing function name", line)
+		}
+		return f, nil
+	}
+	f.name = strings.TrimSpace(s[:open])
+	closeIdx := strings.LastIndex(s, ")")
+	if closeIdx < open {
+		return nil, fmt.Errorf("line %d: unterminated parameter list", line)
+	}
+	plist := strings.TrimSpace(s[open+1 : closeIdx])
+	if plist == "" {
+		return f, nil
+	}
+	for _, p := range strings.Split(plist, ",") {
+		fields := strings.Fields(strings.TrimSpace(p))
+		// ".param" ".u64" "name"
+		if len(fields) != 3 || fields[0] != ".param" {
+			return nil, fmt.Errorf("line %d: bad parameter %q", line, p)
+		}
+		var bytes int
+		switch fields[1] {
+		case ".u64", ".s64", ".b64", ".f64":
+			bytes = 8
+		case ".u32", ".s32", ".b32", ".f32":
+			bytes = 4
+		default:
+			return nil, fmt.Errorf("line %d: unsupported parameter type %q", line, fields[1])
+		}
+		f.params = append(f.params, pparam{name: fields[2], bytes: bytes})
+	}
+	return f, nil
+}
+
+func regClassOf(typ string) (RegClass, error) {
+	switch typ {
+	case ".u32", ".s32", ".b32", ".f32":
+		return ClassB32, nil
+	case ".u64", ".s64", ".b64":
+		return ClassB64, nil
+	case ".pred":
+		return ClassPred, nil
+	}
+	return 0, fmt.Errorf("unsupported register type %q", typ)
+}
+
+// parseRegDecl handles ".reg .u32 %r<16>" (a family) and ".reg .u32 %x" (a
+// single register).
+func parseRegDecl(f *pfunc, text string, line int) error {
+	fields := strings.Fields(text)
+	if len(fields) != 3 {
+		return fmt.Errorf("line %d: bad register declaration %q", line, text)
+	}
+	class, err := regClassOf(fields[1])
+	if err != nil {
+		return fmt.Errorf("line %d: %v", line, err)
+	}
+	name := fields[2]
+	if i := strings.Index(name, "<"); i >= 0 {
+		if !strings.HasSuffix(name, ">") {
+			return fmt.Errorf("line %d: bad register family %q", line, name)
+		}
+		var n int
+		if _, err := fmt.Sscanf(name[i+1:len(name)-1], "%d", &n); err != nil || n <= 0 || n > 256 {
+			return fmt.Errorf("line %d: bad register family count in %q", line, name)
+		}
+		prefix := name[:i]
+		for k := 0; k < n; k++ {
+			r := fmt.Sprintf("%s%d", prefix, k)
+			if _, dup := f.regs[r]; dup {
+				return fmt.Errorf("line %d: register %q redeclared", line, r)
+			}
+			f.regs[r] = class
+			f.regOrd = append(f.regOrd, r)
+		}
+		return nil
+	}
+	if !strings.HasPrefix(name, "%") {
+		return fmt.Errorf("line %d: register name %q must start with %%", line, name)
+	}
+	if _, dup := f.regs[name]; dup {
+		return fmt.Errorf("line %d: register %q redeclared", line, name)
+	}
+	f.regs[name] = class
+	f.regOrd = append(f.regOrd, name)
+	return nil
+}
+
+// parseSharedDecl handles ".shared .b8 name[1024]".
+func parseSharedDecl(f *pfunc, text string, line int) error {
+	fields := strings.Fields(text)
+	if len(fields) != 3 || fields[1] != ".b8" {
+		return fmt.Errorf("line %d: bad shared declaration %q (want .shared .b8 name[N])", line, text)
+	}
+	name := fields[2]
+	open := strings.Index(name, "[")
+	if open < 0 || !strings.HasSuffix(name, "]") {
+		return fmt.Errorf("line %d: bad shared array %q", line, name)
+	}
+	var n int
+	if _, err := fmt.Sscanf(name[open+1:len(name)-1], "%d", &n); err != nil || n <= 0 {
+		return fmt.Errorf("line %d: bad shared size in %q", line, name)
+	}
+	off := 0
+	if k := len(f.shared); k > 0 {
+		prev := f.shared[k-1]
+		off = (prev.offset + prev.bytes + 7) &^ 7
+	}
+	f.shared = append(f.shared, pshared{name: name[:open], bytes: n, offset: off})
+	return nil
+}
+
+func parseStmt(text string, line int) (pstmt, error) {
+	st := pstmt{line: line}
+	s := strings.TrimSpace(text)
+	if strings.HasPrefix(s, "@") {
+		sp := strings.IndexAny(s, " \t")
+		if sp < 0 {
+			return st, fmt.Errorf("line %d: guard without instruction in %q", line, text)
+		}
+		st.guard = s[1:sp]
+		s = strings.TrimSpace(s[sp:])
+	}
+	sp := strings.IndexAny(s, " \t")
+	mnem := s
+	rest := ""
+	if sp >= 0 {
+		mnem, rest = s[:sp], strings.TrimSpace(s[sp:])
+	}
+	st.parts = strings.Split(mnem, ".")
+	if rest != "" {
+		st.args = splitArgs(rest)
+	}
+	return st, nil
+}
+
+// splitArgs splits on top-level commas (ignoring commas inside parentheses,
+// which the call syntax uses).
+func splitArgs(s string) []string {
+	var args []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				args = append(args, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	args = append(args, strings.TrimSpace(s[start:]))
+	return args
+}

@@ -1,0 +1,110 @@
+package sass
+
+// BranchTarget returns the word index targeted by a direct control-flow
+// instruction at word index pc, and whether the instruction has a statically
+// known target. BRA targets are PC-relative; JMP/CAL targets are absolute
+// word indexes. BRX (indirect control flow) has no static target.
+func BranchTarget(in Inst, pc int) (int, bool) {
+	switch in.Op {
+	case OpBRA:
+		return pc + 1 + int(in.Imm), true
+	case OpJMP, OpCAL:
+		return int(in.Imm), true
+	}
+	return 0, false
+}
+
+// HasICF reports whether the function body contains indirect control flow
+// (BRX). Per the paper (Section 4), the basic-block view is unavailable in
+// that case and tools must fall back to the flat instruction view.
+func HasICF(insts []Inst) bool {
+	for _, in := range insts {
+		if in.Op == OpBRX {
+			return true
+		}
+	}
+	return false
+}
+
+// BasicBlocks partitions the static instructions of a function into basic
+// blocks, returned as ranges of word indexes [Start, End). Blocks are formed
+// by grouping consecutive program counters up to (a) the PC before a control
+// flow instruction's successor and (b) any PC that is the target of a control
+// flow instruction — the construction described in the paper's Section 4.
+//
+// ok is false when the function contains indirect control flow; callers must
+// then use the flat view.
+type BlockRange struct {
+	Start, End int // word indexes, End exclusive
+}
+
+// BasicBlocks computes the basic-block partition. See BlockRange.
+func BasicBlocks(insts []Inst) (blocks []BlockRange, ok bool) {
+	if HasICF(insts) {
+		return nil, false
+	}
+	if len(insts) == 0 {
+		return nil, true
+	}
+	leader := make([]bool, len(insts)+1)
+	leader[0] = true
+	for pc, in := range insts {
+		if t, ok := BranchTarget(in, pc); ok {
+			if t >= 0 && t < len(insts) {
+				leader[t] = true
+			}
+		}
+		if in.Op.IsControlFlow() {
+			leader[pc+1] = true
+		}
+	}
+	start := 0
+	for pc := 1; pc <= len(insts); pc++ {
+		if pc == len(insts) || leader[pc] {
+			blocks = append(blocks, BlockRange{start, pc})
+			start = pc
+		}
+	}
+	return blocks, true
+}
+
+// MaxReadReg returns the highest general-purpose register index read or
+// written by the instruction sequence, and the highest predicate index
+// touched. The NVBit core uses this liveness upper bound when sizing the
+// save/restore set for a trampoline (paper Section 5.1). Wide operands count
+// the full register pair. Returns -1 when no register/predicate is used.
+func MaxReadReg(insts []Inst) (maxReg, maxPred int) {
+	maxReg, maxPred = -1, -1
+	note := func(r Reg, wide bool) {
+		if r == RZ {
+			return
+		}
+		n := int(r)
+		if wide {
+			n++
+		}
+		if n > maxReg {
+			maxReg = n
+		}
+	}
+	noteP := func(p Pred) {
+		if p != PT && int(p) > maxPred {
+			maxPred = int(p)
+		}
+	}
+	for _, in := range insts {
+		noteP(in.Pred)
+		for _, o := range in.Operands() {
+			switch o.Kind {
+			case OpdReg:
+				note(o.Reg, o.Wide)
+			case OpdPred:
+				noteP(o.Pred)
+			case OpdMRef:
+				// Global bases are 64-bit register pairs.
+				note(o.Base, o.Space == MemGlobal)
+			}
+		}
+	}
+	return maxReg, maxPred
+}

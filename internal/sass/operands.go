@@ -1,0 +1,159 @@
+package sass
+
+import "fmt"
+
+// OperandKind classifies a structured operand, mirroring the operand_t types
+// that NVBit's Instr::getOperand exposes (paper Listing 4 and Listing 8).
+type OperandKind int
+
+const (
+	OpdReg     OperandKind = iota // general-purpose register (pair if Wide)
+	OpdPred                       // predicate register
+	OpdImm                        // immediate value
+	OpdMRef                       // memory reference: space, base register, offset
+	OpdSpecial                    // special register (S2R source)
+)
+
+var opdKindNames = [...]string{"REG", "PRED", "IMM", "MREF", "SPECIAL"}
+
+func (k OperandKind) String() string {
+	if k >= 0 && int(k) < len(opdKindNames) {
+		return opdKindNames[k]
+	}
+	return fmt.Sprintf("OperandKind(%d)", int(k))
+}
+
+// Operand is one structured operand of an instruction, destination first in
+// the order returned by Inst.Operands.
+type Operand struct {
+	Kind OperandKind
+	Dst  bool // true when the operand is written
+
+	Reg  Reg  // OpdReg
+	Wide bool // OpdReg / OpdMRef: 64-bit datum via register pair
+
+	Pred Pred // OpdPred
+
+	Imm int64 // OpdImm value, or OpdSpecial register id
+
+	// OpdMRef fields. Global references use a 64-bit base held in the
+	// register pair (Base, Base+1); shared, local and constant references
+	// use a single 32-bit base register. Wide refers to the datum width.
+	Space  MemSpace
+	Base   Reg
+	Offset int64
+	CBank  int // OpdMRef with Space == MemConst
+}
+
+func regOpd(r Reg, wide, dst bool) Operand {
+	return Operand{Kind: OpdReg, Reg: r, Wide: wide, Dst: dst}
+}
+func predOpd(p Pred, dst bool) Operand { return Operand{Kind: OpdPred, Pred: p, Dst: dst} }
+func immOpd(v int64) Operand           { return Operand{Kind: OpdImm, Imm: v} }
+
+func mrefOpd(space MemSpace, base Reg, off int64, wide, store bool, bank int) Operand {
+	return Operand{Kind: OpdMRef, Space: space, Base: base, Offset: off, Wide: wide, Dst: store, CBank: bank}
+}
+
+// Operands returns the structured operand list of the instruction,
+// destination first. This is the data model behind the NVBit inspection API's
+// getNumOperands/getOperand methods.
+func (in Inst) Operands() []Operand {
+	w := in.Mods.Wide()
+	switch in.Op {
+	case OpNOP, OpEXIT, OpRET, OpBAR, OpSAVEPOP, OpSTSP, OpLDSP, OpSTSB, OpLDSB:
+		return nil
+	case OpBRA, OpJMP, OpSAVEPUSH:
+		return []Operand{immOpd(in.Imm)}
+	case OpCAL:
+		return []Operand{immOpd(in.Imm)}
+	case OpBRX:
+		return []Operand{regOpd(in.Src1, false, false), immOpd(in.Imm)}
+	case OpMOV:
+		return []Operand{regOpd(in.Dst, w, true), regOpd(in.Src1, w, false)}
+	case OpMOVI, OpMOVIH:
+		return []Operand{regOpd(in.Dst, false, true), immOpd(in.Imm)}
+	case OpS2R:
+		return []Operand{regOpd(in.Dst, false, true), {Kind: OpdSpecial, Imm: in.Imm}}
+	case OpP2R:
+		if in.Mods.SubOp() == P2RSingle {
+			return []Operand{regOpd(in.Dst, false, true), predOpd(in.Mods.Aux(), false)}
+		}
+		return []Operand{regOpd(in.Dst, false, true)}
+	case OpR2P:
+		return []Operand{regOpd(in.Src1, false, false)}
+	case OpSEL:
+		return []Operand{regOpd(in.Dst, false, true), regOpd(in.Src1, false, false),
+			regOpd(in.Src2, false, false), predOpd(in.Mods.Aux(), false)}
+	case OpIADD, OpSHL, OpSHR, OpLOP:
+		return []Operand{regOpd(in.Dst, w, true), regOpd(in.Src1, w, false),
+			regOpd(in.Src2, w, false), immOpd(in.Imm)}
+	case OpIMUL:
+		return []Operand{regOpd(in.Dst, w, true), regOpd(in.Src1, w, false), regOpd(in.Src2, w, false)}
+	case OpIMAD, OpFFMA:
+		return []Operand{regOpd(in.Dst, w, true), regOpd(in.Src1, w, false),
+			regOpd(in.Src2, w, false), regOpd(in.Src3, w, false)}
+	case OpISETP:
+		return []Operand{predOpd(in.Mods.Aux(), true), regOpd(in.Src1, w, false),
+			regOpd(in.Src2, w, false), immOpd(in.Imm)}
+	case OpFSETP:
+		return []Operand{predOpd(in.Mods.Aux(), true), regOpd(in.Src1, false, false), regOpd(in.Src2, false, false)}
+	case OpFADD, OpFMUL:
+		return []Operand{regOpd(in.Dst, false, true), regOpd(in.Src1, false, false), regOpd(in.Src2, false, false)}
+	case OpMUFU, OpI2F, OpF2I, OpPOPC:
+		return []Operand{regOpd(in.Dst, false, true), regOpd(in.Src1, false, false)}
+	case OpLDG:
+		return []Operand{regOpd(in.Dst, w, true), mrefOpd(MemGlobal, in.Src1, in.Imm, w, false, 0)}
+	case OpSTG:
+		return []Operand{mrefOpd(MemGlobal, in.Src1, in.Imm, w, true, 0), regOpd(in.Src2, w, false)}
+	case OpLDS:
+		return []Operand{regOpd(in.Dst, w, true), mrefOpd(MemShared, in.Src1, in.Imm, w, false, 0)}
+	case OpSTS:
+		return []Operand{mrefOpd(MemShared, in.Src1, in.Imm, w, true, 0), regOpd(in.Src2, w, false)}
+	case OpLDL:
+		return []Operand{regOpd(in.Dst, w, true), mrefOpd(MemLocal, in.Src1, in.Imm, w, false, 0)}
+	case OpSTL:
+		return []Operand{mrefOpd(MemLocal, in.Src1, in.Imm, w, true, 0), regOpd(in.Src2, w, false)}
+	case OpLDC:
+		return []Operand{regOpd(in.Dst, w, true), mrefOpd(MemConst, in.Src1, in.Imm, w, false, in.Mods.SubOp())}
+	case OpATOM:
+		return []Operand{regOpd(in.Dst, w, true), mrefOpd(MemGlobal, in.Src1, in.Imm, w, true, 0), regOpd(in.Src2, w, false)}
+	case OpRED:
+		return []Operand{mrefOpd(MemGlobal, in.Src1, in.Imm, w, true, 0), regOpd(in.Src2, w, false)}
+	case OpSHFL:
+		return []Operand{regOpd(in.Dst, false, true), regOpd(in.Src1, false, false),
+			regOpd(in.Src2, false, false), immOpd(in.Imm)}
+	case OpVOTE:
+		if in.Mods.SubOp() == VoteBallot {
+			return []Operand{regOpd(in.Dst, false, true), predOpd(in.Mods.Aux(), false)}
+		}
+		return []Operand{predOpd(Pred(in.Dst&7), true), predOpd(in.Mods.Aux(), false)}
+	case OpMATCH:
+		return []Operand{regOpd(in.Dst, false, true), regOpd(in.Src1, w, false)}
+	case OpWFFT32:
+		return []Operand{regOpd(in.Dst, false, true), regOpd(in.Src1, false, true)}
+	case OpSTSA:
+		return []Operand{immOpd(in.Imm), regOpd(in.Src1, false, false)}
+	case OpLDSA:
+		return []Operand{regOpd(in.Dst, false, true), immOpd(in.Imm)}
+	case OpRDREG:
+		return []Operand{regOpd(in.Dst, false, true), regOpd(in.Src1, false, false), immOpd(in.Imm)}
+	case OpWRREG:
+		return []Operand{regOpd(in.Src1, false, false), immOpd(in.Imm), regOpd(in.Src2, false, false)}
+	case OpRDPRED:
+		return []Operand{regOpd(in.Dst, false, true)}
+	case OpWRPRED:
+		return []Operand{regOpd(in.Src2, false, false)}
+	}
+	return nil
+}
+
+// MemOperand returns the memory-reference operand of the instruction, if any.
+func (in Inst) MemOperand() (Operand, bool) {
+	for _, o := range in.Operands() {
+		if o.Kind == OpdMRef {
+			return o, true
+		}
+	}
+	return Operand{}, false
+}

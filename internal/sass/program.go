@@ -1,0 +1,114 @@
+package sass
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseProgram assembles a multi-line source in the Format syntax into a
+// sequence of instructions. It supports:
+//
+//   - '//' and '#' line comments and blank lines,
+//   - 'name:' labels (alone on a line or prefixing an instruction),
+//   - label operands on BRA (encoded PC-relative in words), and on JMP/CAL
+//     (encoded as absolute word indexes relative to the program start, i.e.
+//     the program is assembled at base word 0; loaders relocate).
+func ParseProgram(src string) ([]Inst, error) {
+	type line struct {
+		text string
+		num  int
+	}
+	var lines []line
+	labels := make(map[string]int)
+	for num, raw := range strings.Split(src, "\n") {
+		s := raw
+		if i := strings.Index(s, "//"); i >= 0 {
+			s = s[:i]
+		}
+		if i := strings.Index(s, "#"); i >= 0 {
+			s = s[:i]
+		}
+		s = strings.TrimSpace(s)
+		for {
+			i := strings.Index(s, ":")
+			if i < 0 || strings.ContainsAny(s[:i], " \t@,[") {
+				break
+			}
+			name := s[:i]
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("sass: line %d: duplicate label %q", num+1, name)
+			}
+			labels[name] = len(lines)
+			s = strings.TrimSpace(s[i+1:])
+		}
+		if s == "" {
+			continue
+		}
+		lines = append(lines, line{s, num + 1})
+	}
+	insts := make([]Inst, 0, len(lines))
+	for idx, ln := range lines {
+		text := ln.text
+		// Resolve a label operand on control-flow ops before parsing.
+		if op, target, ok := splitBranchLabel(text); ok {
+			t, found := labels[target]
+			if !found {
+				return nil, fmt.Errorf("sass: line %d: undefined label %q", ln.num, target)
+			}
+			var imm int
+			if op == OpBRA {
+				imm = t - (idx + 1)
+			} else {
+				imm = t
+			}
+			text = strings.Replace(text, target, fmt.Sprintf("%d", imm), 1)
+		}
+		in, err := ParseInst(text)
+		if err != nil {
+			return nil, fmt.Errorf("sass: line %d: %w", ln.num, err)
+		}
+		insts = append(insts, in)
+	}
+	return insts, nil
+}
+
+// splitBranchLabel detects "BRA label", "JMP label", "CAL label" forms where
+// the operand is a symbolic label rather than a number.
+func splitBranchLabel(text string) (Opcode, string, bool) {
+	s := text
+	if strings.HasPrefix(s, "@") { // skip guard
+		sp := strings.IndexAny(s, " \t")
+		if sp < 0 {
+			return OpNOP, "", false
+		}
+		s = strings.TrimSpace(s[sp:])
+	}
+	sp := strings.IndexAny(s, " \t")
+	if sp < 0 {
+		return OpNOP, "", false
+	}
+	mnem := s[:sp]
+	op, ok := opByName(strings.Split(mnem, ".")[0])
+	if !ok || (op != OpBRA && op != OpJMP && op != OpCAL) {
+		return OpNOP, "", false
+	}
+	arg := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(s[sp:]), ";"))
+	if arg == "" {
+		return OpNOP, "", false
+	}
+	c := arg[0]
+	if c == '-' || (c >= '0' && c <= '9') {
+		return OpNOP, "", false
+	}
+	return op, arg, true
+}
+
+// FormatProgram disassembles a sequence of instructions with word indexes,
+// the flat per-function view the nvdisasm-equivalent tool prints.
+func FormatProgram(insts []Inst) string {
+	var b strings.Builder
+	for i, in := range insts {
+		fmt.Fprintf(&b, "/*%04x*/  %s\n", i, Format(in))
+	}
+	return b.String()
+}

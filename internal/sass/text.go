@@ -1,0 +1,645 @@
+package sass
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders the instruction in the synthetic SASS assembly syntax, e.g.
+//
+//	@!P0 IADD R4, R5, R6, 12 ;
+//	     LDG.W R8, [R4+0x10] ;
+//	     ISETP.LT.U32 P1, R7, RZ, 100 ;
+//
+// The output round-trips through ParseInst.
+func Format(in Inst) string {
+	var b strings.Builder
+	if in.Guarded() {
+		b.WriteByte('@')
+		if in.PredNeg {
+			b.WriteByte('!')
+		}
+		b.WriteString(in.Pred.String())
+		b.WriteByte(' ')
+	}
+	b.WriteString(in.Op.String())
+	b.WriteString(opSuffix(in))
+	ops := formatOperands(in)
+	if ops != "" {
+		b.WriteByte(' ')
+		b.WriteString(ops)
+	}
+	b.WriteString(" ;")
+	return b.String()
+}
+
+func opSuffix(in Inst) string {
+	var s string
+	switch in.Op {
+	case OpISETP:
+		s = "." + CmpName(in.Mods.SubOp())
+		if in.Mods.Flag() {
+			s += ".U32"
+		}
+	case OpFSETP:
+		s = "." + CmpName(in.Mods.SubOp())
+	case OpLOP:
+		s = "." + LopName(in.Mods.SubOp())
+	case OpATOM, OpRED:
+		s = "." + AtomName(in.Mods.SubOp())
+		if in.Mods.Flag() {
+			s += ".F"
+		}
+	case OpMUFU:
+		s = "." + MufuName(in.Mods.SubOp())
+	case OpSHFL:
+		s = "." + ShflName(in.Mods.SubOp())
+	case OpVOTE:
+		s = "." + VoteName(in.Mods.SubOp())
+	case OpP2R:
+		if in.Mods.SubOp() == P2RSingle {
+			s = ".ONE"
+		}
+	}
+	if in.Mods.Wide() {
+		s += ".W"
+	}
+	return s
+}
+
+func formatOperands(in Inst) string {
+	switch in.Op {
+	case OpRDREG:
+		return fmt.Sprintf("%v, %v+%d", in.Dst, in.Src1, in.Imm)
+	case OpWRREG:
+		return fmt.Sprintf("%v+%d, %v", in.Src1, in.Imm, in.Src2)
+	case OpSTSA:
+		return fmt.Sprintf("[%d], %v", in.Imm, in.Src1)
+	case OpLDSA:
+		return fmt.Sprintf("%v, [%d]", in.Dst, in.Imm)
+	}
+	parts := make([]string, 0, 4)
+	for _, o := range in.Operands() {
+		parts = append(parts, formatOperand(o))
+	}
+	return strings.Join(parts, ", ")
+}
+
+func formatOperand(o Operand) string {
+	switch o.Kind {
+	case OpdReg:
+		return o.Reg.String()
+	case OpdPred:
+		return o.Pred.String()
+	case OpdImm:
+		if o.Imm < 0 || o.Imm < 10 {
+			return strconv.FormatInt(o.Imm, 10)
+		}
+		return "0x" + strconv.FormatInt(o.Imm, 16)
+	case OpdSpecial:
+		return SpecialRegName(o.Imm)
+	case OpdMRef:
+		inner := o.Base.String()
+		switch {
+		case o.Offset > 0:
+			inner += fmt.Sprintf("+0x%x", o.Offset)
+		case o.Offset < 0:
+			inner += fmt.Sprintf("-0x%x", -o.Offset)
+		}
+		if o.Space == MemConst {
+			return fmt.Sprintf("c[%d][%s]", o.CBank, inner)
+		}
+		return "[" + inner + "]"
+	}
+	return "?"
+}
+
+// ParseInst parses a single instruction in the syntax produced by Format.
+// Labels are not resolved here; use ParseProgram for label-bearing sources.
+func ParseInst(s string) (Inst, error) {
+	in := NewInst(OpNOP)
+	s = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(s), ";"))
+	if s == "" {
+		return in, fmt.Errorf("sass: empty instruction")
+	}
+	// Guard predicate.
+	if s[0] == '@' {
+		sp := strings.IndexAny(s, " \t")
+		if sp < 0 {
+			return in, fmt.Errorf("sass: guard without opcode in %q", s)
+		}
+		g := s[1:sp]
+		if strings.HasPrefix(g, "!") {
+			in.PredNeg = true
+			g = g[1:]
+		}
+		p, err := parsePred(g)
+		if err != nil {
+			return in, err
+		}
+		in.Pred = p
+		s = strings.TrimSpace(s[sp:])
+	}
+	// Mnemonic and suffixes.
+	sp := strings.IndexAny(s, " \t")
+	mnem, rest := s, ""
+	if sp >= 0 {
+		mnem, rest = s[:sp], strings.TrimSpace(s[sp:])
+	}
+	parts := strings.Split(mnem, ".")
+	op, ok := opByName(parts[0])
+	if !ok {
+		return in, fmt.Errorf("sass: unknown opcode %q", parts[0])
+	}
+	in.Op = op
+	subOp, wide, flag := 0, false, false
+	for _, sfx := range parts[1:] {
+		switch {
+		case sfx == "W":
+			wide = true
+		case sfx == "U32" && op == OpISETP, sfx == "F" && (op == OpATOM || op == OpRED):
+			flag = true
+		case sfx == "ONE" && op == OpP2R:
+			subOp = P2RSingle
+		default:
+			n, ok := subOpByName(op, sfx)
+			if !ok {
+				return in, fmt.Errorf("sass: unknown suffix %q for %v", sfx, op)
+			}
+			subOp = n
+		}
+	}
+	in.Mods = MakeMods(subOp, wide, flag, PT)
+	if err := parseOperands(&in, rest); err != nil {
+		return in, fmt.Errorf("sass: %v: %w (in %q)", op, err, s)
+	}
+	return in, nil
+}
+
+var opsByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, NumOpcodes)
+	for op := 0; op < NumOpcodes; op++ {
+		m[Opcode(op).String()] = Opcode(op)
+	}
+	return m
+}()
+
+func opByName(s string) (Opcode, bool) {
+	op, ok := opsByName[s]
+	return op, ok
+}
+
+func subOpByName(op Opcode, sfx string) (int, bool) {
+	find := func(names []string) (int, bool) {
+		for i, n := range names {
+			if n == sfx {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	switch op {
+	case OpISETP, OpFSETP:
+		return find(cmpNames[:])
+	case OpLOP:
+		return find(lopNames[:])
+	case OpATOM, OpRED:
+		return find(atomNames[:])
+	case OpMUFU:
+		return find(mufuNames[:])
+	case OpSHFL:
+		return find(shflNames[:])
+	case OpVOTE:
+		return find(voteNames[:])
+	}
+	return 0, false
+}
+
+func parseReg(s string) (Reg, error) {
+	s = strings.TrimSpace(s)
+	if s == "RZ" {
+		return RZ, nil
+	}
+	if !strings.HasPrefix(s, "R") {
+		return RZ, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return RZ, fmt.Errorf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func parsePred(s string) (Pred, error) {
+	s = strings.TrimSpace(s)
+	if s == "PT" {
+		return PT, nil
+	}
+	if !strings.HasPrefix(s, "P") {
+		return PT, fmt.Errorf("expected predicate, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumPreds {
+		return PT, fmt.Errorf("bad predicate %q", s)
+	}
+	return Pred(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// parseMRef parses "[Rn]", "[Rn+off]", "[Rn-off]" or a bare "[off]".
+func parseMRef(s string) (base Reg, off int64, err error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return RZ, 0, fmt.Errorf("expected memory reference, got %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	if !strings.HasPrefix(inner, "R") {
+		off, err = parseImm(inner)
+		return RZ, off, err
+	}
+	i := strings.IndexAny(inner, "+-")
+	if i < 0 {
+		base, err = parseReg(inner)
+		return base, 0, err
+	}
+	base, err = parseReg(inner[:i])
+	if err != nil {
+		return RZ, 0, err
+	}
+	off, err = parseImm(inner[i+1:])
+	if err != nil {
+		return RZ, 0, err
+	}
+	if inner[i] == '-' {
+		off = -off
+	}
+	return base, off, nil
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseOperands(in *Inst, rest string) error {
+	t := splitOperands(rest)
+	need := func(n int) error {
+		if len(t) != n {
+			return fmt.Errorf("want %d operands, got %d", n, len(t))
+		}
+		return nil
+	}
+	var err error
+	switch in.Op {
+	case OpNOP, OpEXIT, OpRET, OpBAR, OpSAVEPOP, OpSTSP, OpLDSP, OpSTSB, OpLDSB:
+		return need(0)
+	case OpBRA, OpJMP, OpCAL, OpSAVEPUSH:
+		if err = need(1); err != nil {
+			return err
+		}
+		in.Imm, err = parseImm(t[0])
+		return err
+	case OpBRX:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Src1, err = parseReg(t[0]); err != nil {
+			return err
+		}
+		in.Imm, err = parseImm(t[1])
+		return err
+	case OpMOV:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Dst, err = parseReg(t[0]); err != nil {
+			return err
+		}
+		in.Src1, err = parseReg(t[1])
+		return err
+	case OpMOVI, OpMOVIH:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Dst, err = parseReg(t[0]); err != nil {
+			return err
+		}
+		in.Imm, err = parseImm(t[1])
+		return err
+	case OpS2R:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Dst, err = parseReg(t[0]); err != nil {
+			return err
+		}
+		for id := int64(0); id < NumSpecialRegs; id++ {
+			if SpecialRegName(id) == t[1] {
+				in.Imm = id
+				return nil
+			}
+		}
+		return fmt.Errorf("unknown special register %q", t[1])
+	case OpP2R:
+		if in.Mods.SubOp() == P2RSingle {
+			if err = need(2); err != nil {
+				return err
+			}
+			if in.Dst, err = parseReg(t[0]); err != nil {
+				return err
+			}
+			p, err := parsePred(t[1])
+			if err != nil {
+				return err
+			}
+			in.Mods = MakeMods(P2RSingle, false, false, p)
+			return nil
+		}
+		if err = need(1); err != nil {
+			return err
+		}
+		in.Dst, err = parseReg(t[0])
+		return err
+	case OpR2P:
+		if err = need(1); err != nil {
+			return err
+		}
+		in.Src1, err = parseReg(t[0])
+		return err
+	case OpSEL:
+		if err = need(4); err != nil {
+			return err
+		}
+		if in.Dst, err = parseReg(t[0]); err != nil {
+			return err
+		}
+		if in.Src1, err = parseReg(t[1]); err != nil {
+			return err
+		}
+		if in.Src2, err = parseReg(t[2]); err != nil {
+			return err
+		}
+		p, err := parsePred(t[3])
+		if err != nil {
+			return err
+		}
+		in.Mods = MakeMods(in.Mods.SubOp(), in.Mods.Wide(), in.Mods.Flag(), p)
+		return nil
+	case OpIADD, OpSHL, OpSHR, OpLOP, OpSHFL:
+		if err = need(4); err != nil {
+			return err
+		}
+		if in.Dst, err = parseReg(t[0]); err != nil {
+			return err
+		}
+		if in.Src1, err = parseReg(t[1]); err != nil {
+			return err
+		}
+		if in.Src2, err = parseReg(t[2]); err != nil {
+			return err
+		}
+		in.Imm, err = parseImm(t[3])
+		return err
+	case OpIMUL, OpFADD, OpFMUL:
+		if err = need(3); err != nil {
+			return err
+		}
+		if in.Dst, err = parseReg(t[0]); err != nil {
+			return err
+		}
+		if in.Src1, err = parseReg(t[1]); err != nil {
+			return err
+		}
+		in.Src2, err = parseReg(t[2])
+		return err
+	case OpIMAD, OpFFMA:
+		if err = need(4); err != nil {
+			return err
+		}
+		if in.Dst, err = parseReg(t[0]); err != nil {
+			return err
+		}
+		if in.Src1, err = parseReg(t[1]); err != nil {
+			return err
+		}
+		if in.Src2, err = parseReg(t[2]); err != nil {
+			return err
+		}
+		in.Src3, err = parseReg(t[3])
+		return err
+	case OpISETP:
+		if err = need(4); err != nil {
+			return err
+		}
+		p, err := parsePred(t[0])
+		if err != nil {
+			return err
+		}
+		in.Mods = MakeMods(in.Mods.SubOp(), in.Mods.Wide(), in.Mods.Flag(), p)
+		if in.Src1, err = parseReg(t[1]); err != nil {
+			return err
+		}
+		if in.Src2, err = parseReg(t[2]); err != nil {
+			return err
+		}
+		in.Imm, err = parseImm(t[3])
+		return err
+	case OpFSETP:
+		if err = need(3); err != nil {
+			return err
+		}
+		p, err := parsePred(t[0])
+		if err != nil {
+			return err
+		}
+		in.Mods = MakeMods(in.Mods.SubOp(), in.Mods.Wide(), in.Mods.Flag(), p)
+		if in.Src1, err = parseReg(t[1]); err != nil {
+			return err
+		}
+		in.Src2, err = parseReg(t[2])
+		return err
+	case OpMUFU, OpI2F, OpF2I, OpPOPC:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Dst, err = parseReg(t[0]); err != nil {
+			return err
+		}
+		in.Src1, err = parseReg(t[1])
+		return err
+	case OpLDG, OpLDS, OpLDL:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Dst, err = parseReg(t[0]); err != nil {
+			return err
+		}
+		in.Src1, in.Imm, err = parseMRef(t[1])
+		return err
+	case OpSTG, OpSTS, OpSTL:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Src1, in.Imm, err = parseMRef(t[0]); err != nil {
+			return err
+		}
+		in.Src2, err = parseReg(t[1])
+		return err
+	case OpLDC:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Dst, err = parseReg(t[0]); err != nil {
+			return err
+		}
+		s := t[1]
+		if !strings.HasPrefix(s, "c[") {
+			return fmt.Errorf("expected constant reference, got %q", s)
+		}
+		end := strings.Index(s, "]")
+		bank, err := parseImm(s[2:end])
+		if err != nil {
+			return err
+		}
+		in.Mods = MakeMods(int(bank), in.Mods.Wide(), false, PT)
+		in.Src1, in.Imm, err = parseMRef(s[end+1:])
+		return err
+	case OpATOM:
+		if err = need(3); err != nil {
+			return err
+		}
+		if in.Dst, err = parseReg(t[0]); err != nil {
+			return err
+		}
+		if in.Src1, in.Imm, err = parseMRef(t[1]); err != nil {
+			return err
+		}
+		in.Src2, err = parseReg(t[2])
+		return err
+	case OpRED:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Src1, in.Imm, err = parseMRef(t[0]); err != nil {
+			return err
+		}
+		in.Src2, err = parseReg(t[1])
+		return err
+	case OpVOTE:
+		if err = need(2); err != nil {
+			return err
+		}
+		src, err := parsePred(t[1])
+		if err != nil {
+			return err
+		}
+		in.Mods = MakeMods(in.Mods.SubOp(), false, false, src)
+		if in.Mods.SubOp() == VoteBallot {
+			in.Dst, err = parseReg(t[0])
+			return err
+		}
+		p, err := parsePred(t[0])
+		if err != nil {
+			return err
+		}
+		in.Dst = Reg(p)
+		return nil
+	case OpMATCH:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Dst, err = parseReg(t[0]); err != nil {
+			return err
+		}
+		in.Src1, err = parseReg(t[1])
+		return err
+	case OpWFFT32:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Dst, err = parseReg(t[0]); err != nil {
+			return err
+		}
+		in.Src1, err = parseReg(t[1])
+		return err
+	case OpSTSA:
+		if err = need(2); err != nil {
+			return err
+		}
+		if _, in.Imm, err = parseMRef(t[0]); err != nil {
+			return err
+		}
+		in.Src1, err = parseReg(t[1])
+		return err
+	case OpLDSA:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Dst, err = parseReg(t[0]); err != nil {
+			return err
+		}
+		_, in.Imm, err = parseMRef(t[1])
+		return err
+	case OpRDREG:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Dst, err = parseReg(t[0]); err != nil {
+			return err
+		}
+		in.Src1, in.Imm, err = parseRegPlus(t[1])
+		return err
+	case OpWRREG:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Src1, in.Imm, err = parseRegPlus(t[0]); err != nil {
+			return err
+		}
+		in.Src2, err = parseReg(t[1])
+		return err
+	case OpRDPRED:
+		if err = need(1); err != nil {
+			return err
+		}
+		in.Dst, err = parseReg(t[0])
+		return err
+	case OpWRPRED:
+		if err = need(1); err != nil {
+			return err
+		}
+		in.Src2, err = parseReg(t[0])
+		return err
+	}
+	return fmt.Errorf("no operand grammar for %v", in.Op)
+}
+
+// parseRegPlus parses "Rn+imm" (RDREG/WRREG register-index expressions).
+func parseRegPlus(s string) (Reg, int64, error) {
+	i := strings.Index(s, "+")
+	if i < 0 {
+		r, err := parseReg(s)
+		return r, 0, err
+	}
+	r, err := parseReg(s[:i])
+	if err != nil {
+		return RZ, 0, err
+	}
+	v, err := parseImm(s[i+1:])
+	return r, v, err
+}

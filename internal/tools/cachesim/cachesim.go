@@ -1,0 +1,300 @@
+// Package cachesim is a trace-driven cache simulator built entirely on NVBit
+// mechanisms — the use case the paper's introduction motivates ("entire
+// cache simulators can be built around these mechanisms", Section 6.1, and
+// the CMP$im-style simulators cited in Section 1).
+//
+// Every warp-level global memory instruction is instrumented with a device
+// function that appends one record per executing lane — the 64-bit address
+// plus access flags — into a device-resident ring buffer, reserving slots
+// with a 64-bit atomic. At the exit of each cuLaunchKernel driver callback
+// the host drains the buffer and replays the trace through a configurable
+// two-level set-associative LRU cache model. The result is an offline cache
+// simulator whose input is a dynamically collected, full-fidelity address
+// trace — including addresses issued inside binary-only libraries.
+package cachesim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"nvbitgo/nvbit"
+)
+
+// Record flags.
+const (
+	FlagStore = 1 << 0
+	FlagWide  = 1 << 1 // 8-byte access
+	FlagAtom  = 1 << 2
+)
+
+// recBytes is the size of one trace record: u64 address + u32 flags + u32 pad.
+const recBytes = 16
+
+// Control block layout (device memory):
+//
+//	[0]  u64 head   — next free record index (atomically reserved)
+//	[8]  u64 cap    — record capacity
+//	[16] u64 buf    — record buffer base address
+//	[24] u64 drops  — records dropped on overflow
+const ctrlBytes = 32
+
+const toolPTX = `
+.toolfunc cachesim_rec(.param .u32 pred, .param .u64 base, .param .u32 off, .param .u32 flags, .param .u64 ctrl)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<14>;
+	.reg .pred %p<3>;
+	ld.param.u32 %r0, [pred];
+	setp.eq.u32 %p0, %r0, 0;
+	@%p0 ret;
+	// Reconstruct the access address.
+	ld.param.u64 %rd0, [base];
+	ld.param.u32 %r1, [off];
+	cvt.u64.u32 %rd2, %r1;
+	add.u64 %rd0, %rd0, %rd2;
+	// Reserve a slot: old = atomicAdd(&head, 1).
+	ld.param.u64 %rd4, [ctrl];
+	mov.u64 %rd6, 1;
+	atom.global.add.u64 %rd8, [%rd4], %rd6;
+	// Drop on overflow, counting the loss.
+	ld.global.u64 %rd10, [%rd4+8];
+	cvt.u32.u64 %r2, %rd8;
+	cvt.u32.u64 %r3, %rd10;
+	setp.ge.u32 %p1, %r2, %r3;
+	@%p1 red.global.add.u64 [%rd4+24], %rd6;
+	@%p1 ret;
+	// rec = buf + old*16
+	ld.global.u64 %rd10, [%rd4+16];
+	mov.u32 %r4, 16;
+	mad.wide.u32 %rd12, %r2, %r4, %rd10;
+	st.global.u64 [%rd12], %rd0;
+	ld.param.u32 %r5, [flags];
+	st.global.u32 [%rd12+8], %r5;
+	ret;
+}
+`
+
+// Config describes the modelled cache hierarchy.
+type Config struct {
+	LineBytes int // power of two
+	L1Lines   int
+	L1Ways    int
+	L2Lines   int
+	L2Ways    int
+	// Capacity is the trace ring-buffer capacity in records.
+	Capacity int
+}
+
+// DefaultConfig models a 32 KiB 4-way L1 with a 1 MiB 8-way L2 and 128-byte
+// lines — matching the simulated device, so results can be validated against
+// the device's own counters.
+func DefaultConfig() Config {
+	return Config{LineBytes: 128, L1Lines: 256, L1Ways: 4, L2Lines: 8192, L2Ways: 8, Capacity: 1 << 18}
+}
+
+// Stats are the replayed-cache results.
+type Stats struct {
+	Accesses uint64 // lane-level accesses replayed
+	Stores   uint64
+	L1Hits   uint64
+	L1Misses uint64
+	L2Hits   uint64
+	L2Misses uint64
+	Dropped  uint64 // trace records lost to ring-buffer overflow
+}
+
+// L1HitRate returns the fraction of accesses that hit in the modelled L1.
+func (s Stats) L1HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.L1Hits) / float64(s.Accesses)
+}
+
+// Tool is the cache-simulator tool.
+type Tool struct {
+	cfg   Config
+	ctrl  uint64
+	buf   uint64
+	l1    *lru
+	l2    *lru
+	stats Stats
+	// SkipLibraries excludes binary-only modules (for the compiler-view
+	// comparison, as in the paper's Section 6.1 experiments).
+	SkipLibraries bool
+}
+
+// New returns a cache-simulator tool with the given hierarchy model.
+func New(cfg Config) *Tool {
+	return &Tool{cfg: cfg, l1: newLRU(cfg.L1Lines, cfg.L1Ways), l2: newLRU(cfg.L2Lines, cfg.L2Ways)}
+}
+
+// AtInit registers the trace device function and allocates the ring buffer.
+func (t *Tool) AtInit(n *nvbit.NVBit) {
+	if err := n.RegisterToolPTX(toolPTX); err != nil {
+		panic(err)
+	}
+	var err error
+	if t.ctrl, err = n.Malloc(ctrlBytes); err != nil {
+		panic(err)
+	}
+	if t.buf, err = n.Malloc(uint64(t.cfg.Capacity * recBytes)); err != nil {
+		panic(err)
+	}
+	if err := n.WriteU64(t.ctrl, 0); err != nil {
+		panic(err)
+	}
+	if err := n.WriteU64(t.ctrl+8, uint64(t.cfg.Capacity)); err != nil {
+		panic(err)
+	}
+	if err := n.WriteU64(t.ctrl+16, t.buf); err != nil {
+		panic(err)
+	}
+	if err := n.WriteU64(t.ctrl+24, 0); err != nil {
+		panic(err)
+	}
+}
+
+// AtTerm implements the Tool interface.
+func (t *Tool) AtTerm(n *nvbit.NVBit) {}
+
+// AtCUDACall instruments memory instructions at launch entry and drains the
+// trace at launch exit.
+func (t *Tool) AtCUDACall(n *nvbit.NVBit, exit bool, cbid nvbit.CBID, name string, p *nvbit.CallParams) {
+	if cbid != nvbit.CBLaunchKernel {
+		return
+	}
+	if exit {
+		t.drain(n)
+		return
+	}
+	f := p.Launch.Func
+	if n.IsInstrumented(f) {
+		return
+	}
+	if f.Module.FromCubin && t.SkipLibraries {
+		return
+	}
+	insts, err := n.GetInstrs(f)
+	if err != nil {
+		panic(fmt.Sprintf("cachesim: %v", err))
+	}
+	for _, i := range insts {
+		if i.GetMemOpSpace() != nvbit.MemGlobal {
+			continue
+		}
+		mref, ok := i.MemOperand()
+		if !ok {
+			continue
+		}
+		flags := uint32(0)
+		if i.IsStore() {
+			flags |= FlagStore
+		}
+		if mref.Wide {
+			flags |= FlagWide
+		}
+		n.InsertCallArgs(i, "cachesim_rec", nvbit.IPointBefore,
+			nvbit.ArgGuardPred(),
+			nvbit.ArgRegVal64(int(mref.Base)),
+			nvbit.ArgImm32(uint32(mref.Offset)),
+			nvbit.ArgImm32(flags),
+			nvbit.ArgImm64(t.ctrl))
+	}
+}
+
+// drain replays the collected trace through the cache model and resets the
+// ring buffer.
+func (t *Tool) drain(n *nvbit.NVBit) {
+	head, err := n.ReadU64(t.ctrl)
+	if err != nil {
+		panic(err)
+	}
+	drops, err := n.ReadU64(t.ctrl + 24)
+	if err != nil {
+		panic(err)
+	}
+	t.stats.Dropped += drops
+	records := head
+	if records > uint64(t.cfg.Capacity) {
+		records = uint64(t.cfg.Capacity)
+	}
+	if records > 0 {
+		raw := make([]byte, records*recBytes)
+		if err := n.Device().Read(t.buf, raw); err != nil {
+			panic(err)
+		}
+		shift := uint(0)
+		for 1<<shift < t.cfg.LineBytes {
+			shift++
+		}
+		for r := uint64(0); r < records; r++ {
+			addr := binary.LittleEndian.Uint64(raw[r*recBytes:])
+			flags := binary.LittleEndian.Uint32(raw[r*recBytes+8:])
+			line := addr >> shift
+			t.stats.Accesses++
+			if flags&FlagStore != 0 {
+				t.stats.Stores++
+			}
+			if t.l1.access(line) {
+				t.stats.L1Hits++
+				continue
+			}
+			t.stats.L1Misses++
+			if t.l2.access(line) {
+				t.stats.L2Hits++
+			} else {
+				t.stats.L2Misses++
+			}
+		}
+	}
+	if err := n.WriteU64(t.ctrl, 0); err != nil {
+		panic(err)
+	}
+	if err := n.WriteU64(t.ctrl+24, 0); err != nil {
+		panic(err)
+	}
+}
+
+// Stats returns the accumulated replay results.
+func (t *Tool) Stats() Stats { return t.stats }
+
+// lru is a set-associative LRU cache model (host side).
+type lru struct {
+	sets, ways int
+	tags       []uint64
+	ticks      []uint64
+	tick       uint64
+}
+
+func newLRU(lines, ways int) *lru {
+	if lines < ways {
+		lines = ways
+	}
+	sets := lines / ways
+	for sets&(sets-1) != 0 {
+		sets--
+	}
+	return &lru{sets: sets, ways: ways, tags: make([]uint64, sets*ways), ticks: make([]uint64, sets*ways)}
+}
+
+func (c *lru) access(line uint64) bool {
+	c.tick++
+	key := line + 1
+	base := (int(line) & (c.sets - 1)) * c.ways
+	victim, oldest := base, c.ticks[base]
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == key {
+			c.ticks[i] = c.tick
+			return true
+		}
+		if c.ticks[i] < oldest {
+			victim, oldest = i, c.ticks[i]
+		}
+	}
+	c.tags[victim] = key
+	c.ticks[victim] = c.tick
+	return false
+}
+
+var _ nvbit.Tool = (*Tool)(nil)

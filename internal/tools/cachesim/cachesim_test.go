@@ -1,0 +1,159 @@
+package cachesim
+
+import (
+	"testing"
+
+	"nvbitgo/gpusim"
+	"nvbitgo/nvbit"
+)
+
+// strideKernel: each thread loads and stores data[tid*stride/4].
+const strideKernel = `
+.visible .entry stride(.param .u64 data, .param .u32 stride)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<4>;
+	mov.u32 %r4, %ctaid.x;
+	mov.u32 %r5, %ntid.x;
+	mov.u32 %r6, %tid.x;
+	mad.lo.u32 %r0, %r4, %r5, %r6;
+	ld.param.u32 %r1, [stride];
+	mul.lo.u32 %r2, %r0, %r1;
+	ld.param.u64 %rd0, [data];
+	cvt.u64.u32 %rd2, %r2;
+	add.u64 %rd0, %rd0, %rd2;
+	ld.global.u32 %r3, [%rd0];
+	st.global.u32 [%rd0], %r3;
+	exit;
+}
+`
+
+func runStride(t *testing.T, cfg Config, strideBytes uint32, threads int) *Tool {
+	t.Helper()
+	api, err := gpusim.New(gpusim.Volta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := New(cfg)
+	if _, err := nvbit.Attach(api, tool); err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := api.CtxCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := ctx.ModuleLoadPTX("app", strideKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := mod.GetFunction("stride")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ctx.MemAlloc(uint64(threads) * uint64(strideBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := gpusim.PackParams(f, data, strideBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := (threads + 255) / 256
+	block := 256
+	if threads < 256 {
+		block = threads
+	}
+	if err := ctx.LaunchKernel(f, gpusim.D1(blocks), gpusim.D1(block), 0, params); err != nil {
+		t.Fatal(err)
+	}
+	return tool
+}
+
+func TestSingleLineWarp(t *testing.T) {
+	// One warp, stride 4: all 32 lanes touch the same 128-byte line.
+	// Trace replay: 64 accesses (load+store per lane); only the very
+	// first misses.
+	tool := runStride(t, DefaultConfig(), 4, 32)
+	st := tool.Stats()
+	if st.Accesses != 64 {
+		t.Fatalf("accesses = %d, want 64", st.Accesses)
+	}
+	if st.Stores != 32 {
+		t.Fatalf("stores = %d, want 32", st.Stores)
+	}
+	if st.L1Misses != 1 || st.L1Hits != 63 {
+		t.Fatalf("L1 hits/misses = %d/%d, want 63/1", st.L1Hits, st.L1Misses)
+	}
+	if st.L2Misses != 1 {
+		t.Fatalf("L2 misses = %d, want 1 (the cold line)", st.L2Misses)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("dropped = %d", st.Dropped)
+	}
+}
+
+func TestStreamingThrashesL1(t *testing.T) {
+	// 4096 threads at one line per lane: 4096 distinct lines through a
+	// 256-line L1 — every load must miss L1; each store hits (the load
+	// just filled the line; LRU keeps it until the set cycles).
+	tool := runStride(t, DefaultConfig(), 128, 4096)
+	st := tool.Stats()
+	if st.Accesses != 8192 {
+		t.Fatalf("accesses = %d", st.Accesses)
+	}
+	if st.L1Misses < 4096 {
+		t.Fatalf("L1 misses = %d, want >= 4096 (streaming)", st.L1Misses)
+	}
+	if rate := st.L1HitRate(); rate > 0.51 {
+		t.Fatalf("L1 hit rate %.2f too high for streaming", rate)
+	}
+}
+
+func TestRingBufferOverflowCountsDrops(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Capacity = 16 // force overflow
+	tool := runStride(t, cfg, 4, 256)
+	st := tool.Stats()
+	if st.Dropped == 0 {
+		t.Fatal("expected dropped records with a tiny ring buffer")
+	}
+	if st.Accesses != 16 {
+		t.Fatalf("replayed %d records, want the 16 that fit", st.Accesses)
+	}
+	// 512 lane-accesses total: drops + replayed must account for all.
+	if st.Accesses+st.Dropped != 512 {
+		t.Fatalf("accesses %d + dropped %d != 512", st.Accesses, st.Dropped)
+	}
+}
+
+func TestDrainResetsBetweenLaunches(t *testing.T) {
+	api, err := gpusim.New(gpusim.Volta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := New(DefaultConfig())
+	if _, err := nvbit.Attach(api, tool); err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := api.CtxCreate()
+	mod, err := ctx.ModuleLoadPTX("app", strideKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := mod.GetFunction("stride")
+	data, _ := ctx.MemAlloc(4 * 32)
+	params, _ := gpusim.PackParams(f, data, uint32(4))
+	for i := 0; i < 3; i++ {
+		if err := ctx.LaunchKernel(f, gpusim.D1(1), gpusim.D1(32), 0, params); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tool.Stats()
+	if st.Accesses != 3*64 {
+		t.Fatalf("accesses across launches = %d, want %d", st.Accesses, 3*64)
+	}
+	// Later launches re-touch the same line, now resident.
+	if st.L1Misses != 1 {
+		t.Fatalf("L1 misses = %d, want 1 across all launches", st.L1Misses)
+	}
+}

@@ -1,0 +1,154 @@
+// Package emu implements the Section 6.3 tool: instruction emulation for the
+// hypothetical warp-wide 32-point FFT instruction WFFT32.
+//
+// The application marks FFT sites with the proxy instruction (the PTX
+// dialect's wfft32.f32, compiled to the SASS opcode WFFT32, which no
+// simulated device executes natively unless "future hardware" mode is on).
+// The tool finds each WFFT32, removes the original instruction
+// (nvbit_remove_orig) and injects wfft32emu, a functionally equivalent
+// device function built from shuffle-based butterflies that reads and writes
+// the interrupted thread's register state through the NVBit device API — so
+// the emulated result lands exactly where the hardware instruction would
+// have put it.
+package emu
+
+import (
+	"fmt"
+
+	"nvbitgo/internal/sass"
+	"nvbitgo/nvbit"
+)
+
+// toolPTX holds wfft32emu: a 5-stage radix-2 decimation-in-frequency FFT
+// across the 32 lanes of the warp, followed by a bit-reversal permutation.
+// Lane k ends up with X[k] = sum_n x[n] e^(-2 pi i k n / 32).
+const toolPTX = `
+.toolfunc wfft32emu(.param .u32 rre, .param .u32 rim)
+{
+	.reg .u32 %r<12>;
+	.reg .f32 %f<16>;
+	.reg .pred %p<3>;
+	ld.param.u32 %r0, [rre];
+	ld.param.u32 %r1, [rim];
+	rdreg.b32 %f0, %r0;            // re = saved R[rre]
+	rdreg.b32 %f1, %r1;            // im = saved R[rim]
+	mov.u32 %r2, %laneid;
+	mov.u32 %r3, 16;               // m: butterfly span
+	mov.u32 %r8, 1;                // step: twiddle stride
+STAGE:
+	shfl.bfly.b32 %f2, %f0, %r3;   // partner re
+	shfl.bfly.b32 %f3, %f1, %r3;   // partner im
+	and.b32 %r4, %r2, %r3;
+	setp.eq.u32 %p0, %r4, 0;       // low lane of the pair?
+	add.f32 %f4, %f0, %f2;         // low:  u + v
+	add.f32 %f5, %f1, %f3;
+	// On the high lane, own = v and partner = u, so u - v:
+	sub.f32 %f6, %f2, %f0;         // (u - v).re
+	sub.f32 %f7, %f3, %f1;         // (u - v).im
+	// twiddle k = (lane mod m) * step; angle = -pi/16 * k
+	sub.u32 %r5, %r3, 1;
+	and.b32 %r6, %r2, %r5;
+	mul.lo.u32 %r7, %r6, %r8;
+	cvt.f32.u32 %f8, %r7;
+	mov.u32 %f9, 0FBE490FDB;       // -pi/16
+	mul.f32 %f8, %f8, %f9;
+	cos.approx.f32 %f10, %f8;
+	sin.approx.f32 %f11, %f8;
+	// high result = (u - v) * (cos + i sin)
+	mul.f32 %f12, %f6, %f10;
+	mul.f32 %f13, %f7, %f11;
+	sub.f32 %f12, %f12, %f13;      // re = (u-v).re*c - (u-v).im*s
+	mul.f32 %f13, %f6, %f11;
+	mul.f32 %f14, %f7, %f10;
+	add.f32 %f13, %f13, %f14;      // im = (u-v).re*s + (u-v).im*c
+	selp.b32 %f0, %f4, %f12, %p0;
+	selp.b32 %f1, %f5, %f13, %p0;
+	shr.b32 %r3, %r3, 1;
+	shl.b32 %r8, %r8, 1;
+	setp.gt.u32 %p1, %r3, 0;
+	@%p1 bra STAGE;
+	// Bit-reverse the 5-bit lane index and permute.
+	and.b32 %r4, %r2, 1;
+	shl.b32 %r4, %r4, 4;
+	and.b32 %r5, %r2, 2;
+	shl.b32 %r5, %r5, 2;
+	or.b32 %r4, %r4, %r5;
+	and.b32 %r5, %r2, 4;
+	or.b32 %r4, %r4, %r5;
+	and.b32 %r5, %r2, 8;
+	shr.b32 %r5, %r5, 2;
+	or.b32 %r4, %r4, %r5;
+	and.b32 %r5, %r2, 16;
+	shr.b32 %r5, %r5, 4;
+	or.b32 %r4, %r4, %r5;
+	shfl.idx.b32 %f0, %f0, %r4;
+	shfl.idx.b32 %f1, %f1, %r4;
+	wrreg.b32 %r0, %f0;            // results survive the restore
+	wrreg.b32 %r1, %f1;
+	ret;
+}
+`
+
+// Tool emulates WFFT32 on devices that do not implement it.
+type Tool struct {
+	// Sites counts the WFFT32 instructions replaced.
+	Sites int
+}
+
+// New returns a fresh emulation tool.
+func New() *Tool { return &Tool{} }
+
+// AtInit registers the emulation device function.
+func (t *Tool) AtInit(n *nvbit.NVBit) {
+	if err := n.RegisterToolPTX(toolPTX); err != nil {
+		panic(err)
+	}
+}
+
+// AtTerm implements the Tool interface.
+func (t *Tool) AtTerm(n *nvbit.NVBit) {}
+
+// AtCUDACall replaces WFFT32 proxies at first launch.
+func (t *Tool) AtCUDACall(n *nvbit.NVBit, exit bool, cbid nvbit.CBID, name string, p *nvbit.CallParams) {
+	if exit || cbid != nvbit.CBLaunchKernel {
+		return
+	}
+	f := p.Launch.Func
+	if n.IsInstrumented(f) {
+		return
+	}
+	sites, err := Apply(n, f)
+	if err != nil {
+		panic(fmt.Sprintf("emu: %v", err))
+	}
+	t.Sites += sites
+}
+
+// Apply installs the WFFT32 emulation on one function and returns the number
+// of replaced sites. It is exported so composite tools (e.g. emulation plus
+// instruction tracing, as in the paper's combined experiment) can reuse it.
+func Apply(n *nvbit.NVBit, f *nvbit.Function) (int, error) {
+	insts, err := n.GetInstrs(f)
+	if err != nil {
+		return 0, err
+	}
+	sites := 0
+	for _, i := range insts {
+		if i.Op() != sass.OpWFFT32 {
+			continue
+		}
+		raw := i.Raw()
+		n.InsertCallArgs(i, "wfft32emu", nvbit.IPointBefore,
+			nvbit.ArgImm32(uint32(raw.Dst)),
+			nvbit.ArgImm32(uint32(raw.Src1)))
+		n.RemoveOrig(i)
+		sites++
+	}
+	return sites, nil
+}
+
+// RegisterDeviceFunctions registers the emulator's device functions on an
+// NVBit instance owned by another tool.
+func RegisterDeviceFunctions(n *nvbit.NVBit) error { return n.RegisterToolPTX(toolPTX) }
+
+var _ nvbit.Tool = (*Tool)(nil)

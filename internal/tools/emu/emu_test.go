@@ -1,0 +1,178 @@
+package emu
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"nvbitgo/gpusim"
+	"nvbitgo/nvbit"
+)
+
+// fftPTX computes one warp-wide 32-point FFT using the hypothetical WFFT32
+// proxy instruction (paper Listing 10): each lane loads one complex point,
+// executes the proxy, and stores its result.
+const fftPTX = `
+.visible .entry fft32(.param .u64 re, .param .u64 im)
+{
+	.reg .u32 %r<4>;
+	.reg .f32 %f<4>;
+	.reg .u64 %rd<6>;
+	mov.u32 %r0, %laneid;
+	ld.param.u64 %rd0, [re];
+	ld.param.u64 %rd2, [im];
+	mul.wide.u32 %rd4, %r0, 4;
+	add.u64 %rd0, %rd0, %rd4;
+	add.u64 %rd2, %rd2, %rd4;
+	ld.global.f32 %f0, [%rd0];
+	ld.global.f32 %f1, [%rd2];
+	wfft32.f32 %f0, %f1;
+	st.global.f32 [%rd0], %f0;
+	st.global.f32 [%rd2], %f1;
+	exit;
+}
+`
+
+func runFFT(t *testing.T, nativeWFFT bool, input []complex128) []complex128 {
+	t.Helper()
+	cfg := gpusim.DefaultConfig(gpusim.Volta)
+	cfg.EnableWFFT = nativeWFFT
+	api, err := gpusim.NewWithConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nv *nvbit.NVBit
+	var tool *Tool
+	if !nativeWFFT {
+		tool = New()
+		if nv, err = nvbit.Attach(api, tool); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, err := api.CtxCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := ctx.ModuleLoadPTX("fft", fftPTX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := mod.GetFunction("fft32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, _ := ctx.MemAlloc(4 * 32)
+	im, _ := ctx.MemAlloc(4 * 32)
+	reb := make([]byte, 4*32)
+	imb := make([]byte, 4*32)
+	for i, c := range input {
+		binary.LittleEndian.PutUint32(reb[4*i:], math.Float32bits(float32(real(c))))
+		binary.LittleEndian.PutUint32(imb[4*i:], math.Float32bits(float32(imag(c))))
+	}
+	if err := ctx.MemcpyHtoD(re, reb); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.MemcpyHtoD(im, imb); err != nil {
+		t.Fatal(err)
+	}
+	params, _ := gpusim.PackParams(f, re, im)
+	if err := ctx.LaunchKernel(f, gpusim.D1(1), gpusim.D1(32), 0, params); err != nil {
+		t.Fatal(err)
+	}
+	if tool != nil && tool.Sites != 1 {
+		t.Fatalf("emulated %d sites, want 1", tool.Sites)
+	}
+	_ = nv
+	if err := ctx.MemcpyDtoH(reb, re); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.MemcpyDtoH(imb, im); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]complex128, 32)
+	for i := range out {
+		r := float64(math.Float32frombits(binary.LittleEndian.Uint32(reb[4*i:])))
+		g := float64(math.Float32frombits(binary.LittleEndian.Uint32(imb[4*i:])))
+		out[i] = complex(r, g)
+	}
+	return out
+}
+
+func dft32(x []complex128) []complex128 {
+	out := make([]complex128, 32)
+	for k := 0; k < 32; k++ {
+		var s complex128
+		for n := 0; n < 32; n++ {
+			ang := -2 * math.Pi * float64(k*n) / 32
+			s += x[n] * complex(math.Cos(ang), math.Sin(ang))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func testInputs() [][]complex128 {
+	delta := make([]complex128, 32)
+	delta[0] = 1
+	ramp := make([]complex128, 32)
+	tone := make([]complex128, 32)
+	mixed := make([]complex128, 32)
+	for i := 0; i < 32; i++ {
+		ramp[i] = complex(float64(i)/8, 0)
+		ang := 2 * math.Pi * 3 * float64(i) / 32
+		tone[i] = complex(math.Cos(ang), math.Sin(ang))
+		mixed[i] = complex(math.Sin(float64(i)), math.Cos(float64(2*i))/2)
+	}
+	return [][]complex128{delta, ramp, tone, mixed}
+}
+
+func maxErr(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Hypot(real(a[i])-real(b[i]), imag(a[i])-imag(b[i])); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestEmulationMatchesDFT(t *testing.T) {
+	for idx, in := range testInputs() {
+		want := dft32(in)
+		got := runFFT(t, false, in)
+		if e := maxErr(got, want); e > 2e-3 {
+			t.Fatalf("input %d: emulated FFT error %v vs analytic DFT\n got: %v\nwant: %v", idx, e, got[:4], want[:4])
+		}
+	}
+}
+
+func TestEmulationMatchesFutureHardware(t *testing.T) {
+	// The emulated result must agree with the native ("future hardware")
+	// execution of WFFT32 — the pre-silicon validation story of §6.3.
+	for idx, in := range testInputs() {
+		native := runFFT(t, true, in)
+		emulated := runFFT(t, false, in)
+		if e := maxErr(native, emulated); e > 2e-3 {
+			t.Fatalf("input %d: emulation diverges from native WFFT32 by %v", idx, e)
+		}
+	}
+}
+
+func TestProxyTrapsWithoutTool(t *testing.T) {
+	api, err := gpusim.New(gpusim.Volta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := api.CtxCreate()
+	mod, err := ctx.ModuleLoadPTX("fft", fftPTX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := mod.GetFunction("fft32")
+	re, _ := ctx.MemAlloc(4 * 32)
+	im, _ := ctx.MemAlloc(4 * 32)
+	params, _ := gpusim.PackParams(f, re, im)
+	if err := ctx.LaunchKernel(f, gpusim.D1(1), gpusim.D1(32), 0, params); err == nil {
+		t.Fatal("WFFT32 executed without emulation on non-WFFT hardware")
+	}
+}

@@ -1,0 +1,132 @@
+// Package faultinject is a transient-fault injection tool — the SASSIFI-
+// style use case the paper cites (Section 1 and Section 6.3's "prior art has
+// used similar functionality to study fault injection"). It flips a chosen
+// bit in the destination register of a chosen static instruction, in a
+// chosen lane, *after* the instruction executes: the injected device
+// function reads the just-produced value through the NVBit device API,
+// XORs the fault mask in, and writes it back to the saved register image so
+// the corruption survives the restore and propagates through the program —
+// exactly how architectural error-resilience studies perturb state.
+package faultinject
+
+import (
+	"fmt"
+
+	"nvbitgo/internal/sass"
+	"nvbitgo/nvbit"
+)
+
+const toolPTX = `
+.toolfunc flip_bit(.param .u32 lane, .param .u32 reg, .param .u32 mask)
+{
+	.reg .u32 %r<6>;
+	.reg .pred %p<2>;
+	mov.u32 %r0, %laneid;
+	ld.param.u32 %r1, [lane];
+	setp.ne.u32 %p0, %r0, %r1;
+	@%p0 ret;
+	ld.param.u32 %r2, [reg];
+	ld.param.u32 %r3, [mask];
+	rdreg.b32 %r4, %r2;
+	xor.b32 %r4, %r4, %r3;
+	wrreg.b32 %r2, %r4;
+	ret;
+}
+`
+
+// Site selects where the fault lands.
+type Site struct {
+	Kernel  string // kernel name ("" = any kernel)
+	InstIdx int    // index among the kernel's eligible instructions
+	Lane    int    // warp lane whose register is corrupted
+	Bit     uint   // bit position to flip (0..31)
+}
+
+// Tool injects one single-bit transient fault.
+type Tool struct {
+	Site Site
+	// Injected reports whether an eligible site was found and armed, and
+	// describes it.
+	Injected    bool
+	Description string
+}
+
+// New returns a fault injector for the site.
+func New(site Site) *Tool { return &Tool{Site: site} }
+
+// AtInit registers the corruption device function.
+func (t *Tool) AtInit(n *nvbit.NVBit) {
+	if err := n.RegisterToolPTX(toolPTX); err != nil {
+		panic(err)
+	}
+}
+
+// AtTerm implements the Tool interface.
+func (t *Tool) AtTerm(n *nvbit.NVBit) {}
+
+// eligible reports whether an instruction produces a register result worth
+// corrupting (a general-purpose destination that is not RZ).
+func eligible(i *nvbit.Instr) (sass.Reg, bool) {
+	if i.IsControlFlow() || i.IsStore() {
+		return sass.RZ, false
+	}
+	op, ok := i.GetOperand(0)
+	if !ok || op.Kind != sass.OpdReg || !op.Dst || op.Reg == sass.RZ {
+		return sass.RZ, false
+	}
+	return op.Reg, true
+}
+
+// AtCUDACall arms the fault at first launch of the target kernel.
+func (t *Tool) AtCUDACall(n *nvbit.NVBit, exit bool, cbid nvbit.CBID, name string, p *nvbit.CallParams) {
+	if exit || cbid != nvbit.CBLaunchKernel || t.Injected {
+		return
+	}
+	f := p.Launch.Func
+	if t.Site.Kernel != "" && f.Name != t.Site.Kernel {
+		return
+	}
+	if n.IsInstrumented(f) {
+		return
+	}
+	insts, err := n.GetInstrs(f)
+	if err != nil {
+		panic(fmt.Sprintf("faultinject: %v", err))
+	}
+	k := 0
+	for _, i := range insts {
+		reg, ok := eligible(i)
+		if !ok {
+			continue
+		}
+		if k == t.Site.InstIdx {
+			n.InsertCallArgs(i, "flip_bit", nvbit.IPointAfter,
+				nvbit.ArgImm32(uint32(t.Site.Lane)),
+				nvbit.ArgImm32(uint32(reg)),
+				nvbit.ArgImm32(uint32(1)<<t.Site.Bit))
+			t.Injected = true
+			t.Description = fmt.Sprintf("%s word %d (%s): flip bit %d of %v in lane %d",
+				f.Name, i.Idx(), i.GetOpcode(), t.Site.Bit, reg, t.Site.Lane)
+			return
+		}
+		k++
+	}
+}
+
+// EligibleSites counts the injectable static sites of a function, so a
+// campaign driver can sweep InstIdx over the full space.
+func EligibleSites(n *nvbit.NVBit, f *nvbit.Function) (int, error) {
+	insts, err := n.GetInstrs(f)
+	if err != nil {
+		return 0, err
+	}
+	k := 0
+	for _, i := range insts {
+		if _, ok := eligible(i); ok {
+			k++
+		}
+	}
+	return k, nil
+}
+
+var _ nvbit.Tool = (*Tool)(nil)

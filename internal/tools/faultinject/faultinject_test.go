@@ -1,0 +1,153 @@
+package faultinject
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"nvbitgo/gpusim"
+	"nvbitgo/nvbit"
+)
+
+// writeLane: each lane computes v = laneid*3 + 5 and stores it.
+const appPTX = `
+.visible .entry writelane(.param .u64 out)
+{
+	.reg .u32 %r<6>;
+	.reg .u64 %rd<4>;
+	mov.u32 %r0, %laneid;
+	mov.u32 %r1, 3;
+	mul.lo.u32 %r2, %r0, %r1;
+	add.u32 %r2, %r2, 5;
+	ld.param.u64 %rd0, [out];
+	mul.wide.u32 %rd2, %r0, 4;
+	add.u64 %rd0, %rd0, %rd2;
+	st.global.u32 [%rd0], %r2;
+	exit;
+}
+`
+
+func run(t *testing.T, tool nvbit.Tool) []uint32 {
+	t.Helper()
+	api, err := gpusim.New(gpusim.Volta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tool != nil {
+		if _, err := nvbit.Attach(api, tool); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, err := api.CtxCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := ctx.ModuleLoadPTX("app", appPTX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := mod.GetFunction("writelane")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ctx.MemAlloc(4 * 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := gpusim.PackParams(f, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.LaunchKernel(f, gpusim.D1(1), gpusim.D1(32), 0, params); err != nil {
+		t.Fatal(err)
+	}
+	host := make([]byte, 4*32)
+	if err := ctx.MemcpyDtoH(host, out); err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]uint32, 32)
+	for i := range vals {
+		vals[i] = binary.LittleEndian.Uint32(host[4*i:])
+	}
+	return vals
+}
+
+func TestSingleBitFlipPropagates(t *testing.T) {
+	golden := run(t, nil)
+	for i, v := range golden {
+		if v != uint32(i)*3+5 {
+			t.Fatalf("golden[%d] = %d", i, v)
+		}
+	}
+
+	// Corrupt the final add (the last eligible producer before the store)
+	// in lane 7, bit 4.
+	api, _ := gpusim.New(gpusim.Volta)
+	tool := New(Site{InstIdx: 3, Lane: 7, Bit: 4})
+	_ = api
+	faulty := run(t, tool)
+	if !tool.Injected {
+		t.Fatal("fault not armed")
+	}
+	diff := 0
+	for i := range golden {
+		if golden[i] != faulty[i] {
+			diff++
+			if i != 7 {
+				t.Fatalf("fault leaked into lane %d", i)
+			}
+			if golden[i]^faulty[i] != 1<<4 {
+				t.Fatalf("lane 7 corruption = %#x, want single bit 4 flip", golden[i]^faulty[i])
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d lanes corrupted, want exactly 1", diff)
+	}
+	t.Log(tool.Description)
+}
+
+func TestFaultMasking(t *testing.T) {
+	// A fault in an early instruction whose value is later overwritten
+	// may still propagate (our site 0 feeds the computation); sweep a few
+	// sites and check injection always arms and at most one lane changes.
+	golden := run(t, nil)
+	for site := 0; site < 4; site++ {
+		tool := New(Site{InstIdx: site, Lane: 3, Bit: 0})
+		faulty := run(t, tool)
+		if !tool.Injected {
+			t.Fatalf("site %d: not armed", site)
+		}
+		for i := range golden {
+			if i != 3 && golden[i] != faulty[i] {
+				t.Fatalf("site %d: corrupted lane %d", site, i)
+			}
+		}
+	}
+}
+
+func TestEligibleSitesCount(t *testing.T) {
+	api, err := gpusim.New(gpusim.Volta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := New(Site{InstIdx: 1 << 30}) // never fires
+	nv, err := nvbit.Attach(api, tool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := api.CtxCreate()
+	mod, err := ctx.ModuleLoadPTX("app", appPTX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := mod.GetFunction("writelane")
+	sites, err := EligibleSites(nv, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Producers: S2R, MOVI(3), IMUL, IADD+5, LDC.W(pair counts once),
+	// IMAD.W, IADD.W — stores/exit excluded.
+	if sites < 5 || sites > 10 {
+		t.Fatalf("eligible sites = %d, want a handful", sites)
+	}
+}

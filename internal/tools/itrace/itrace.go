@@ -1,0 +1,224 @@
+// Package itrace is a warp-level dynamic instruction tracer — the mechanism
+// behind the paper's observation that combining instruction emulation with
+// tracing lets one "trace instruction sets that do not exist, potentially
+// enabling future trace-based GPU simulators" (Section 6.3).
+//
+// Every instruction of every instrumented kernel is injected with a device
+// function in which the lowest active lane (one record per warp-level
+// dynamic instruction) appends a compact record — kernel id, static
+// instruction index, global warp id, and the executing-lane mask — to a
+// device-resident ring buffer. The host drains the buffer at each launch
+// exit; the accumulated trace is a faithful warp-level dynamic instruction
+// stream, including instructions (like an emulated WFFT32) that no silicon
+// implements.
+package itrace
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"nvbitgo/nvbit"
+)
+
+const recBytes = 16
+
+const toolPTX = `
+.toolfunc itrace_rec(.param .u32 pred, .param .u32 kid, .param .u32 idx, .param .u64 ctrl)
+{
+	.reg .u32 %r<14>;
+	.reg .u64 %rd<14>;
+	.reg .pred %p<4>;
+	// Executing-lane mask (guard-true lanes).
+	ld.param.u32 %r0, [pred];
+	setp.ne.u32 %p0, %r0, 0;
+	vote.ballot.b32 %r1, %p0;
+	// Leader election among all lanes that entered (active lanes).
+	setp.eq.u32 %p1, %r0, %r0;
+	vote.ballot.b32 %r2, %p1;
+	not.b32 %r3, %r2;
+	add.u32 %r3, %r3, 1;
+	and.b32 %r3, %r2, %r3;          // lowest active lane bit
+	mov.u32 %r4, %laneid;
+	mov.u32 %r5, 1;
+	shl.b32 %r5, %r5, %r4;
+	setp.ne.u32 %p2, %r3, %r5;
+	@%p2 ret;                        // only the leader records
+	// Reserve a slot.
+	ld.param.u64 %rd0, [ctrl];
+	mov.u64 %rd2, 1;
+	atom.global.add.u64 %rd4, [%rd0], %rd2;
+	ld.global.u64 %rd6, [%rd0+8];   // capacity
+	cvt.u32.u64 %r6, %rd4;
+	cvt.u32.u64 %r7, %rd6;
+	setp.ge.u32 %p3, %r6, %r7;
+	@%p3 red.global.add.u64 [%rd0+24], %rd2;
+	@%p3 ret;
+	ld.global.u64 %rd8, [%rd0+16];  // buffer base
+	mov.u32 %r8, 16;
+	mad.wide.u32 %rd10, %r6, %r8, %rd8;
+	// Global warp id: ctaid.x * warpsPerCTA + warpid.
+	mov.u32 %r9, %ntid.x;
+	add.u32 %r9, %r9, 31;
+	shr.b32 %r9, %r9, 5;
+	mov.u32 %r10, %ctaid.x;
+	mov.u32 %r11, %warpid;
+	mad.lo.u32 %r12, %r10, %r9, %r11;
+	// Record: kid, idx, gwid, exec mask.
+	ld.param.u32 %r13, [kid];
+	st.global.u32 [%rd10], %r13;
+	ld.param.u32 %r13, [idx];
+	st.global.u32 [%rd10+4], %r13;
+	st.global.u32 [%rd10+8], %r12;
+	st.global.u32 [%rd10+12], %r1;
+	ret;
+}
+`
+
+// Record is one warp-level dynamic instruction.
+type Record struct {
+	KernelID uint32 // dense id assigned per instrumented function
+	InstIdx  uint32 // static word index within the function
+	WarpID   uint32 // global warp id within the launch
+	ExecMask uint32 // guard-true lanes at the site
+}
+
+// Tool collects the dynamic instruction trace.
+type Tool struct {
+	// Capacity is the device ring buffer size in records.
+	Capacity int
+	// OnRecord, if set, streams records at drain time instead of (in
+	// addition to) accumulating them in Records.
+	OnRecord func(Record)
+	// Keep controls whether drained records accumulate in Records
+	// (default true; turn off for long streaming runs).
+	Keep bool
+
+	Records []Record
+	Dropped uint64
+
+	ctrl, buf uint64
+	kernels   map[*nvbit.Function]uint32
+	names     []string
+}
+
+// New returns a tracer with the given ring-buffer capacity.
+func New(capacity int) *Tool {
+	return &Tool{Capacity: capacity, Keep: true, kernels: make(map[*nvbit.Function]uint32)}
+}
+
+// KernelName resolves a Record.KernelID back to the kernel's name.
+func (t *Tool) KernelName(id uint32) string {
+	if int(id) < len(t.names) {
+		return t.names[id]
+	}
+	return fmt.Sprintf("kernel#%d", id)
+}
+
+// AtInit registers the device function and allocates the ring buffer.
+func (t *Tool) AtInit(n *nvbit.NVBit) {
+	if err := n.RegisterToolPTX(toolPTX); err != nil {
+		panic(err)
+	}
+	var err error
+	if t.ctrl, err = n.Malloc(32); err != nil {
+		panic(err)
+	}
+	if t.buf, err = n.Malloc(uint64(t.Capacity * recBytes)); err != nil {
+		panic(err)
+	}
+	for off, v := range map[uint64]uint64{0: 0, 8: uint64(t.Capacity), 16: t.buf, 24: 0} {
+		if err := n.WriteU64(t.ctrl+off, v); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// AtTerm implements the Tool interface.
+func (t *Tool) AtTerm(n *nvbit.NVBit) {}
+
+// AtCUDACall instruments at launch entry and drains at launch exit.
+func (t *Tool) AtCUDACall(n *nvbit.NVBit, exit bool, cbid nvbit.CBID, name string, p *nvbit.CallParams) {
+	if cbid != nvbit.CBLaunchKernel {
+		return
+	}
+	if exit {
+		t.drain(n)
+		return
+	}
+	f := p.Launch.Func
+	if _, seen := t.kernels[f]; !seen {
+		t.kernels[f] = uint32(len(t.names))
+		t.names = append(t.names, f.Name)
+	}
+	if n.IsInstrumented(f) {
+		return
+	}
+	kid := t.kernels[f]
+	insts, err := n.GetInstrs(f)
+	if err != nil {
+		panic(fmt.Sprintf("itrace: %v", err))
+	}
+	for _, i := range insts {
+		n.InsertCallArgs(i, "itrace_rec", nvbit.IPointBefore,
+			nvbit.ArgGuardPred(),
+			nvbit.ArgImm32(kid),
+			nvbit.ArgImm32(uint32(i.Idx())),
+			nvbit.ArgImm64(t.ctrl))
+	}
+}
+
+func (t *Tool) drain(n *nvbit.NVBit) {
+	head, err := n.ReadU64(t.ctrl)
+	if err != nil {
+		panic(err)
+	}
+	drops, err := n.ReadU64(t.ctrl + 24)
+	if err != nil {
+		panic(err)
+	}
+	t.Dropped += drops
+	count := head
+	if count > uint64(t.Capacity) {
+		count = uint64(t.Capacity)
+	}
+	if count > 0 {
+		raw := make([]byte, count*recBytes)
+		if err := n.Device().Read(t.buf, raw); err != nil {
+			panic(err)
+		}
+		for r := uint64(0); r < count; r++ {
+			rec := Record{
+				KernelID: binary.LittleEndian.Uint32(raw[r*recBytes:]),
+				InstIdx:  binary.LittleEndian.Uint32(raw[r*recBytes+4:]),
+				WarpID:   binary.LittleEndian.Uint32(raw[r*recBytes+8:]),
+				ExecMask: binary.LittleEndian.Uint32(raw[r*recBytes+12:]),
+			}
+			if t.OnRecord != nil {
+				t.OnRecord(rec)
+			}
+			if t.Keep {
+				t.Records = append(t.Records, rec)
+			}
+		}
+	}
+	if err := n.WriteU64(t.ctrl, 0); err != nil {
+		panic(err)
+	}
+	if err := n.WriteU64(t.ctrl+24, 0); err != nil {
+		panic(err)
+	}
+}
+
+// WarpTrace extracts, in recorded order, the instruction indexes one warp of
+// one kernel executed.
+func (t *Tool) WarpTrace(kernelID, warpID uint32) []uint32 {
+	var out []uint32
+	for _, r := range t.Records {
+		if r.KernelID == kernelID && r.WarpID == warpID {
+			out = append(out, r.InstIdx)
+		}
+	}
+	return out
+}
+
+var _ nvbit.Tool = (*Tool)(nil)

@@ -1,0 +1,131 @@
+package itrace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Trace files are the hand-off format to trace-driven simulators: a small
+// header with the kernel-name table followed by fixed-width records.
+//
+// Layout (little-endian):
+//
+//	magic "NVTR", version byte
+//	u32 kernel count { u16 len + name bytes }
+//	u64 record count, then records of 16 bytes each:
+//	  u32 kernelID, u32 instIdx, u32 warpID, u32 execMask
+//	u64 dropped-record count
+const traceVersion = 1
+
+var traceMagic = []byte("NVTR")
+
+// WriteTo serializes the accumulated trace. It implements io.WriterTo.
+func (t *Tool) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	put := func(p []byte) error {
+		k, err := bw.Write(p)
+		n += int64(k)
+		return err
+	}
+	if err := put(traceMagic); err != nil {
+		return n, err
+	}
+	if err := put([]byte{traceVersion}); err != nil {
+		return n, err
+	}
+	var scratch [16]byte
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(t.names)))
+	if err := put(scratch[:4]); err != nil {
+		return n, err
+	}
+	for _, name := range t.names {
+		binary.LittleEndian.PutUint16(scratch[:2], uint16(len(name)))
+		if err := put(scratch[:2]); err != nil {
+			return n, err
+		}
+		if err := put([]byte(name)); err != nil {
+			return n, err
+		}
+	}
+	binary.LittleEndian.PutUint64(scratch[:8], uint64(len(t.Records)))
+	if err := put(scratch[:8]); err != nil {
+		return n, err
+	}
+	for _, r := range t.Records {
+		binary.LittleEndian.PutUint32(scratch[0:], r.KernelID)
+		binary.LittleEndian.PutUint32(scratch[4:], r.InstIdx)
+		binary.LittleEndian.PutUint32(scratch[8:], r.WarpID)
+		binary.LittleEndian.PutUint32(scratch[12:], r.ExecMask)
+		if err := put(scratch[:16]); err != nil {
+			return n, err
+		}
+	}
+	binary.LittleEndian.PutUint64(scratch[:8], t.Dropped)
+	if err := put(scratch[:8]); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// TraceFile is a parsed trace.
+type TraceFile struct {
+	Kernels []string
+	Records []Record
+	Dropped uint64
+}
+
+// ReadTraceFile parses a serialized trace.
+func ReadTraceFile(r io.Reader) (*TraceFile, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 5)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("itrace: reading header: %w", err)
+	}
+	if !bytes.Equal(head[:4], traceMagic) {
+		return nil, fmt.Errorf("itrace: not a trace file")
+	}
+	if head[4] != traceVersion {
+		return nil, fmt.Errorf("itrace: unsupported trace version %d", head[4])
+	}
+	var scratch [16]byte
+	if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+		return nil, err
+	}
+	tf := &TraceFile{}
+	nk := binary.LittleEndian.Uint32(scratch[:4])
+	for i := uint32(0); i < nk; i++ {
+		if _, err := io.ReadFull(br, scratch[:2]); err != nil {
+			return nil, err
+		}
+		name := make([]byte, binary.LittleEndian.Uint16(scratch[:2]))
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, err
+		}
+		tf.Kernels = append(tf.Kernels, string(name))
+	}
+	if _, err := io.ReadFull(br, scratch[:8]); err != nil {
+		return nil, err
+	}
+	nr := binary.LittleEndian.Uint64(scratch[:8])
+	tf.Records = make([]Record, 0, nr)
+	for i := uint64(0); i < nr; i++ {
+		if _, err := io.ReadFull(br, scratch[:16]); err != nil {
+			return nil, fmt.Errorf("itrace: truncated at record %d: %w", i, err)
+		}
+		tf.Records = append(tf.Records, Record{
+			KernelID: binary.LittleEndian.Uint32(scratch[0:]),
+			InstIdx:  binary.LittleEndian.Uint32(scratch[4:]),
+			WarpID:   binary.LittleEndian.Uint32(scratch[8:]),
+			ExecMask: binary.LittleEndian.Uint32(scratch[12:]),
+		})
+	}
+	if _, err := io.ReadFull(br, scratch[:8]); err != nil {
+		return nil, err
+	}
+	tf.Dropped = binary.LittleEndian.Uint64(scratch[:8])
+	return tf, nil
+}

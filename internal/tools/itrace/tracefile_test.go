@@ -1,0 +1,54 @@
+package itrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	tool := runTraced(t, loopPTX, "looper", 32, false)
+	var buf bytes.Buffer
+	if _, err := tool.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTraceFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Kernels) != 1 || back.Kernels[0] != "looper" {
+		t.Fatalf("kernel table: %v", back.Kernels)
+	}
+	if len(back.Records) != len(tool.Records) {
+		t.Fatalf("records: %d vs %d", len(back.Records), len(tool.Records))
+	}
+	for i := range back.Records {
+		if back.Records[i] != tool.Records[i] {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, back.Records[i], tool.Records[i])
+		}
+	}
+	if back.Dropped != tool.Dropped {
+		t.Fatal("dropped count lost")
+	}
+}
+
+func TestTraceFileErrors(t *testing.T) {
+	if _, err := ReadTraceFile(strings.NewReader("ELF!....")); err == nil {
+		t.Fatal("non-trace accepted")
+	}
+	tool := runTraced(t, straightPTX, "straight", 32, false)
+	var buf bytes.Buffer
+	if _, err := tool.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if _, err := ReadTraceFile(bytes.NewReader(full[:len(full)-9])); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+	// Bad version byte.
+	bad := append([]byte(nil), full...)
+	bad[4] = 99
+	if _, err := ReadTraceFile(bytes.NewReader(bad)); err == nil {
+		t.Fatal("future version accepted")
+	}
+}

@@ -1,0 +1,238 @@
+package ophisto
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"nvbitgo/gpusim"
+	"nvbitgo/internal/sass"
+	"nvbitgo/nvbit"
+)
+
+// gridDepPTX is a kernel whose control flow depends only on grid dimensions:
+// sampling is exact on it.
+const gridDepPTX = `
+.visible .entry griddep(.param .u64 data)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<4>;
+	.reg .pred %p<2>;
+	mov.u32 %r0, %tid.x;
+	mov.u32 %r1, %nctaid.x;
+	mov.u32 %r2, 0;
+LOOP:
+	add.u32 %r2, %r2, %r0;
+	sub.u32 %r1, %r1, 1;
+	setp.gt.u32 %p0, %r1, 0;
+	@%p0 bra LOOP;
+	ld.param.u64 %rd0, [data];
+	mul.wide.u32 %rd2, %r0, 4;
+	add.u64 %rd0, %rd0, %rd2;
+	st.global.u32 [%rd0], %r2;
+	exit;
+}
+`
+
+// valueDepPTX loops data[gid] times and then decrements it, so later
+// launches execute fewer instructions than the sampled first launch.
+const valueDepPTX = `
+.visible .entry valuedep(.param .u64 data)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<4>;
+	.reg .pred %p<2>;
+	mov.u32 %r0, %tid.x;
+	ld.param.u64 %rd0, [data];
+	mul.wide.u32 %rd2, %r0, 4;
+	add.u64 %rd0, %rd0, %rd2;
+	ld.global.u32 %r1, [%rd0];
+	mov.u32 %r2, %r1;
+	setp.eq.u32 %p0, %r1, 0;
+	@%p0 bra DONE;
+LOOP:
+	sub.u32 %r2, %r2, 1;
+	setp.gt.u32 %p0, %r2, 0;
+	@%p0 bra LOOP;
+DONE:
+	setp.eq.u32 %p0, %r1, 0;
+	@%p0 exit;
+	sub.u32 %r1, %r1, 1;
+	st.global.u32 [%rd0], %r1;
+	exit;
+}
+`
+
+type env struct {
+	api  *gpusim.API
+	ctx  *gpusim.Context
+	nv   *nvbit.NVBit
+	fn   *gpusim.Function
+	data uint64
+}
+
+func setup(t *testing.T, tool nvbit.Tool, src, entry string) *env {
+	t.Helper()
+	api, err := gpusim.New(gpusim.Volta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nv *nvbit.NVBit
+	if tool != nil {
+		if nv, err = nvbit.Attach(api, tool); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, err := api.CtxCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := ctx.ModuleLoadPTX("app", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := mod.GetFunction(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ctx.MemAlloc(4 * 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{api: api, ctx: ctx, nv: nv, fn: fn, data: data}
+}
+
+func (e *env) launch(t *testing.T, blocks int) {
+	t.Helper()
+	params, err := gpusim.PackParams(e.fn, e.data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ctx.LaunchKernel(e.fn, gpusim.D1(blocks), gpusim.D1(64), 0, params); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullHistogramMatchesGroundTruth(t *testing.T) {
+	// Ground truth: native per-opcode thread-level counts.
+	ref := setup(t, nil, gridDepPTX, "griddep")
+	for i := 0; i < 3; i++ {
+		ref.launch(t, 2)
+	}
+	native := ref.api.Device().Stats().OpThreads
+
+	tool := New(false)
+	e := setup(t, tool, gridDepPTX, "griddep")
+	for i := 0; i < 3; i++ {
+		e.launch(t, 2)
+	}
+	counts := tool.Counts(e.nv)
+	for op := 0; op < sass.NumOpcodes; op++ {
+		name := sass.Opcode(op).String()
+		if counts[name] != native[op] {
+			t.Fatalf("opcode %s: tool %d, native %d", name, counts[name], native[op])
+		}
+	}
+	top := tool.Top(e.nv, 5)
+	if len(top) != 5 {
+		t.Fatalf("top-5 has %d entries", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Count > top[i-1].Count {
+			t.Fatal("top entries not sorted")
+		}
+	}
+}
+
+func TestSamplingExactOnGridDependentKernels(t *testing.T) {
+	full := New(false)
+	e1 := setup(t, full, gridDepPTX, "griddep")
+	for i := 0; i < 5; i++ {
+		e1.launch(t, 3)
+	}
+	sampled := New(true)
+	e2 := setup(t, sampled, gridDepPTX, "griddep")
+	for i := 0; i < 5; i++ {
+		e2.launch(t, 3)
+	}
+	exact := full.Counts(e1.nv)
+	est := sampled.Counts(e2.nv)
+	for op, want := range exact {
+		if est[op] != want {
+			t.Fatalf("opcode %s: sampled estimate %d, exact %d (error should be 0%% for grid-dim control flow)", op, est[op], want)
+		}
+	}
+	// The sampled run must actually have executed far fewer instrumented
+	// instructions: its device ran the original code 4 of 5 times.
+	if e2.api.Device().Stats().WarpInstrs >= e1.api.Device().Stats().WarpInstrs {
+		t.Fatal("sampling did not reduce executed instructions")
+	}
+}
+
+func TestSamplingSeparatesGridDims(t *testing.T) {
+	sampled := New(true)
+	e := setup(t, sampled, gridDepPTX, "griddep")
+	// Two distinct grid configurations: each must be sampled once.
+	for i := 0; i < 4; i++ {
+		e.launch(t, 2)
+	}
+	for i := 0; i < 6; i++ {
+		e.launch(t, 5)
+	}
+	if len(sampled.keys) != 2 {
+		t.Fatalf("unique launch keys = %d, want 2", len(sampled.keys))
+	}
+	full := New(false)
+	e2 := setup(t, full, gridDepPTX, "griddep")
+	for i := 0; i < 4; i++ {
+		e2.launch(t, 2)
+	}
+	for i := 0; i < 6; i++ {
+		e2.launch(t, 5)
+	}
+	exact := full.Counts(e2.nv)
+	est := sampled.Counts(e.nv)
+	for op, want := range exact {
+		if est[op] != want {
+			t.Fatalf("opcode %s: estimate %d, exact %d", op, est[op], want)
+		}
+	}
+}
+
+func TestSamplingErrorOnValueDependentKernel(t *testing.T) {
+	prep := func(e *env, t *testing.T) {
+		host := make([]byte, 4*64)
+		for i := 0; i < 64; i++ {
+			binary.LittleEndian.PutUint32(host[4*i:], uint32(8))
+		}
+		if err := e.ctx.MemcpyHtoD(e.data, host); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := New(false)
+	e1 := setup(t, full, valueDepPTX, "valuedep")
+	prep(e1, t)
+	for i := 0; i < 6; i++ {
+		e1.launch(t, 1)
+	}
+	sampled := New(true)
+	e2 := setup(t, sampled, valueDepPTX, "valuedep")
+	prep(e2, t)
+	for i := 0; i < 6; i++ {
+		e2.launch(t, 1)
+	}
+	var exactTotal, estTotal float64
+	for _, v := range full.Counts(e1.nv) {
+		exactTotal += float64(v)
+	}
+	for _, v := range sampled.Counts(e2.nv) {
+		estTotal += float64(v)
+	}
+	relErr := math.Abs(estTotal-exactTotal) / exactTotal
+	if relErr == 0 {
+		t.Fatal("value-dependent kernel should produce nonzero sampling error")
+	}
+	if relErr > 0.5 {
+		t.Fatalf("sampling error %.3f implausibly large", relErr)
+	}
+}

@@ -1,0 +1,84 @@
+package mlsuite
+
+import (
+	"testing"
+
+	"nvbitgo/internal/driver"
+	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/sass"
+)
+
+func TestNetworks(t *testing.T) {
+	nets := Networks()
+	if len(nets) != 5 {
+		t.Fatalf("want the five paper workloads, got %d", len(nets))
+	}
+	want := map[string]bool{"AlexNet": true, "ENet": true, "GoogLeNet": true, "ResNet": true, "VGG": true}
+	for _, n := range nets {
+		if !want[n.Name] {
+			t.Fatalf("unexpected network %q", n.Name)
+		}
+		if len(n.Layers) == 0 || n.Prep == 0 {
+			t.Fatalf("%s: empty schedule", n.Name)
+		}
+	}
+}
+
+func TestAllNetworksRun(t *testing.T) {
+	for _, net := range Networks() {
+		net := net
+		t.Run(net.Name, func(t *testing.T) {
+			api, err := driver.New(gpu.DefaultConfig(sass.Volta))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, err := api.CtxCreate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Run(ctx, nil, net); err != nil {
+				t.Fatal(err)
+			}
+			st := api.Device().Stats()
+			wantLaunches := uint64(net.Prep)
+			for _, l := range net.Layers {
+				wantLaunches += uint64(l.Repeat)
+			}
+			if st.Launches != wantLaunches {
+				t.Fatalf("launches = %d, want %d", st.Launches, wantLaunches)
+			}
+		})
+	}
+}
+
+func TestLibraryDominatesInstructionCount(t *testing.T) {
+	// The Section 6.1 premise: most executed instructions live in the
+	// binary-only library. Measure with the simulator's ground truth by
+	// running the prep-only and full schedules separately.
+	api, err := driver.New(gpu.DefaultConfig(sass.Volta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := api.CtxCreate()
+	net := Networks()[3] // ResNet: the longest schedule
+	if _, err := Run(ctx, nil, net); err != nil {
+		t.Fatal(err)
+	}
+	total := api.Device().Stats().ThreadInstrs
+
+	api2, err := driver.New(gpu.DefaultConfig(sass.Volta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2, _ := api2.CtxCreate()
+	prepOnly := net
+	prepOnly.Layers = nil
+	if _, err := Run(ctx2, nil, prepOnly); err != nil {
+		t.Fatal(err)
+	}
+	prep := api2.Device().Stats().ThreadInstrs
+	frac := 1 - float64(prep)/float64(total)
+	if frac < 0.70 || frac > 0.99 {
+		t.Fatalf("library instruction fraction = %.2f, want within the paper's 0.74-0.96 band (±)", frac)
+	}
+}

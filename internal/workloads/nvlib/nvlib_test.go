@@ -1,0 +1,98 @@
+package nvlib
+
+import (
+	"testing"
+
+	"nvbitgo/internal/driver"
+	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/sass"
+)
+
+func TestCubinIsBinaryOnlyAndStripped(t *testing.T) {
+	img, err := CubinFor(sass.Volta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := driver.ParseCubin(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Funcs) != len(KernelNames) {
+		t.Fatalf("cubin has %d functions, want %d", len(c.Funcs), len(KernelNames))
+	}
+	for _, f := range c.Funcs {
+		if len(f.Lines) != 0 {
+			t.Fatalf("%s: line info present in a stripped vendor binary", f.Name)
+		}
+		if len(f.Code) == 0 {
+			t.Fatalf("%s: empty code", f.Name)
+		}
+	}
+	// Cached per family.
+	img2, err := CubinFor(sass.Volta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &img[0] != &img2[0] {
+		t.Fatal("cubin not cached")
+	}
+	// All families buildable.
+	for f := sass.Kepler; f <= sass.Volta; f++ {
+		if _, err := CubinFor(f); err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+	}
+}
+
+func TestLibraryKernelsRun(t *testing.T) {
+	api, err := driver.New(gpu.DefaultConfig(sass.Pascal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := api.CtxCreate()
+	lib, err := Open(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lib.Module().FromCubin {
+		t.Fatal("library module not binary-only")
+	}
+	const elems = TileN * TileN
+	a, _ := ctx.MemAlloc(4*elems + 4096)
+	b, _ := ctx.MemAlloc(4*elems + 4096)
+	aux, _ := ctx.MemAlloc(4 * 1024)
+	seed := make([]byte, 4*elems)
+	for i := range seed {
+		seed[i] = byte(i | 1)
+	}
+	if err := ctx.MemcpyHtoD(a, seed); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.MemcpyHtoD(b, seed); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		kernel string
+		scalar uint32
+		elems  int
+	}{
+		{"nv_sgemm", 8, elems},
+		{"nv_conv3", elems, elems},
+		{"nv_pool2", elems / 2, elems / 2},
+		{"nv_bias_relu", elems, elems},
+		{"nv_norm", elems, elems},
+		{"nv_reduce", elems, elems},
+	}
+	for _, c := range cases {
+		if err := lib.Launch(c.kernel, a, b, aux, c.scalar, c.elems); err != nil {
+			t.Fatalf("%s: %v", c.kernel, err)
+		}
+	}
+	if err := lib.Launch("nv_nope", a, b, aux, 1, 1); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+	st := api.Device().Stats()
+	if st.Launches != uint64(len(cases)) || st.ThreadInstrs == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

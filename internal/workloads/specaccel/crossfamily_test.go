@@ -1,0 +1,55 @@
+package specaccel
+
+import (
+	"testing"
+
+	"nvbitgo/internal/driver"
+	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/sass"
+)
+
+// TestCrossFamily runs one benchmark on every architecture family: the JIT
+// backend legalizes immediates differently per family (MOVI+MOVIH pairs on
+// 64-bit encodings) and the codecs differ, so this exercises the whole
+// stack's family axis.
+func TestCrossFamily(t *testing.T) {
+	var ostencil *Benchmark
+	for _, b := range Benchmarks() {
+		if b.Name == "ostencil" {
+			ostencil = b
+		}
+	}
+	var ref gpu.Stats
+	for f := sass.Kepler; f <= sass.Volta; f++ {
+		api, err := driver.New(gpu.DefaultConfig(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, err := api.CtxCreate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ostencil.Run(ctx, Small); err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		st := api.Device().Stats()
+		if f == sass.Kepler {
+			ref = st
+			continue
+		}
+		// Dynamic behaviour must be identical across families up to
+		// immediate-legalization differences (the Volta backend emits
+		// single MOVIs where 64-bit families may need MOVI+MOVIH, which
+		// can only shrink the count).
+		if st.Launches != ref.Launches {
+			t.Fatalf("%v: %d launches vs %d on Kepler", f, st.Launches, ref.Launches)
+		}
+		if st.ThreadInstrs > ref.ThreadInstrs {
+			t.Fatalf("%v: %d thread instrs vs %d on Kepler (Volta should never need more)",
+				f, st.ThreadInstrs, ref.ThreadInstrs)
+		}
+		if st.GlobalAccesses != ref.GlobalAccesses {
+			t.Fatalf("%v: memory behaviour diverged: %d vs %d accesses", f, st.GlobalAccesses, ref.GlobalAccesses)
+		}
+	}
+}

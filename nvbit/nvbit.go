@@ -1,0 +1,99 @@
+// Package nvbit is the public user-level API of the NVBit reproduction —
+// what a tool author imports to write an instrumentation tool, mirroring
+// nvbit.h from the paper.
+//
+// A tool implements the Tool interface (the callback API of Listing 2),
+// registers its device functions as PTX with RegisterToolPTX (the analog of
+// compiling a .cu tool with NVCC and exporting its device functions), and is
+// injected into an application's driver with Attach (the LD_PRELOAD moment).
+// From its callbacks the tool uses the Inspection API (GetInstrs,
+// GetBasicBlocks, GetRelatedFuncs, the Instr methods), the Instrumentation
+// API (InsertCall, AddCallArg, RemoveOrig), and the Control API
+// (EnableInstrumented, ResetInstrumented).
+package nvbit
+
+import (
+	"nvbitgo/internal/core"
+	"nvbitgo/internal/driver"
+	"nvbitgo/internal/sass"
+)
+
+// Core types re-exported from the framework core.
+type (
+	// NVBit is one attached framework instance.
+	NVBit = core.NVBit
+	// Tool is the interface an instrumentation tool implements.
+	Tool = core.Tool
+	// Instr abstracts one machine-level SASS instruction (Listing 4).
+	Instr = core.Instr
+	// BasicBlock is one uninterrupted instruction sequence.
+	BasicBlock = core.BasicBlock
+	// CallArg is one positional injected-function argument.
+	CallArg = core.CallArg
+	// IPoint selects before/after injection.
+	IPoint = core.IPoint
+	// JITStats is the six-component JIT overhead breakdown (Section 5.2).
+	JITStats = core.JITStats
+	// HAL is the hardware abstraction layer view.
+	HAL = core.HAL
+)
+
+// Driver-facing types a tool sees in callbacks.
+type (
+	// CBID is a driver callback id (CUPTI-style).
+	CBID = driver.CBID
+	// CallParams is the per-call parameter union.
+	CallParams = driver.CallParams
+	// Function is the CUfunction analog.
+	Function = driver.Function
+	// Module is the CUmodule analog.
+	Module = driver.Module
+)
+
+// Injection points.
+const (
+	IPointBefore = core.IPointBefore
+	IPointAfter  = core.IPointAfter
+)
+
+// Driver callback ids.
+const (
+	CBCtxCreate      = driver.CBCtxCreate
+	CBModuleLoadData = driver.CBModuleLoadData
+	CBMemAlloc       = driver.CBMemAlloc
+	CBMemFree        = driver.CBMemFree
+	CBMemcpyHtoD     = driver.CBMemcpyHtoD
+	CBMemcpyDtoH     = driver.CBMemcpyDtoH
+	CBLaunchKernel   = driver.CBLaunchKernel
+	CBAppExit        = driver.CBAppExit
+)
+
+// Pred is a predicate register index (for GuardCall's predicate matching).
+type Pred = sass.Pred
+
+// PT is the always-true predicate.
+const PT = sass.PT
+
+// Memory spaces reported by Instr.GetMemOpSpace.
+const (
+	MemNone   = sass.MemNone
+	MemGlobal = sass.MemGlobal
+	MemShared = sass.MemShared
+	MemLocal  = sass.MemLocal
+	MemConst  = sass.MemConst
+)
+
+// Attach injects a tool into an application's driver instance and fires its
+// AtInit callback. Only one tool can be attached per driver.
+func Attach(api *driver.API, tool Tool) (*NVBit, error) { return core.Attach(api, tool) }
+
+// Argument constructors (nvbit_add_call_arg variants).
+var (
+	ArgRegVal    = core.ArgRegVal
+	ArgRegVal64  = core.ArgRegVal64
+	ArgImm32     = core.ArgImm32
+	ArgImm64     = core.ArgImm64
+	ArgCBank     = core.ArgCBank
+	ArgPredVal   = core.ArgPredVal
+	ArgGuardPred = core.ArgGuardPred
+)
