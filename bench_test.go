@@ -285,6 +285,9 @@ func BenchmarkDisassembler(b *testing.B) {
 }
 
 // BenchmarkSimulator measures raw uninstrumented simulation throughput.
+// ReportAllocs tracks the interpreter's per-step allocation behavior: the
+// dispatch loop itself must not allocate (allocs/op is per-launch setup —
+// warp pools and the execution context — and stays flat as grids grow).
 func BenchmarkSimulator(b *testing.B) {
 	api, err := gpusim.New(gpusim.Volta)
 	if err != nil {
@@ -298,6 +301,7 @@ func BenchmarkSimulator(b *testing.B) {
 	f, _ := mod.GetFunction("bench")
 	data, _ := ctx.MemAlloc(4 * 4096)
 	params, _ := driver.PackParams(f, data, uint32(4096))
+	b.ReportAllocs()
 	b.ResetTimer()
 	var warpInstrs uint64
 	for i := 0; i < b.N; i++ {
@@ -309,6 +313,46 @@ func BenchmarkSimulator(b *testing.B) {
 	}
 	b.ReportMetric(float64(warpInstrs)/b.Elapsed().Seconds()/1e6, "Mwarpinstr/s")
 }
+
+// benchLaunch drives a 256-CTA launch of the bench kernel under the given
+// scheduler; BenchmarkLaunchParallel vs BenchmarkLaunchSequential is the
+// headline speedup of the per-SM parallel backend (≥ 2x expected on a
+// machine with GOMAXPROCS ≥ 4; on one core the two are equivalent).
+func benchLaunch(b *testing.B, sched gpusim.SchedulerKind) {
+	const ctas, block = 256, 256
+	cfg := gpusim.DefaultConfig(gpusim.Volta)
+	cfg.Scheduler = sched
+	api, err := gpusim.NewWithConfig(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, _ := api.CtxCreate()
+	mod, err := ctx.ModuleLoadPTX("m", benchKernelPTX)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, _ := mod.GetFunction("bench")
+	data, _ := ctx.MemAlloc(4 * ctas * block)
+	params, _ := driver.PackParams(f, data, uint32(ctas*block))
+	// Warm the decode cache so iterations measure pure execution.
+	if err := ctx.LaunchKernel(f, gpusim.D1(ctas), gpusim.D1(block), 0, params); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var warpInstrs uint64
+	for i := 0; i < b.N; i++ {
+		before := api.Device().Stats().WarpInstrs
+		if err := ctx.LaunchKernel(f, gpusim.D1(ctas), gpusim.D1(block), 0, params); err != nil {
+			b.Fatal(err)
+		}
+		warpInstrs += api.Device().Stats().WarpInstrs - before
+	}
+	b.ReportMetric(float64(warpInstrs)/b.Elapsed().Seconds()/1e6, "Mwarpinstr/s")
+}
+
+func BenchmarkLaunchSequential(b *testing.B) { benchLaunch(b, gpusim.SchedulerSequential) }
+func BenchmarkLaunchParallel(b *testing.B)   { benchLaunch(b, gpusim.SchedulerParallelSM) }
 
 // --- ablations -------------------------------------------------------------------
 

@@ -16,13 +16,22 @@ import (
 	"time"
 
 	"nvbitgo/internal/experiments"
+	"nvbitgo/internal/gpu"
 	"nvbitgo/internal/workloads/specaccel"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, lib, wfft, all")
 	sizeName := flag.String("size", "", "problem size: small, medium, large (default: per-figure paper size)")
+	schedName := flag.String("scheduler", "sequential", "CTA scheduler: sequential (reference, used for published figures) or parallel")
 	flag.Parse()
+
+	sched, err := gpu.ParseScheduler(*schedName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	experiments.SetScheduler(sched)
 
 	size := func(def specaccel.Size) specaccel.Size {
 		switch *sizeName {

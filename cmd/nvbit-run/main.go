@@ -35,6 +35,7 @@ func main() {
 	workload := flag.String("workload", "specaccel:ostencil", "workload: specaccel:<name> or ml:<Network>")
 	sizeName := flag.String("size", "medium", "specaccel size: small, medium, large")
 	familyName := flag.String("family", "volta", "device family")
+	schedName := flag.String("scheduler", "sequential", "CTA scheduler: sequential or parallel (one worker per SM)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -56,7 +57,13 @@ func main() {
 		fail(fmt.Errorf("unknown size %q", *sizeName))
 	}
 
-	api, err := driver.New(gpu.DefaultConfig(fam))
+	sched, err := gpu.ParseScheduler(*schedName)
+	if err != nil {
+		fail(err)
+	}
+	cfg := gpu.DefaultConfig(fam)
+	cfg.Scheduler = sched
+	api, err := driver.New(cfg)
 	if err != nil {
 		fail(err)
 	}

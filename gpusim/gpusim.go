@@ -29,10 +29,24 @@ const (
 	Volta   = sass.Volta
 )
 
+// Scheduler kinds for Config.Scheduler: sequential is the deterministic
+// reference backend, parallel runs one worker goroutine per SM (see
+// docs/scheduler.md for the determinism contract).
+const (
+	SchedulerSequential = gpu.SchedulerSequential
+	SchedulerParallelSM = gpu.SchedulerParallelSM
+)
+
+// ParseScheduler maps a command-line name ("sequential", "parallel") to a
+// SchedulerKind.
+var ParseScheduler = gpu.ParseScheduler
+
 // Re-exported stack types.
 type (
 	// Family is a GPU architecture family.
 	Family = sass.Family
+	// SchedulerKind selects the CTA execution backend.
+	SchedulerKind = gpu.SchedulerKind
 	// Config describes the simulated device.
 	Config = gpu.Config
 	// Stats are device execution statistics.

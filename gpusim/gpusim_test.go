@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"nvbitgo/gpusim"
+	"nvbitgo/internal/tools/instrcount"
+	"nvbitgo/nvbit"
 )
 
 const incPTX = `
@@ -97,6 +99,70 @@ func TestCompileToCubinAndLoad(t *testing.T) {
 	}
 	if _, err := gpusim.CompileToCubin("bad", "garbage", gpusim.Volta, false); err == nil {
 		t.Fatal("bad PTX accepted")
+	}
+}
+
+// TestSchedulersAgreeUnderInstrumentation runs a JIT-compiled, fully
+// instrumented multi-CTA kernel (real NVBit trampolines) under both
+// schedulers and checks that the injected instruction counter and the
+// application's memory agree — instrumentation results are
+// scheduler-invariant.
+func TestSchedulersAgreeUnderInstrumentation(t *testing.T) {
+	const n = 1024
+	run := func(kind gpusim.SchedulerKind) (uint64, []byte) {
+		cfg := gpusim.DefaultConfig(gpusim.Volta)
+		cfg.Scheduler = kind
+		api, err := gpusim.NewWithConfig(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tool := instrcount.New()
+		nv, err := nvbit.Attach(api, tool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, err := api.CtxCreate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod, err := ctx.ModuleLoadPTX("inc", incPTX)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := mod.GetFunction("inc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := ctx.MemAlloc(4 * n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params, err := gpusim.PackParams(f, buf, uint32(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ctx.LaunchKernel(f, gpusim.D1(16), gpusim.D1(128), 0, params); err != nil {
+			t.Fatal(err)
+		}
+		host := make([]byte, 4*n)
+		if err := ctx.MemcpyDtoH(host, buf); err != nil {
+			t.Fatal(err)
+		}
+		return tool.Total(nv), host
+	}
+
+	seqCount, seqMem := run(gpusim.SchedulerSequential)
+	if seqCount == 0 {
+		t.Fatal("instrumentation counted nothing")
+	}
+	for i := 0; i < 2; i++ {
+		parCount, parMem := run(gpusim.SchedulerParallelSM)
+		if parCount != seqCount {
+			t.Fatalf("instrumented instruction count: parallel %d, sequential %d", parCount, seqCount)
+		}
+		if string(parMem) != string(seqMem) {
+			t.Fatal("application memory differs across schedulers")
+		}
 	}
 }
 

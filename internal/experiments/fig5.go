@@ -20,7 +20,21 @@ import (
 // paper is a Volta part).
 const Family = sass.Volta
 
-func newAPI() (*driver.API, error) { return driver.New(gpu.DefaultConfig(Family)) }
+// scheduler selects the CTA scheduler every experiment device uses. The
+// default stays sequential so the published figure outputs remain
+// byte-identical; SetScheduler lets cmd/experiments opt into the parallel
+// backend (see docs/scheduler.md for which counters may then differ).
+var scheduler = gpu.SchedulerSequential
+
+// SetScheduler selects the CTA scheduler for all subsequently created
+// experiment devices.
+func SetScheduler(k gpu.SchedulerKind) { scheduler = k }
+
+func newAPI() (*driver.API, error) {
+	cfg := gpu.DefaultConfig(Family)
+	cfg.Scheduler = scheduler
+	return driver.New(cfg)
+}
 
 // Fig5Row is one benchmark's JIT-compilation overhead breakdown, as a
 // percentage of the native application run time (paper Figure 5).

@@ -1,8 +1,17 @@
 package gpu
 
+// Associativity of the two cache levels. The parallel scheduler builds its
+// per-SM L2 shards with l2Ways too, so a shard is a 1/NumSMs-capacity model
+// of the shared L2 (docs/scheduler.md).
+const (
+	l1Ways = 4
+	l2Ways = 8
+)
+
 // cache is a set-associative LRU cache model tracking line presence only (no
 // data — the simulator is functionally backed by d.mem; the cache model just
-// informs the timing model and statistics).
+// informs the timing model and statistics). A cache instance is owned by a
+// single scheduler worker at a time and is not safe for concurrent use.
 type cache struct {
 	sets  int
 	ways  int

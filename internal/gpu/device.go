@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"nvbitgo/internal/sass"
 )
@@ -23,18 +24,54 @@ import (
 // WarpSize is the number of threads per warp, as on all NVIDIA GPUs.
 const WarpSize = 32
 
+// SchedulerKind selects how Launch maps CTAs onto SMs (see docs/scheduler.md).
+type SchedulerKind int
+
+const (
+	// SchedulerSequential runs every CTA on a single goroutine in linear
+	// CTA order — the fully deterministic reference backend, and the
+	// default (the paper-figure experiments assert its exact baselines).
+	SchedulerSequential SchedulerKind = iota
+	// SchedulerParallelSM runs one worker goroutine per SM; worker i owns
+	// SM i and executes the CTAs with cta % NumSMs == i in ascending
+	// order, preserving the sequential backend's per-SM schedule exactly.
+	SchedulerParallelSM
+)
+
+func (k SchedulerKind) String() string {
+	switch k {
+	case SchedulerSequential:
+		return "sequential"
+	case SchedulerParallelSM:
+		return "parallel"
+	}
+	return fmt.Sprintf("SchedulerKind(%d)", int(k))
+}
+
+// ParseScheduler maps a command-line name to a SchedulerKind.
+func ParseScheduler(s string) (SchedulerKind, error) {
+	switch s {
+	case "", "sequential", "seq":
+		return SchedulerSequential, nil
+	case "parallel", "parallel-sm", "par":
+		return SchedulerParallelSM, nil
+	}
+	return 0, fmt.Errorf("gpu: unknown scheduler %q (want sequential or parallel)", s)
+}
+
 // Config describes a simulated device.
 type Config struct {
 	Family          sass.Family
-	NumSMs          int    // streaming multiprocessors
-	GlobalMemBytes  uint64 // device heap size
-	CodeBytes       int    // code-space size (≤ 8 MiB on 64-bit families)
-	SharedMemPerCTA int    // shared memory available per thread block
-	LocalMemPerThr  int    // local memory per thread
-	L1LineBytes     int    // cache line size (both levels)
-	L1Lines         int    // L1 lines per SM
-	L2Lines         int    // shared L2 lines
-	EnableWFFT      bool   // execute WFFT32 natively ("future hardware" mode)
+	NumSMs          int           // streaming multiprocessors
+	GlobalMemBytes  uint64        // device heap size
+	CodeBytes       int           // code-space size (≤ 8 MiB on 64-bit families)
+	SharedMemPerCTA int           // shared memory available per thread block
+	LocalMemPerThr  int           // local memory per thread
+	L1LineBytes     int           // cache line size (both levels)
+	L1Lines         int           // L1 lines per SM
+	L2Lines         int           // shared L2 lines
+	EnableWFFT      bool          // execute WFFT32 natively ("future hardware" mode)
+	Scheduler       SchedulerKind // CTA-to-SM execution backend (default sequential)
 }
 
 // DefaultConfig returns a modest device resembling a scaled-down TITAN V-
@@ -61,18 +98,33 @@ type Device struct {
 	mem   []byte // global memory
 	alloc *allocator
 
-	code     []byte      // code space; PCs are word indexes into it
-	codeTop  int         // bump pointer (bytes)
-	decoded  []sass.Inst // decode cache, one entry per code word
-	decValid []bool
+	code    []byte      // code space; PCs are word indexes into it
+	codeTop int         // bump pointer (bytes)
+	decoded []sass.Inst // decode cache, one entry per code word
+	// decValid publishes decoded entries: 1 under atomic load/store once
+	// decoded[w] is filled. SM workers fill concurrently under decMu and
+	// publish with a release store, so hits need no lock.
+	decValid []uint32
+	decMu    sync.Mutex
 
 	l2  *cache
 	l1s []*cache
 
 	stats Stats
 
-	mu sync.Mutex // guards atomics when CTAs run concurrently
+	// warpFree recycles warp slabs (32 KiB of registers each) across
+	// launches. Touched only on the launching goroutine (newExecContext /
+	// releaseContext), never by SM workers.
+	warpFree []*warp
+
+	// atomLocks stripes the simulated ATOM/RED read-modify-write path by
+	// global word address so concurrent CTA workers stay race-free.
+	atomLocks [atomStripes]sync.Mutex
 }
+
+// atomStripes is the number of address-hashed locks serializing simulated
+// global atomics under the parallel scheduler (power of two for masking).
+const atomStripes = 64
 
 // New creates a device. The code-space limit is clamped to what the family's
 // absolute-jump immediate can address.
@@ -98,11 +150,11 @@ func New(cfg Config) (*Device, error) {
 		alloc:    newAllocator(heapBase, cfg.GlobalMemBytes-heapBase),
 		code:     make([]byte, cfg.CodeBytes),
 		decoded:  make([]sass.Inst, cfg.CodeBytes/ib),
-		decValid: make([]bool, cfg.CodeBytes/ib),
-		l2:       newCache(cfg.L2Lines, 8),
+		decValid: make([]uint32, cfg.CodeBytes/ib),
+		l2:       newCache(cfg.L2Lines, l2Ways),
 	}
 	for i := 0; i < cfg.NumSMs; i++ {
-		d.l1s = append(d.l1s, newCache(cfg.L1Lines, 4))
+		d.l1s = append(d.l1s, newCache(cfg.L1Lines, l1Ways))
 	}
 	return d, nil
 }
@@ -199,7 +251,7 @@ func (d *Device) WriteCode(addr CodeAddr, raw []byte) error {
 	}
 	copy(d.code[off:], raw)
 	for w := int(addr); w < int(addr)+len(raw)/ib; w++ {
-		d.decValid[w] = false
+		atomic.StoreUint32(&d.decValid[w], 0)
 	}
 	d.stats.CodeBytesWritten += uint64(len(raw))
 	return nil
@@ -219,12 +271,21 @@ func (d *Device) ReadCode(addr CodeAddr, nWords int) ([]byte, error) {
 }
 
 // fetch decodes the instruction at word index pc, using the decode cache.
+// Hits take a single acquire load; misses decode under decMu and publish the
+// entry with a release store, so concurrent SM workers never observe a torn
+// sass.Inst. Code writes only happen between launches (WriteCode), so an
+// entry never changes while any worker can fetch it.
 func (d *Device) fetch(pc int32) (sass.Inst, error) {
 	w := int(pc)
 	if w <= 0 || w >= len(d.decValid) {
 		return sass.Inst{}, fmt.Errorf("gpu: PC %#x outside code space", pc)
 	}
-	if d.decValid[w] {
+	if atomic.LoadUint32(&d.decValid[w]) != 0 {
+		return d.decoded[w], nil
+	}
+	d.decMu.Lock()
+	defer d.decMu.Unlock()
+	if atomic.LoadUint32(&d.decValid[w]) != 0 {
 		return d.decoded[w], nil
 	}
 	ib := d.codec.InstBytes()
@@ -233,7 +294,7 @@ func (d *Device) fetch(pc int32) (sass.Inst, error) {
 		return sass.Inst{}, fmt.Errorf("gpu: at PC %#x: %w", pc, err)
 	}
 	d.decoded[w] = in
-	d.decValid[w] = true
+	atomic.StoreUint32(&d.decValid[w], 1)
 	return in, nil
 }
 

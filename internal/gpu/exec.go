@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"nvbitgo/internal/sass"
 )
@@ -42,32 +43,21 @@ func (c *execContext) step(w *warp) error {
 		}
 	}
 
-	st := &c.dev.stats
+	st := &c.stats
 	st.WarpInstrs++
 	st.ThreadInstrs += uint64(nActive)
 	st.OpCounts[in.Op]++
 	st.OpThreads[in.Op] += uint64(nActive)
 	w.cycles += issueCost(in.Op)
 
-	// Default: all active lanes fall through; control flow overrides.
+	// Default: all active lanes fall through (w.advance); control flow
+	// overrides. The per-step helpers are plain methods/functions rather
+	// than closures so the dispatch loop does not allocate.
 	next := pc + 1
-	advance := func() {
-		for i := 0; i < w.nLanes; i++ {
-			if active[i] {
-				w.pc[i] = next
-			}
-		}
-	}
-
-	trap := func(format string, args ...any) error {
-		return fmt.Errorf("at PC %#x (%s): %s", pc, sass.Format(in), fmt.Sprintf(format, args...))
-	}
-
-	eff2 := func(lane int) uint32 { return w.reg(lane, in.Src2) + uint32(int32(in.Imm)) }
 
 	switch in.Op {
 	case sass.OpNOP:
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpEXIT:
 		for i := 0; i < w.nLanes; i++ {
@@ -132,7 +122,7 @@ func (c *execContext) step(w *warp) error {
 			if execLanes[i] {
 				n := len(w.callStack[i])
 				if n == 0 {
-					return trap("RET with empty call stack on lane %d", i)
+					return c.trap(pc, in, "RET with empty call stack on lane %d", i)
 				}
 				w.pc[i] = w.callStack[i][n-1]
 				w.callStack[i] = w.callStack[i][:n-1]
@@ -142,7 +132,7 @@ func (c *execContext) step(w *warp) error {
 		}
 
 	case sass.OpBAR:
-		advance()
+		w.advance(&active, next)
 		if execMask != 0 {
 			w.barWait = true
 		}
@@ -157,7 +147,7 @@ func (c *execContext) step(w *warp) error {
 				}
 			}
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpMOVI:
 		for i := 0; i < w.nLanes; i++ {
@@ -165,7 +155,7 @@ func (c *execContext) step(w *warp) error {
 				w.setReg(i, in.Dst, uint32(int32(in.Imm)))
 			}
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpMOVIH:
 		for i := 0; i < w.nLanes; i++ {
@@ -174,7 +164,7 @@ func (c *execContext) step(w *warp) error {
 				w.setReg(i, in.Dst, v)
 			}
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpS2R:
 		for i := 0; i < w.nLanes; i++ {
@@ -182,7 +172,7 @@ func (c *execContext) step(w *warp) error {
 				w.setReg(i, in.Dst, c.specialReg(w, i, in.Imm))
 			}
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpP2R:
 		single := in.Mods.SubOp() == sass.P2RSingle
@@ -200,7 +190,7 @@ func (c *execContext) step(w *warp) error {
 				w.setReg(i, in.Dst, uint32(w.preds[i]))
 			}
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpR2P:
 		for i := 0; i < w.nLanes; i++ {
@@ -208,7 +198,7 @@ func (c *execContext) step(w *warp) error {
 				w.preds[i] = uint8(w.reg(i, in.Src1)) & 0x7f
 			}
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpSEL:
 		for i := 0; i < w.nLanes; i++ {
@@ -220,7 +210,7 @@ func (c *execContext) step(w *warp) error {
 				}
 			}
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpIADD:
 		for i := 0; i < w.nLanes; i++ {
@@ -228,11 +218,11 @@ func (c *execContext) step(w *warp) error {
 				if in.Mods.Wide() {
 					w.setReg64(i, in.Dst, w.reg64(i, in.Src1)+w.reg64(i, in.Src2)+uint64(in.Imm))
 				} else {
-					w.setReg(i, in.Dst, w.reg(i, in.Src1)+eff2(i))
+					w.setReg(i, in.Dst, w.reg(i, in.Src1)+eff2(w, &in, i))
 				}
 			}
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpIMUL:
 		for i := 0; i < w.nLanes; i++ {
@@ -240,7 +230,7 @@ func (c *execContext) step(w *warp) error {
 				w.setReg(i, in.Dst, w.reg(i, in.Src1)*w.reg(i, in.Src2))
 			}
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpIMAD:
 		for i := 0; i < w.nLanes; i++ {
@@ -254,7 +244,7 @@ func (c *execContext) step(w *warp) error {
 				}
 			}
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpISETP:
 		for i := 0; i < w.nLanes; i++ {
@@ -263,38 +253,38 @@ func (c *execContext) step(w *warp) error {
 			}
 			var r bool
 			if in.Mods.Flag() { // unsigned
-				a, b := w.reg(i, in.Src1), eff2(i)
+				a, b := w.reg(i, in.Src1), eff2(w, &in, i)
 				r = cmpU32(in.Mods.SubOp(), a, b)
 			} else {
-				a, b := int32(w.reg(i, in.Src1)), int32(eff2(i))
+				a, b := int32(w.reg(i, in.Src1)), int32(eff2(w, &in, i))
 				r = cmpI32(in.Mods.SubOp(), a, b)
 			}
 			w.setPred(i, in.Mods.Aux(), r)
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpSHL:
 		for i := 0; i < w.nLanes; i++ {
 			if execLanes[i] {
-				w.setReg(i, in.Dst, w.reg(i, in.Src1)<<(eff2(i)&31))
+				w.setReg(i, in.Dst, w.reg(i, in.Src1)<<(eff2(w, &in, i)&31))
 			}
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpSHR:
 		for i := 0; i < w.nLanes; i++ {
 			if execLanes[i] {
-				w.setReg(i, in.Dst, w.reg(i, in.Src1)>>(eff2(i)&31))
+				w.setReg(i, in.Dst, w.reg(i, in.Src1)>>(eff2(w, &in, i)&31))
 			}
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpLOP:
 		for i := 0; i < w.nLanes; i++ {
 			if !execLanes[i] {
 				continue
 			}
-			a, b := w.reg(i, in.Src1), eff2(i)
+			a, b := w.reg(i, in.Src1), eff2(w, &in, i)
 			var v uint32
 			switch in.Mods.SubOp() {
 			case sass.LopAnd:
@@ -306,11 +296,11 @@ func (c *execContext) step(w *warp) error {
 			case sass.LopNot:
 				v = ^a
 			default:
-				return trap("bad LOP sub-op %d", in.Mods.SubOp())
+				return c.trap(pc, in, "bad LOP sub-op %d", in.Mods.SubOp())
 			}
 			w.setReg(i, in.Dst, v)
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpPOPC:
 		for i := 0; i < w.nLanes; i++ {
@@ -324,7 +314,7 @@ func (c *execContext) step(w *warp) error {
 				w.setReg(i, in.Dst, n)
 			}
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpFADD:
 		for i := 0; i < w.nLanes; i++ {
@@ -332,7 +322,7 @@ func (c *execContext) step(w *warp) error {
 				w.setReg(i, in.Dst, addF32(w.reg(i, in.Src1), w.reg(i, in.Src2)))
 			}
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpFMUL:
 		for i := 0; i < w.nLanes; i++ {
@@ -340,7 +330,7 @@ func (c *execContext) step(w *warp) error {
 				w.setReg(i, in.Dst, f32bits(f32(w.reg(i, in.Src1))*f32(w.reg(i, in.Src2))))
 			}
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpFFMA:
 		for i := 0; i < w.nLanes; i++ {
@@ -349,7 +339,7 @@ func (c *execContext) step(w *warp) error {
 				w.setReg(i, in.Dst, f32bits(v))
 			}
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpFSETP:
 		for i := 0; i < w.nLanes; i++ {
@@ -358,7 +348,7 @@ func (c *execContext) step(w *warp) error {
 				w.setPred(i, in.Mods.Aux(), cmpF32(in.Mods.SubOp(), a, b))
 			}
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpMUFU:
 		for i := 0; i < w.nLanes; i++ {
@@ -383,11 +373,11 @@ func (c *execContext) step(w *warp) error {
 			case sass.MufuLg2:
 				v = math.Log2(x)
 			default:
-				return trap("bad MUFU sub-op %d", in.Mods.SubOp())
+				return c.trap(pc, in, "bad MUFU sub-op %d", in.Mods.SubOp())
 			}
 			w.setReg(i, in.Dst, f32bits(float32(v)))
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpI2F:
 		for i := 0; i < w.nLanes; i++ {
@@ -395,7 +385,7 @@ func (c *execContext) step(w *warp) error {
 				w.setReg(i, in.Dst, f32bits(float32(int32(w.reg(i, in.Src1)))))
 			}
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpF2I:
 		for i := 0; i < w.nLanes; i++ {
@@ -413,13 +403,13 @@ func (c *execContext) step(w *warp) error {
 				}
 			}
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpLDG, sass.OpSTG:
 		if err := c.globalAccess(w, in, &execLanes, pc); err != nil {
-			return trap("%v", err)
+			return c.trap(pc, in, "%v", err)
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpLDS, sass.OpSTS:
 		width := accessWidth(in)
@@ -429,7 +419,7 @@ func (c *execContext) step(w *warp) error {
 			}
 			addr := int(int32(w.reg(i, in.Src1)) + int32(in.Imm))
 			if addr < 0 || addr+width > len(c.shared) {
-				return trap("shared access [%#x,+%d) out of range (lane %d, %d bytes shared)", addr, width, i, len(c.shared))
+				return c.trap(pc, in, "shared access [%#x,+%d) out of range (lane %d, %d bytes shared)", addr, width, i, len(c.shared))
 			}
 			if in.Op == sass.OpLDS {
 				if width == 8 {
@@ -445,7 +435,7 @@ func (c *execContext) step(w *warp) error {
 				}
 			}
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpLDL, sass.OpSTL:
 		width := accessWidth(in)
@@ -458,7 +448,7 @@ func (c *execContext) step(w *warp) error {
 			}
 			addr := int(int32(w.reg(i, in.Src1)) + int32(in.Imm))
 			if addr < 0 || addr+width > len(w.local[i]) {
-				return trap("local access [%#x,+%d) out of range (lane %d)", addr, width, i)
+				return c.trap(pc, in, "local access [%#x,+%d) out of range (lane %d)", addr, width, i)
 			}
 			if in.Op == sass.OpLDL {
 				if width == 8 {
@@ -474,7 +464,7 @@ func (c *execContext) step(w *warp) error {
 				}
 			}
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpLDC:
 		bank := in.Mods.SubOp()
@@ -486,7 +476,7 @@ func (c *execContext) step(w *warp) error {
 			}
 			addr := int(int32(w.reg(i, in.Src1)) + int32(in.Imm))
 			if addr < 0 || addr+width > len(data) {
-				return trap("constant access c[%d][%#x] out of range (%d bytes in bank)", bank, addr, len(data))
+				return c.trap(pc, in, "constant access c[%d][%#x] out of range (%d bytes in bank)", bank, addr, len(data))
 			}
 			if width == 8 {
 				w.setReg64(i, in.Dst, binary.LittleEndian.Uint64(data[addr:]))
@@ -494,13 +484,13 @@ func (c *execContext) step(w *warp) error {
 				w.setReg(i, in.Dst, binary.LittleEndian.Uint32(data[addr:]))
 			}
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpATOM, sass.OpRED:
 		if err := c.atomicAccess(w, in, &execLanes); err != nil {
-			return trap("%v", err)
+			return c.trap(pc, in, "%v", err)
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpSHFL:
 		var vals [WarpSize]uint32
@@ -511,7 +501,7 @@ func (c *execContext) step(w *warp) error {
 			if !execLanes[i] {
 				continue
 			}
-			delta := int(int32(eff2(i)))
+			delta := int(int32(eff2(w, &in, i)))
 			src := i
 			switch in.Mods.SubOp() {
 			case sass.ShflUp:
@@ -531,7 +521,7 @@ func (c *execContext) step(w *warp) error {
 				w.setReg(i, in.Dst, vals[i])
 			}
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpVOTE:
 		var mask uint32
@@ -560,9 +550,9 @@ func (c *execContext) step(w *warp) error {
 				}
 			}
 		default:
-			return trap("bad VOTE sub-op %d", in.Mods.SubOp())
+			return c.trap(pc, in, "bad VOTE sub-op %d", in.Mods.SubOp())
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpMATCH:
 		wide := in.Mods.Wide()
@@ -593,15 +583,15 @@ func (c *execContext) step(w *warp) error {
 			}
 			w.setReg(i, in.Dst, m)
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpWFFT32:
 		if !c.dev.cfg.EnableWFFT {
-			return trap("WFFT32 is a hypothetical instruction; this device does not implement it " +
+			return c.trap(pc, in, "WFFT32 is a hypothetical instruction; this device does not implement it "+
 				"(instrument it with the emulation tool, or enable Config.EnableWFFT)")
 		}
 		execWFFT32(w, in, &execLanes)
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpSAVEPUSH:
 		for i := 0; i < w.nLanes; i++ {
@@ -609,19 +599,19 @@ func (c *execContext) step(w *warp) error {
 				w.saveStack[i] = append(w.saveStack[i], saveFrame{regs: make([]uint32, in.Imm)})
 			}
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpSAVEPOP:
 		for i := 0; i < w.nLanes; i++ {
 			if execLanes[i] {
 				n := len(w.saveStack[i])
 				if n == 0 {
-					return trap("SAVEPOP with empty save stack on lane %d", i)
+					return c.trap(pc, in, "SAVEPOP with empty save stack on lane %d", i)
 				}
 				w.saveStack[i] = w.saveStack[i][:n-1]
 			}
 		}
-		advance()
+		w.advance(&active, next)
 
 	case sass.OpSTSA, sass.OpLDSA, sass.OpSTSP, sass.OpLDSP, sass.OpSTSB, sass.OpLDSB,
 		sass.OpRDREG, sass.OpWRREG, sass.OpRDPRED, sass.OpWRPRED:
@@ -631,18 +621,18 @@ func (c *execContext) step(w *warp) error {
 			}
 			n := len(w.saveStack[i])
 			if n == 0 {
-				return trap("%v with no save frame on lane %d", in.Op, i)
+				return c.trap(pc, in, "%v with no save frame on lane %d", in.Op, i)
 			}
 			fr := &w.saveStack[i][n-1]
 			switch in.Op {
 			case sass.OpSTSA:
 				if int(in.Imm) >= len(fr.regs) {
-					return trap("save slot %d beyond frame of %d", in.Imm, len(fr.regs))
+					return c.trap(pc, in, "save slot %d beyond frame of %d", in.Imm, len(fr.regs))
 				}
 				fr.regs[in.Imm] = w.reg(i, in.Src1)
 			case sass.OpLDSA:
 				if int(in.Imm) >= len(fr.regs) {
-					return trap("save slot %d beyond frame of %d", in.Imm, len(fr.regs))
+					return c.trap(pc, in, "save slot %d beyond frame of %d", in.Imm, len(fr.regs))
 				}
 				w.setReg(i, in.Dst, fr.regs[in.Imm])
 			case sass.OpSTSP:
@@ -656,13 +646,13 @@ func (c *execContext) step(w *warp) error {
 			case sass.OpRDREG:
 				idx := int(w.reg(i, in.Src1)) + int(in.Imm)
 				if idx < 0 || idx >= len(fr.regs) {
-					return trap("RDREG of register %d beyond saved set of %d", idx, len(fr.regs))
+					return c.trap(pc, in, "RDREG of register %d beyond saved set of %d", idx, len(fr.regs))
 				}
 				w.setReg(i, in.Dst, fr.regs[idx])
 			case sass.OpWRREG:
 				idx := int(w.reg(i, in.Src1)) + int(in.Imm)
 				if idx < 0 || idx >= len(fr.regs) {
-					return trap("WRREG of register %d beyond saved set of %d", idx, len(fr.regs))
+					return c.trap(pc, in, "WRREG of register %d beyond saved set of %d", idx, len(fr.regs))
 				}
 				fr.regs[idx] = w.reg(i, in.Src2)
 			case sass.OpRDPRED:
@@ -671,12 +661,24 @@ func (c *execContext) step(w *warp) error {
 				fr.preds = uint8(w.reg(i, in.Src2)) & 0x7f
 			}
 		}
-		advance()
+		w.advance(&active, next)
 
 	default:
-		return trap("unimplemented opcode")
+		return c.trap(pc, in, "unimplemented opcode")
 	}
 	return nil
+}
+
+// trap formats an execution fault at the current instruction. It is the
+// cold path of step; keeping it a method (not a per-step closure) keeps the
+// dispatch loop allocation-free.
+func (c *execContext) trap(pc int32, in sass.Inst, format string, args ...any) error {
+	return fmt.Errorf("at PC %#x (%s): %s", pc, sass.Format(in), fmt.Sprintf(format, args...))
+}
+
+// eff2 computes the effective second source: Src2 plus the signed immediate.
+func eff2(w *warp, in *sass.Inst, lane int) uint32 {
+	return w.reg(lane, in.Src2) + uint32(int32(in.Imm))
 }
 
 func cmpI32(sub int, a, b int32) bool {
@@ -835,7 +837,7 @@ func (c *execContext) globalAccess(w *warp, in sass.Inst, execLanes *[WarpSize]b
 	if !any {
 		return nil
 	}
-	st := &d.stats
+	st := &c.stats
 	st.GlobalAccesses++
 	st.GlobalLines += uint64(nLines)
 	for k := 0; k < nLines; k++ {
@@ -845,15 +847,17 @@ func (c *execContext) globalAccess(w *warp, in sass.Inst, execLanes *[WarpSize]b
 }
 
 // lineCost runs one line through L1/L2 and returns its latency contribution.
+// c.l1s[c.sm] is owned by this worker (each SM has exactly one owner); c.l2
+// is the device-shared L2 under the sequential scheduler and a private
+// per-SM shard under the parallel one.
 func (c *execContext) lineCost(line uint64) uint64 {
-	d := c.dev
-	st := &d.stats
-	if d.l1s[c.sm].access(line) {
+	st := &c.stats
+	if c.l1s[c.sm].access(line) {
 		st.L1Hits++
 		return costL1Hit
 	}
 	st.L1Misses++
-	if d.l2.access(line) {
+	if c.l2.access(line) {
 		st.L2Hits++
 		return costL2Hit
 	}
@@ -861,7 +865,11 @@ func (c *execContext) lineCost(line uint64) uint64 {
 	return costL2Miss
 }
 
-// atomicAccess executes ATOM/RED lane by lane in lane order (deterministic).
+// atomicAccess executes ATOM/RED lane by lane in lane order (deterministic
+// within a warp). Under the parallel scheduler (c.locked) each lane's
+// read-modify-write is serialized through an address-striped device lock, so
+// concurrent CTAs interleave atomically — in an undefined cross-CTA order,
+// exactly as on real hardware — and the race detector stays clean.
 func (c *execContext) atomicAccess(w *warp, in sass.Inst, execLanes *[WarpSize]bool) error {
 	d := c.dev
 	width := accessWidth(in)
@@ -878,6 +886,11 @@ func (c *execContext) atomicAccess(w *warp, in sass.Inst, execLanes *[WarpSize]b
 		addr := w.reg64(i, in.Src1) + uint64(in.Imm)
 		if err := d.checkRange(addr, width); err != nil {
 			return fmt.Errorf("lane %d: %w", i, err)
+		}
+		var mu *sync.Mutex
+		if c.locked {
+			mu = &d.atomLocks[(addr>>3)&(atomStripes-1)]
+			mu.Lock()
 		}
 		if width == 8 {
 			old := binary.LittleEndian.Uint64(d.mem[addr:])
@@ -924,6 +937,9 @@ func (c *execContext) atomicAccess(w *warp, in sass.Inst, execLanes *[WarpSize]b
 				case sass.AtomExch:
 					nv = val
 				default:
+					if mu != nil {
+						mu.Unlock()
+					}
 					return fmt.Errorf("float atomic %s unsupported", sass.AtomName(in.Mods.SubOp()))
 				}
 			} else {
@@ -955,10 +971,13 @@ func (c *execContext) atomicAccess(w *warp, in sass.Inst, execLanes *[WarpSize]b
 				w.setReg(i, in.Dst, old)
 			}
 		}
+		if mu != nil {
+			mu.Unlock()
+		}
 		w.cycles += c.lineCost((w.reg64(i, in.Src1) + uint64(in.Imm)) >> lineShift)
 	}
 	if any {
-		d.stats.GlobalAccesses++
+		c.stats.GlobalAccesses++
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"fmt"
+	"sync"
 )
 
 // Dim3 is a CUDA-style three-dimensional extent.
@@ -28,7 +29,10 @@ type LaunchSpec struct {
 }
 
 // Launch executes a kernel to completion and returns the statistics of this
-// launch only (they are also accumulated on the device).
+// launch only (they are also accumulated on the device). The CTA-to-SM
+// mapping is fixed (cta % NumSMs); Config.Scheduler selects whether the SMs
+// execute sequentially on one goroutine or concurrently with one worker per
+// SM (see docs/scheduler.md for the determinism contract).
 func (d *Device) Launch(spec LaunchSpec) (Stats, error) {
 	if spec.Block.Count() <= 0 || spec.Block.Count() > 1024 {
 		return Stats{}, fmt.Errorf("gpu: block of %d threads out of range (1..1024)", spec.Block.Count())
@@ -36,11 +40,9 @@ func (d *Device) Launch(spec LaunchSpec) (Stats, error) {
 	if spec.Grid.Count() <= 0 {
 		return Stats{}, fmt.Errorf("gpu: empty grid")
 	}
-	shared := spec.SharedBytes
-	if shared > d.cfg.SharedMemPerCTA {
-		return Stats{}, fmt.Errorf("gpu: %d bytes of shared memory exceed the per-CTA limit %d", shared, d.cfg.SharedMemPerCTA)
+	if spec.SharedBytes > d.cfg.SharedMemPerCTA {
+		return Stats{}, fmt.Errorf("gpu: %d bytes of shared memory exceed the per-CTA limit %d", spec.SharedBytes, d.cfg.SharedMemPerCTA)
 	}
-	before := d.stats
 
 	// Constant bank 0: launch configuration (grid and block dimensions),
 	// as the backend compiler expects (see internal/ptx lowering).
@@ -59,29 +61,18 @@ func (d *Device) Launch(spec LaunchSpec) (Stats, error) {
 	putU32(20, spec.Block.Z)
 
 	nCTA := spec.Grid.Count()
-	warpsPerCTA := (spec.Block.Count() + WarpSize - 1) / WarpSize
-
-	ctx := &execContext{
-		dev:    d,
-		spec:   spec,
-		banks:  [8][]byte{0: bank0, 1: spec.Params},
-		shared: make([]byte, shared),
-		warps:  make([]*warp, warpsPerCTA),
-	}
-	for i := range ctx.warps {
-		ctx.warps[i] = newWarp()
-	}
-
 	smCycles := make([]uint64, d.cfg.NumSMs)
 	smWarps := make([]uint64, d.cfg.NumSMs)
-	for cta := 0; cta < nCTA; cta++ {
-		sm := cta % d.cfg.NumSMs
-		cycles, err := ctx.runCTA(cta, sm)
-		if err != nil {
-			return Stats{}, fmt.Errorf("gpu: CTA %d on SM %d: %w", cta, sm, err)
-		}
-		smCycles[sm] += cycles
-		smWarps[sm] += uint64(warpsPerCTA)
+
+	var launch Stats
+	var err error
+	if d.cfg.Scheduler == SchedulerParallelSM {
+		err = d.launchParallelSM(spec, bank0, nCTA, &launch, smCycles, smWarps)
+	} else {
+		err = d.launchSequential(spec, bank0, nCTA, &launch, smCycles, smWarps)
+	}
+	if err != nil {
+		return Stats{}, err
 	}
 
 	// Timing model: each SM overlaps its resident warps; with W warps it
@@ -101,37 +92,94 @@ func (d *Device) Launch(spec LaunchSpec) (Stats, error) {
 			kernelCycles = c
 		}
 	}
-	d.stats.Cycles += kernelCycles
-	d.stats.Launches++
+	launch.Cycles += kernelCycles
+	launch.Launches++
+	d.stats.Add(launch)
+	return launch, nil
+}
 
-	delta := d.stats
-	deltaSub(&delta, before)
-	return delta, nil
+// launchSequential is the reference backend: one goroutine walks the CTAs in
+// linear order, so every counter — including shared-L2 hit/miss attribution —
+// is fully deterministic.
+func (d *Device) launchSequential(spec LaunchSpec, bank0 []byte, nCTA int, launch *Stats, smCycles, smWarps []uint64) error {
+	ctx := d.newExecContext(spec, bank0, d.l2)
+	defer d.releaseContext(ctx)
+	warpsPerCTA := uint64(len(ctx.warps))
+	for cta := 0; cta < nCTA; cta++ {
+		sm := cta % d.cfg.NumSMs
+		cycles, err := ctx.runCTA(cta, sm)
+		if err != nil {
+			return fmt.Errorf("gpu: CTA %d on SM %d: %w", cta, sm, err)
+		}
+		smCycles[sm] += cycles
+		smWarps[sm] += warpsPerCTA
+	}
+	launch.Add(ctx.stats)
+	return nil
+}
+
+// launchParallelSM runs one worker goroutine per SM. Worker i owns SM i
+// exclusively: it executes the CTAs with cta % NumSMs == i in ascending
+// order (the same per-SM schedule the sequential backend produces), with a
+// private execContext, warp pool, shared-memory buffer, stats shard, the
+// SM's own L1, and a private 1/NumSMs-sized L2 shard. Shards are merged into
+// launch in ascending SM order after all workers join, so aggregate counts
+// are bit-identical run to run; only the L2 hit/miss split (and the cycle
+// counts derived from it) can differ from the sequential backend. See
+// docs/scheduler.md.
+func (d *Device) launchParallelSM(spec LaunchSpec, bank0 []byte, nCTA int, launch *Stats, smCycles, smWarps []uint64) error {
+	nWorkers := d.cfg.NumSMs
+	if nWorkers > nCTA {
+		nWorkers = nCTA // trailing SMs would have no CTAs
+	}
+	l2Lines := d.cfg.L2Lines / d.cfg.NumSMs
+	ctxs := make([]*execContext, nWorkers)
+	errs := make([]error, nWorkers)
+	var wg sync.WaitGroup
+	for i := 0; i < nWorkers; i++ {
+		// Contexts are created (and their warps drawn from the device
+		// pool) on the launching goroutine; workers touch only their own.
+		ctx := d.newExecContext(spec, bank0, newCache(l2Lines, l2Ways))
+		ctx.locked = true
+		ctxs[i] = ctx
+		warpsPerCTA := uint64(len(ctx.warps))
+		wg.Add(1)
+		go func(sm int, ctx *execContext) {
+			defer wg.Done()
+			for cta := sm; cta < nCTA; cta += d.cfg.NumSMs {
+				cycles, err := ctx.runCTA(cta, sm)
+				if err != nil {
+					errs[sm] = fmt.Errorf("gpu: CTA %d on SM %d: %w", cta, sm, err)
+					return
+				}
+				smCycles[sm] += cycles
+				smWarps[sm] += warpsPerCTA
+			}
+		}(i, ctx)
+	}
+	wg.Wait()
+	for _, ctx := range ctxs {
+		d.releaseContext(ctx)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err // lowest-SM error, deterministically
+		}
+	}
+	// Merge the per-SM shards in ascending SM order: fixed order makes the
+	// aggregate bit-identical run to run.
+	for _, ctx := range ctxs {
+		launch.Add(ctx.stats)
+	}
+	return nil
 }
 
 // hideLimit caps the latency-hiding benefit of warp multithreading per SM.
 const hideLimit = 8
 
-func deltaSub(s *Stats, o Stats) {
-	s.Launches -= o.Launches
-	s.WarpInstrs -= o.WarpInstrs
-	s.ThreadInstrs -= o.ThreadInstrs
-	s.Cycles -= o.Cycles
-	s.GlobalAccesses -= o.GlobalAccesses
-	s.GlobalLines -= o.GlobalLines
-	s.L1Hits -= o.L1Hits
-	s.L1Misses -= o.L1Misses
-	s.L2Hits -= o.L2Hits
-	s.L2Misses -= o.L2Misses
-	s.CodeBytesWritten -= o.CodeBytesWritten
-	for i := range s.OpCounts {
-		s.OpCounts[i] -= o.OpCounts[i]
-		s.OpThreads[i] -= o.OpThreads[i]
-	}
-}
-
-// execContext holds the per-launch state reused across CTAs (the simulator
-// executes CTAs sequentially for determinism; see DESIGN.md).
+// execContext holds the execution state one scheduler worker reuses across
+// the CTAs it runs: under the sequential backend a single context walks
+// every CTA; under the parallel backend each SM worker owns one.
 type execContext struct {
 	dev    *Device
 	spec   LaunchSpec
@@ -139,9 +187,49 @@ type execContext struct {
 	shared []byte
 	warps  []*warp
 
+	stats  Stats    // this worker's statistics shard
+	l1s    []*cache // per-SM L1 models (indexed by c.sm)
+	l2     *cache   // shared L2 (sequential) or a private shard (parallel)
+	locked bool     // route global atomics through the device stripe locks
+
 	cta   Dim3 // current CTA coordinates
 	ctaID int
 	sm    int
+}
+
+// newExecContext builds one worker's execution state, drawing warps from the
+// device's free pool (warp slabs dominate per-launch allocation: 32 KiB of
+// registers each). Must be called on the launching goroutine — the pool is
+// unsynchronized; releaseContext returns the warps once the worker is done.
+func (d *Device) newExecContext(spec LaunchSpec, bank0 []byte, l2 *cache) *execContext {
+	warpsPerCTA := (spec.Block.Count() + WarpSize - 1) / WarpSize
+	c := &execContext{
+		dev:    d,
+		spec:   spec,
+		banks:  [8][]byte{0: bank0, 1: spec.Params},
+		shared: make([]byte, spec.SharedBytes),
+		warps:  make([]*warp, warpsPerCTA),
+		l1s:    d.l1s,
+		l2:     l2,
+	}
+	for i := range c.warps {
+		if n := len(d.warpFree); n > 0 {
+			c.warps[i] = d.warpFree[n-1]
+			d.warpFree = d.warpFree[:n-1]
+		} else {
+			c.warps[i] = newWarp()
+		}
+	}
+	return c
+}
+
+// releaseContext returns a context's warps to the device pool for the next
+// launch. As on hardware, register and local-memory contents are undefined
+// at CTA start, so recycled slabs are handed back as-is (warp.reset clears
+// the architectural state that must be fresh).
+func (d *Device) releaseContext(c *execContext) {
+	d.warpFree = append(d.warpFree, c.warps...)
+	c.warps = nil
 }
 
 func (c *execContext) runCTA(ctaLinear, sm int) (uint64, error) {

@@ -1,0 +1,249 @@
+package gpu
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"nvbitgo/internal/sass"
+)
+
+// schedKernel exercises everything the parallel scheduler must keep
+// deterministic at once: a multi-warp shared-memory reduction behind a CTA
+// barrier, lane-divergent control flow, an instrumentation-style trampoline
+// (CAL into a SAVEPUSH/restore sequence, as the NVBit code generator
+// splices in), a RED atomic hammering one global counter from every CTA,
+// and disjoint per-thread and per-CTA global stores.
+//
+// Layout: c[1][0] = counter address, c[1][8] = out address.
+// out[gid]          = 2*tid + (tid odd ? 24 : 0)
+// out[total+ctaid]  = sum of tids in the CTA (64 threads -> 2016)
+// counter           = total threads
+const schedKernel = `
+	S2R R0, SR_TID.X
+	S2R R2, SR_CTAID.X
+	S2R R3, SR_NTID.X
+	IMAD R1, R2, R3, R0       // gid
+
+	// Multi-warp shared reduction data + barrier.
+	SHL R4, R0, RZ, 2
+	STS [R4], R0
+	BAR
+
+	// Divergent: odd lanes run an extra 8-iteration loop.
+	MOVI R6, 0
+	LOP.AND R5, R0, RZ, 1
+	ISETP.EQ P1, R5, RZ, 0
+	@P1 BRA even
+	MOVI R7, 0
+odd:
+	IADD R6, R6, RZ, 3
+	IADD R7, R7, RZ, 1
+	ISETP.LT P1, R7, RZ, 8
+	@P1 BRA odd
+even:
+	// Instrumentation-style trampoline call.
+	CAL tramp
+
+	// One RED.ADD per thread on a single shared counter (striped-lock path).
+	MOVI R8, 1
+	LDC.W R10, c[1][0]
+	RED.ADD [R10], R8
+
+	// Thread 0 sums the CTA's shared array into out[total+ctaid].
+	ISETP.NE P0, R0, RZ, 0
+	@P0 BRA store
+	MOVI R12, 0
+	MOVI R13, 0
+	MOVI R14, 0
+sum:
+	LDS R15, [R14]
+	IADD R12, R12, R15, 0
+	IADD R14, R14, RZ, 4
+	IADD R13, R13, RZ, 1
+	ISETP.LT P0, R13, RZ, 64
+	@P0 BRA sum
+	LDC.W R16, c[1][8]
+	S2R R18, SR_NTID.X
+	S2R R19, SR_NCTAID.X
+	IMUL R20, R18, R19
+	IADD R20, R20, R2, 0
+	MOVI R21, 4
+	IMAD.W R16, R20, R21, R16
+	STG [R16], R12
+store:
+	// Disjoint per-thread result: out[gid] = 2*tid + divergent work.
+	SHL R22, R0, RZ, 1
+	IADD R22, R22, R6, 0
+	LDC.W R24, c[1][8]
+	MOVI R26, 4
+	IMAD.W R24, R1, R26, R24
+	STG [R24], R22
+	EXIT
+tramp:
+	SAVEPUSH 2
+	STSA [0], R0
+	STSA [1], R1
+	STSP
+	MOVI R0, 9999             // clobber what the kernel needs
+	MOVI R1, 9999
+	LDSA R0, [0]
+	LDSA R1, [1]
+	LDSP
+	SAVEPOP
+	RET
+`
+
+const (
+	schedCTAs    = 64
+	schedThreads = 64
+)
+
+// runSchedKernel executes schedKernel on a fresh device with the given
+// scheduler and returns the launch stats and the out-array contents.
+func runSchedKernel(t *testing.T, kind SchedulerKind) (Stats, []byte) {
+	t.Helper()
+	cfg := DefaultConfig(sass.Volta)
+	cfg.Scheduler = kind
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter, _ := d.Malloc(8)
+	total := schedCTAs * schedThreads
+	out, _ := d.Malloc(uint64(4 * (total + schedCTAs)))
+	entry := loadSASS(t, d, schedKernel)
+	st := launch(t, d, entry, D1(schedCTAs), D1(schedThreads), u64param(counter, out), 4*schedThreads)
+
+	cbuf := make([]byte, 4)
+	if err := d.Read(counter, cbuf); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint32(cbuf); got != uint32(total) {
+		t.Fatalf("%v: atomic counter = %d, want %d", kind, got, total)
+	}
+	buf := make([]byte, 4*(total+schedCTAs))
+	if err := d.Read(out, buf); err != nil {
+		t.Fatal(err)
+	}
+	for cta := 0; cta < schedCTAs; cta++ {
+		if got := binary.LittleEndian.Uint32(buf[4*(total+cta):]); got != schedThreads*(schedThreads-1)/2 {
+			t.Fatalf("%v: CTA %d reduction = %d", kind, cta, got)
+		}
+	}
+	for tid := 0; tid < schedThreads; tid++ {
+		want := uint32(2 * tid)
+		if tid%2 == 1 {
+			want += 24
+		}
+		if got := binary.LittleEndian.Uint32(buf[4*tid:]); got != want {
+			t.Fatalf("%v: out[%d] = %d, want %d", kind, tid, got, want)
+		}
+	}
+	return st, buf
+}
+
+// maskL2 zeroes the counters that are documented as scheduler-variant: the
+// L2 hit/miss split (per-SM L2 shards under the parallel scheduler) and the
+// cycle counts derived from it. Everything else must match exactly across
+// schedulers (docs/scheduler.md).
+func maskL2(s Stats) Stats {
+	s.L2Hits, s.L2Misses, s.Cycles = 0, 0, 0
+	return s
+}
+
+func TestParallelSchedulerDeterminism(t *testing.T) {
+	seqStats, seqMem := runSchedKernel(t, SchedulerSequential)
+
+	parStats, parMem := runSchedKernel(t, SchedulerParallelSM)
+	for run := 1; run < 4; run++ {
+		st, mem := runSchedKernel(t, SchedulerParallelSM)
+		if st != parStats {
+			t.Fatalf("parallel run %d stats differ:\n%+v\nvs\n%+v", run, st, parStats)
+		}
+		if string(mem) != string(parMem) {
+			t.Fatalf("parallel run %d global memory differs", run)
+		}
+	}
+
+	if string(parMem) != string(seqMem) {
+		t.Fatal("parallel scheduler global memory differs from sequential")
+	}
+	if got, want := maskL2(parStats), maskL2(seqStats); got != want {
+		t.Fatalf("scheduler-invariant stats differ:\nparallel  %+v\nsequential %+v", got, want)
+	}
+	// The L2 split is sharded but conserves its total: every L1 miss goes
+	// to exactly one L2 (shard).
+	if parStats.L2Hits+parStats.L2Misses != seqStats.L2Hits+seqStats.L2Misses {
+		t.Fatalf("L2 lookups not conserved: parallel %d+%d, sequential %d+%d",
+			parStats.L2Hits, parStats.L2Misses, seqStats.L2Hits, seqStats.L2Misses)
+	}
+	if parStats.Cycles == 0 {
+		t.Fatal("parallel scheduler reported zero cycles")
+	}
+}
+
+// TestParallelSchedulerErrorDeterminism: a faulting kernel must report the
+// same (lowest-SM) error under both schedulers, run after run.
+func TestParallelSchedulerErrorDeterminism(t *testing.T) {
+	fault := `
+		MOVI R0, 0
+		MOVI R1, 0
+		STG [R0], R1              // address 0 is unmapped: traps
+		EXIT
+	`
+	run := func(kind SchedulerKind) string {
+		cfg := DefaultConfig(sass.Volta)
+		cfg.Scheduler = kind
+		d, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entry := loadSASS(t, d, fault)
+		_, err = d.Launch(LaunchSpec{Entry: entry, Grid: D1(32), Block: D1(32)})
+		if err == nil {
+			t.Fatalf("%v: faulting kernel did not error", kind)
+		}
+		// A failed launch must not pollute device statistics.
+		if st := d.Stats(); st.Launches != 0 || st.WarpInstrs != 0 {
+			t.Fatalf("%v: failed launch leaked stats: %+v", kind, st)
+		}
+		return err.Error()
+	}
+	seqErr := run(SchedulerSequential)
+	for i := 0; i < 3; i++ {
+		if parErr := run(SchedulerParallelSM); parErr != seqErr {
+			t.Fatalf("error not deterministic:\nparallel  %q\nsequential %q", parErr, seqErr)
+		}
+	}
+}
+
+// TestParallelSchedulerSmallGrid covers nCTA < NumSMs (idle trailing SMs).
+func TestParallelSchedulerSmallGrid(t *testing.T) {
+	cfg := DefaultConfig(sass.Volta)
+	cfg.Scheduler = SchedulerParallelSM
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := d.Malloc(4 * 32)
+	entry := loadSASS(t, d, gidProlog+`
+		LDC.W R4, c[1][0]
+		MOVI R6, 4
+		IMAD.W R4, R0, R6, R4
+		STG [R4], R0
+		EXIT
+	`)
+	st := launch(t, d, entry, D1(1), D1(32), u64param(out), 0)
+	if st.Launches != 1 || st.WarpInstrs == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	buf := make([]byte, 4*32)
+	if err := d.Read(out, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if got := binary.LittleEndian.Uint32(buf[4*i:]); got != uint32(i) {
+			t.Fatalf("out[%d] = %d", i, got)
+		}
+	}
+}

@@ -26,7 +26,10 @@ type Stats struct {
 	OpThreads [sass.NumOpcodes]uint64 // thread-level (active-lane) counts per opcode
 }
 
-// Add accumulates other into s.
+// Add accumulates other into s. Launch merges per-SM statistic shards with
+// this method in ascending SM order, so every field must be merge-safe
+// (plain sums); stats_test.go enforces by reflection that new fields are
+// covered here and in Sub.
 func (s *Stats) Add(o Stats) {
 	s.Launches += o.Launches
 	s.WarpInstrs += o.WarpInstrs
@@ -42,5 +45,25 @@ func (s *Stats) Add(o Stats) {
 	for i := range s.OpCounts {
 		s.OpCounts[i] += o.OpCounts[i]
 		s.OpThreads[i] += o.OpThreads[i]
+	}
+}
+
+// Sub subtracts other from s (the inverse of Add), used to compute
+// per-launch deltas from accumulated device statistics.
+func (s *Stats) Sub(o Stats) {
+	s.Launches -= o.Launches
+	s.WarpInstrs -= o.WarpInstrs
+	s.ThreadInstrs -= o.ThreadInstrs
+	s.Cycles -= o.Cycles
+	s.GlobalAccesses -= o.GlobalAccesses
+	s.GlobalLines -= o.GlobalLines
+	s.L1Hits -= o.L1Hits
+	s.L1Misses -= o.L1Misses
+	s.L2Hits -= o.L2Hits
+	s.L2Misses -= o.L2Misses
+	s.CodeBytesWritten -= o.CodeBytesWritten
+	for i := range s.OpCounts {
+		s.OpCounts[i] -= o.OpCounts[i]
+		s.OpThreads[i] -= o.OpThreads[i]
 	}
 }

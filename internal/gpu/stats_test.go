@@ -1,0 +1,86 @@
+package gpu
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// fillStats sets every field of a Stats (including every array element) to a
+// distinct nonzero value via reflection, so a counter that Add or Sub drops
+// cannot cancel out. A field of an unsupported kind fails the test: whoever
+// adds it must extend Add, Sub, the shard merge in Launch, and this switch.
+func fillStats(t *testing.T) Stats {
+	t.Helper()
+	var s Stats
+	v := reflect.ValueOf(&s).Elem()
+	c := uint64(1)
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		name := v.Type().Field(i).Name
+		switch f.Kind() {
+		case reflect.Uint64:
+			f.SetUint(c)
+			c++
+		case reflect.Array:
+			if f.Type().Elem().Kind() != reflect.Uint64 {
+				t.Fatalf("Stats.%s is an array of %v: add delta/merge support in Add/Sub and extend this test", name, f.Type().Elem())
+			}
+			for j := 0; j < f.Len(); j++ {
+				f.Index(j).SetUint(c)
+				c++
+			}
+		default:
+			t.Fatalf("Stats.%s has kind %v: add delta/merge support in Add/Sub and extend this test", name, f.Kind())
+		}
+	}
+	return s
+}
+
+// TestStatsAddSubCoverEveryField guards the shard-merge (Add) and delta
+// (Sub) paths against silently dropping a newly added counter: both the
+// parallel scheduler's per-SM merge and per-launch deltas flow through these
+// two methods, so a forgotten field would otherwise vanish without a test
+// ever noticing.
+func TestStatsAddSubCoverEveryField(t *testing.T) {
+	a := fillStats(t)
+
+	// Add must accumulate every field: summing a twice gives exactly 2x
+	// per element; a dropped field stays 0.
+	var sum Stats
+	sum.Add(a)
+	sum.Add(a)
+	av, sv := reflect.ValueOf(a), reflect.ValueOf(sum)
+	for i := 0; i < av.NumField(); i++ {
+		name := av.Type().Field(i).Name
+		check := func(got, want uint64, elem string) {
+			if got != want {
+				t.Errorf("Stats.%s%s not merged by Add: got %d, want %d", name, elem, got, want)
+			}
+		}
+		if av.Field(i).Kind() == reflect.Array {
+			for j := 0; j < av.Field(i).Len(); j++ {
+				check(sv.Field(i).Index(j).Uint(), 2*av.Field(i).Index(j).Uint(), fmt.Sprintf("[%d]", j))
+				if t.Failed() {
+					break
+				}
+			}
+		} else {
+			check(sv.Field(i).Uint(), 2*av.Field(i).Uint(), "")
+		}
+	}
+
+	// Sub must invert Add exactly (Stats is comparable).
+	b := sum
+	b.Sub(a)
+	if b != a {
+		t.Errorf("Sub does not invert Add:\ngot  %+v\nwant %+v", b, a)
+	}
+
+	// And subtracting a value from itself must reach zero in every field.
+	z := a
+	z.Sub(a)
+	if z != (Stats{}) {
+		t.Errorf("Sub(self) left residue: %+v", z)
+	}
+}

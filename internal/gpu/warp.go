@@ -40,8 +40,9 @@ func newWarp() *warp { return &warp{} }
 
 // reset prepares the warp for a fresh CTA. Register and local-memory
 // contents are deliberately not cleared: as on real hardware their initial
-// values are undefined, and compiled kernels initialize before use.
-// Sequential CTA execution keeps the run deterministic regardless.
+// values are undefined, and compiled kernels initialize before use. Each
+// scheduler worker owns its warp pool and walks its CTAs in a fixed order
+// (docs/scheduler.md), so runs stay deterministic regardless.
 func (w *warp) reset(id, lanes int, entry int32) {
 	w.id = id
 	w.nLanes = lanes
@@ -55,6 +56,16 @@ func (w *warp) reset(id, lanes int, entry int32) {
 		w.preds[i] = 0
 		w.callStack[i] = w.callStack[i][:0]
 		w.saveStack[i] = w.saveStack[i][:0]
+	}
+}
+
+// advance moves every active lane to the fall-through PC (the default
+// outcome of a non-control-flow step).
+func (w *warp) advance(active *[WarpSize]bool, next int32) {
+	for i := 0; i < w.nLanes; i++ {
+		if active[i] {
+			w.pc[i] = next
+		}
 	}
 }
 
