@@ -22,6 +22,7 @@ import (
 	"nvbitgo/internal/tools/cachesim"
 	"nvbitgo/internal/tools/instrcount"
 	"nvbitgo/internal/tools/itrace"
+	"nvbitgo/internal/tools/memcheck"
 	"nvbitgo/internal/tools/memdiv"
 	"nvbitgo/internal/tools/ophisto"
 	"nvbitgo/internal/workloads/mlsuite"
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	toolName := flag.String("tool", os.Getenv("NVBIT_TOOL"), "tool: none, instrcount, instrcount-bb, memdiv, ophisto, ophisto-sampled, cachesim, itrace")
+	toolName := flag.String("tool", os.Getenv("NVBIT_TOOL"), "tool: none, instrcount, instrcount-bb, memdiv, ophisto, ophisto-sampled, cachesim, itrace, memcheck")
 	traceOut := flag.String("trace-out", "", "itrace: write the collected trace to this file")
 	workload := flag.String("workload", "specaccel:ostencil", "workload: specaccel:<name> or ml:<Network>")
 	sizeName := flag.String("size", "medium", "specaccel size: small, medium, large")
@@ -118,6 +119,15 @@ func main() {
 					fail(err)
 				}
 				fmt.Printf("trace written to %s\n", *traceOut)
+			}
+		}
+	case "memcheck":
+		t := memcheck.New(1 << 20)
+		tool = t
+		report = func(nv *nvbit.NVBit) {
+			t.Report(os.Stdout)
+			if t.TotalViolations > 0 {
+				os.Exit(2)
 			}
 		}
 	case "ophisto", "ophisto-sampled":

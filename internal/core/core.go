@@ -71,8 +71,23 @@ func Attach(api *driver.API, tool Tool) (*NVBit, error) {
 	if err := api.SetHook((*hook)(n)); err != nil {
 		return nil, err
 	}
-	tool.AtInit(n)
+	if err := safeAtInit(tool, n); err != nil {
+		return nil, err
+	}
 	return n, nil
+}
+
+// safeAtInit runs the tool's AtInit with panic recovery: a broken tool must
+// fail Attach with an error, not crash the host application it was injected
+// into.
+func safeAtInit(tool Tool, n *NVBit) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("nvbit: tool AtInit panicked: %v", r)
+		}
+	}()
+	tool.AtInit(n)
+	return nil
 }
 
 // API returns the underlying driver instance.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -678,11 +679,24 @@ func TestInstrInspectionAPI(t *testing.T) {
 	}
 }
 
+// launchErr launches the work kernel and returns the error instead of
+// failing the test — for instrumentation mistakes that must surface as
+// recovered ErrToolCallback launch failures, not process crashes.
+func (e *testEnv) launchErr(t *testing.T) error {
+	t.Helper()
+	params, err := driver.PackParams(e.fn, e.data, e.n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.ctx.LaunchKernel(e.fn, gpu.D1(4), gpu.D1(64), 0, params)
+}
+
 func TestInstrumentationErrors(t *testing.T) {
 	tool := &testTool{}
 	env := setup(t, sass.Volta, tool)
 
-	// Unknown tool function.
+	// Unknown tool function: the core's instrumentation failure panics in
+	// the launch callback; the driver recovers it into ErrToolCallback.
 	tool.onLaunch = func(n *NVBit, p *driver.CallParams) {
 		if n.IsInstrumented(p.Launch.Func) {
 			return
@@ -690,8 +704,15 @@ func TestInstrumentationErrors(t *testing.T) {
 		insts, _ := n.GetInstrs(p.Launch.Func)
 		n.InsertCall(insts[0], "no_such_func", IPointBefore)
 	}
-	if msg := mustPanic(t, func() { env.launch(t) }); !strings.Contains(msg, "no_such_func") {
-		t.Fatalf("panic message: %s", msg)
+	err := env.launchErr(t)
+	if err == nil {
+		t.Fatal("launch with a broken tool succeeded")
+	}
+	if !errors.Is(err, driver.ErrToolCallback) {
+		t.Fatalf("error is not ErrToolCallback: %v", err)
+	}
+	if !strings.Contains(err.Error(), "no_such_func") {
+		t.Fatalf("error message: %v", err)
 	}
 }
 
@@ -706,20 +727,11 @@ func TestArgArityValidation(t *testing.T) {
 		// tally takes one u64; pass a u32.
 		n.InsertCallArgs(insts[0], "tally", IPointBefore, ArgImm32(1))
 	}
-	if msg := mustPanic(t, func() { env.launch(t) }); !strings.Contains(msg, "8 bytes") {
-		t.Fatalf("panic message: %s", msg)
+	err := env.launchErr(t)
+	if err == nil || !errors.Is(err, driver.ErrToolCallback) {
+		t.Fatalf("want ErrToolCallback, got %v", err)
 	}
-}
-
-func mustPanic(t *testing.T, fn func()) (msg string) {
-	t.Helper()
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("expected panic")
-		}
-		msg = r.(string)
-	}()
-	fn()
-	return
+	if !strings.Contains(err.Error(), "8 bytes") {
+		t.Fatalf("error message: %v", err)
+	}
 }

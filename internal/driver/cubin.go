@@ -154,7 +154,9 @@ func ParseCubin(image []byte) (*Cubin, error) {
 			f.Lines = append(f.Lines, int32(r.u32()))
 		}
 		nc := int(r.u32())
-		f.Code = append([]byte(nil), r.bytes(nc)...)
+		if code := r.bytes(nc); r.err == nil {
+			f.Code = append([]byte(nil), code...)
+		}
 		c.Funcs = append(c.Funcs, f)
 	}
 	if r.err != nil {
@@ -187,9 +189,16 @@ type reader struct {
 }
 
 func (r *reader) bytes(n int) []byte {
-	if r.err != nil || r.off+n > len(r.b) {
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
 		if r.err == nil {
 			r.err = fmt.Errorf("need %d bytes at offset %d, have %d", n, r.off, len(r.b)-r.off)
+		}
+		// Never allocate an attacker-controlled size on the error path: a
+		// malformed length field (e.g. a 4 GiB code count) must produce an
+		// error, not an out-of-memory. Callers only need fixed-width
+		// scratch once r.err is set.
+		if n > 8 {
+			n = 8
 		}
 		return make([]byte, n)
 	}

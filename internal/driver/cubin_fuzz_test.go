@@ -1,0 +1,56 @@
+package driver
+
+import (
+	"testing"
+
+	"nvbitgo/internal/ptx"
+	"nvbitgo/internal/sass"
+)
+
+// FuzzParseCubin hammers the device-binary parser with malformed images: it
+// must return an error for garbage, never panic, hang, or allocate
+// attacker-controlled amounts of memory. The seed corpus is real BuildCubin
+// output (stripped and unstripped, per family) plus truncations and header
+// mutations of it.
+func FuzzParseCubin(f *testing.F) {
+	for _, fam := range []sass.Family{sass.Kepler, sass.Volta} {
+		pm, err := ptx.Compile("seed", addOnePTX, fam)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, strip := range []bool{false, true} {
+			img, err := BuildCubin(pm, strip)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(img)
+			// Truncations and a corrupted function count reach the deeper
+			// reader paths immediately.
+			f.Add(img[:len(img)/2])
+			f.Add(img[:8])
+			mut := append([]byte(nil), img...)
+			mut[10] = 0xff
+			mut[11] = 0xff
+			f.Add(mut)
+		}
+	}
+	f.Add([]byte(nil))
+	f.Add([]byte("NVBC"))
+	f.Add([]byte("NVBC\x01\x03\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))
+
+	f.Fuzz(func(t *testing.T, image []byte) {
+		c, err := ParseCubin(image)
+		if err == nil && c == nil {
+			t.Fatal("nil cubin without error")
+		}
+		if err == nil {
+			// A successfully parsed image must round-trip through the
+			// loader-visible invariants: non-negative sizes everywhere.
+			for _, fn := range c.Funcs {
+				if fn.NumRegs < 0 || fn.NumPred < 0 || fn.ParamBytes < 0 || fn.SharedBytes < 0 {
+					t.Fatalf("negative metadata: %+v", fn)
+				}
+			}
+		}
+	})
+}

@@ -12,6 +12,7 @@ package driver
 
 import (
 	"fmt"
+	"sync"
 
 	"nvbitgo/internal/gpu"
 	"nvbitgo/internal/ptx"
@@ -105,34 +106,56 @@ func (a *API) SetHook(h Hook) error {
 // behaved applications never need it.
 func (a *API) Device() *gpu.Device { return a.dev }
 
-func (a *API) before(cbid CBID, p *CallParams) {
+// before fires the interposer's enter callback. A panic inside the callback
+// is recovered into an ErrToolCallback error; the caller must then skip the
+// interposed operation, so a broken tool turns into a failing driver call
+// instead of a crashed host process.
+func (a *API) before(cbid CBID, p *CallParams) (err error) {
+	defer recoverHookPanic(cbid, &err)
 	if a.hook != nil {
 		a.hook.Before(cbid, cbid.String(), p)
 	}
+	return nil
 }
 
-func (a *API) after(cbid CBID, p *CallParams, err error) {
+// after fires the interposer's exit callback, with the same panic recovery
+// as before. The operation itself has already happened; a panicking After
+// only changes the error the application sees.
+func (a *API) after(cbid CBID, p *CallParams, result error) (err error) {
+	defer recoverHookPanic(cbid, &err)
 	if a.hook != nil {
-		a.hook.After(cbid, cbid.String(), p, err)
+		a.hook.After(cbid, cbid.String(), p, result)
 	}
+	return nil
 }
 
-// Close shuts the driver down, firing the application-exit callback.
-func (a *API) Close() {
+// Close shuts the driver down, firing the application-exit callback. It
+// returns an error when that callback panics (tools flush their results
+// there, so the failure matters).
+func (a *API) Close() error {
 	if a.closed {
-		return
+		return nil
 	}
 	a.closed = true
 	p := &CallParams{}
-	a.before(CBAppExit, p)
-	a.after(CBAppExit, p, nil)
+	if err := a.before(CBAppExit, p); err != nil {
+		return err
+	}
+	return a.after(CBAppExit, p, nil)
 }
 
-// Context is the CUcontext analog: per-context module and allocation state.
+// Context is the CUcontext analog: per-context module and allocation state,
+// plus the CUDA-style sticky error. After a kernel faults, the context is
+// poisoned: every subsequent call on it fails with the sticky error until
+// ResetPersistingError (or a fresh context) — exactly how a real context
+// behaves after CUDA_ERROR_ILLEGAL_ADDRESS and friends.
 type Context struct {
 	api     *API
 	modules []*Module
 	nextMod int
+
+	mu     sync.Mutex
+	sticky error
 }
 
 // CtxCreate creates a context on the device.
@@ -142,10 +165,47 @@ func (a *API) CtxCreate() (*Context, error) {
 	}
 	c := &Context{api: a}
 	p := &CallParams{Ctx: c}
-	a.before(CBCtxCreate, p)
+	if err := a.before(CBCtxCreate, p); err != nil {
+		return nil, err
+	}
 	a.ctxs = append(a.ctxs, c)
-	a.after(CBCtxCreate, p, nil)
+	if err := a.after(CBCtxCreate, p, nil); err != nil {
+		return nil, err
+	}
 	return c, nil
+}
+
+// stickyErr returns the context's persisting error, if any.
+func (c *Context) stickyErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sticky
+}
+
+// poison records a device fault as the context's persisting error. The first
+// fault wins; later ones (on a context the application keeps using after a
+// reset race) do not overwrite it.
+func (c *Context) poison(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sticky == nil {
+		c.sticky = err
+	}
+}
+
+// GetLastError returns the sticky error poisoning the context, without
+// clearing it (the cuCtxGetLastError-style query). Nil means the context is
+// healthy.
+func (c *Context) GetLastError() error { return c.stickyErr() }
+
+// ResetPersistingError clears the context's sticky error, restoring it to a
+// usable state. Device memory contents are preserved (this models the
+// "create a new context / reset the error" recovery path; the simulator has
+// no per-context address spaces to tear down).
+func (c *Context) ResetPersistingError() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sticky = nil
 }
 
 // API returns the driver instance that owns the context.
@@ -156,38 +216,66 @@ func (c *Context) Device() *gpu.Device { return c.api.dev }
 
 // MemAlloc allocates device global memory (cuMemAlloc).
 func (c *Context) MemAlloc(n uint64) (uint64, error) {
+	if err := c.stickyErr(); err != nil {
+		return 0, err
+	}
 	p := &CallParams{Ctx: c, Bytes: int(n)}
-	c.api.before(CBMemAlloc, p)
+	if err := c.api.before(CBMemAlloc, p); err != nil {
+		return 0, err
+	}
 	addr, err := c.api.dev.Malloc(n)
 	p.Addr = addr
-	c.api.after(CBMemAlloc, p, err)
+	if aerr := c.api.after(CBMemAlloc, p, err); err == nil {
+		err = aerr
+	}
 	return addr, err
 }
 
 // MemFree releases device memory (cuMemFree).
 func (c *Context) MemFree(addr uint64) error {
+	if err := c.stickyErr(); err != nil {
+		return err
+	}
 	p := &CallParams{Ctx: c, Addr: addr}
-	c.api.before(CBMemFree, p)
+	if err := c.api.before(CBMemFree, p); err != nil {
+		return err
+	}
 	err := c.api.dev.Free(addr)
-	c.api.after(CBMemFree, p, err)
+	if aerr := c.api.after(CBMemFree, p, err); err == nil {
+		err = aerr
+	}
 	return err
 }
 
 // MemcpyHtoD copies host memory to the device (cuMemcpyHtoD).
 func (c *Context) MemcpyHtoD(dst uint64, src []byte) error {
+	if err := c.stickyErr(); err != nil {
+		return err
+	}
 	p := &CallParams{Ctx: c, Addr: dst, Bytes: len(src)}
-	c.api.before(CBMemcpyHtoD, p)
+	if err := c.api.before(CBMemcpyHtoD, p); err != nil {
+		return err
+	}
 	err := c.api.dev.Write(dst, src)
-	c.api.after(CBMemcpyHtoD, p, err)
+	if aerr := c.api.after(CBMemcpyHtoD, p, err); err == nil {
+		err = aerr
+	}
 	return err
 }
 
 // MemcpyDtoH copies device memory to the host (cuMemcpyDtoH).
 func (c *Context) MemcpyDtoH(dst []byte, src uint64) error {
+	if err := c.stickyErr(); err != nil {
+		return err
+	}
 	p := &CallParams{Ctx: c, Addr: src, Bytes: len(dst)}
-	c.api.before(CBMemcpyDtoH, p)
+	if err := c.api.before(CBMemcpyDtoH, p); err != nil {
+		return err
+	}
 	err := c.api.dev.Read(src, dst)
-	c.api.after(CBMemcpyDtoH, p, err)
+	if aerr := c.api.after(CBMemcpyDtoH, p, err); err == nil {
+		err = aerr
+	}
 	return err
 }
 
@@ -196,6 +284,9 @@ func (c *Context) MemcpyDtoH(dst []byte, src uint64) error {
 // instruments the function and decides which code version runs — then the
 // kernel executes on the device.
 func (c *Context) LaunchKernel(f *Function, grid, block gpu.Dim3, sharedBytes int, params []byte) error {
+	if err := c.stickyErr(); err != nil {
+		return err
+	}
 	if f == nil {
 		return fmt.Errorf("driver: launch of nil function")
 	}
@@ -204,18 +295,30 @@ func (c *Context) LaunchKernel(f *Function, grid, block gpu.Dim3, sharedBytes in
 	}
 	lp := &LaunchParams{Func: f, Grid: grid, Block: block, SharedBytes: sharedBytes, ParamData: params}
 	p := &CallParams{Ctx: c, Launch: lp}
-	c.api.before(CBLaunchKernel, p)
+	if err := c.api.before(CBLaunchKernel, p); err != nil {
+		return err
+	}
 	_, err := c.api.dev.Launch(gpu.LaunchSpec{
 		Entry:       f.launchAddr(),
+		Name:        f.Name,
 		Grid:        lp.Grid,
 		Block:       lp.Block,
 		Params:      lp.ParamData,
 		SharedBytes: f.SharedBytes + lp.SharedBytes,
 	})
 	if err != nil {
-		err = fmt.Errorf("driver: launching %s: %w", f.Name, err)
+		_, isFault := gpu.AsFault(err)
+		err = mapLaunchError(f.Name, err)
+		if isFault {
+			// Device faults poison the context, CUDA-style; host-side
+			// launch validation failures (bad grid, oversized shared
+			// memory) leave it usable.
+			c.poison(err)
+		}
 	}
-	c.api.after(CBLaunchKernel, p, err)
+	if aerr := c.api.after(CBLaunchKernel, p, err); err == nil {
+		err = aerr
+	}
 	return err
 }
 

@@ -82,15 +82,22 @@ func (m *Module) Functions() []*Function {
 
 // GetFunction resolves a kernel by name (cuModuleGetFunction).
 func (m *Module) GetFunction(name string) (*Function, error) {
+	if err := m.ctx.stickyErr(); err != nil {
+		return nil, err
+	}
 	p := &CallParams{Ctx: m.ctx, Module: m}
-	m.ctx.api.before(CBModuleGetFunction, p)
+	if err := m.ctx.api.before(CBModuleGetFunction, p); err != nil {
+		return nil, err
+	}
 	f, ok := m.funcs[name]
 	var err error
 	if !ok {
 		err = fmt.Errorf("driver: module %s has no function %q", m.Name, name)
 	}
 	p.Func = f
-	m.ctx.api.after(CBModuleGetFunction, p, err)
+	if aerr := m.ctx.api.after(CBModuleGetFunction, p, err); err == nil {
+		err = aerr
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -101,6 +108,9 @@ func (m *Module) GetFunction(name string) (*Function, error) {
 // the result — the run-time path of the backend compiler embedded in the GPU
 // driver (paper Section 2.2).
 func (c *Context) ModuleLoadPTX(name, source string) (*Module, error) {
+	if err := c.stickyErr(); err != nil {
+		return nil, err
+	}
 	pm, err := ptx.Compile(name, source, c.api.dev.Family())
 	if err != nil {
 		return nil, err
@@ -112,6 +122,9 @@ func (c *Context) ModuleLoadPTX(name, source string) (*Module, error) {
 // the context's architecture family (there is no SASS compatibility across
 // families).
 func (c *Context) ModuleLoadCubin(image []byte) (*Module, error) {
+	if err := c.stickyErr(); err != nil {
+		return nil, err
+	}
 	cm, err := ParseCubin(image)
 	if err != nil {
 		return nil, err
@@ -148,9 +161,13 @@ func (c *Context) ModuleLoadCubin(image []byte) (*Module, error) {
 func (c *Context) loadCompiled(name string, pm *ptx.Module, fromCubin, withLines bool) (*Module, error) {
 	m := &Module{Name: name, FromCubin: fromCubin, ctx: c, funcs: make(map[string]*Function)}
 	p := &CallParams{Ctx: c, Module: m}
-	c.api.before(CBModuleLoadData, p)
+	if err := c.api.before(CBModuleLoadData, p); err != nil {
+		return nil, err
+	}
 	err := c.doLoad(m, pm, withLines)
-	c.api.after(CBModuleLoadData, p, err)
+	if aerr := c.api.after(CBModuleLoadData, p, err); err == nil {
+		err = aerr
+	}
 	if err != nil {
 		return nil, err
 	}

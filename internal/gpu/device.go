@@ -72,6 +72,11 @@ type Config struct {
 	L2Lines         int           // shared L2 lines
 	EnableWFFT      bool          // execute WFFT32 natively ("future hardware" mode)
 	Scheduler       SchedulerKind // CTA-to-SM execution backend (default sequential)
+	// WatchdogInterval is the launch watchdog's per-CTA warp-instruction
+	// budget: a CTA exceeding it traps with FaultWatchdogTimeout, so an
+	// infinite-loop kernel fails deterministically instead of hanging the
+	// host. Zero selects DefaultWatchdogInterval; negative disables it.
+	WatchdogInterval int64
 }
 
 // DefaultConfig returns a modest device resembling a scaled-down TITAN V-
@@ -189,6 +194,71 @@ func (d *Device) Free(addr uint64) error {
 	return d.alloc.free(addr)
 }
 
+// AllocSpan is one device-memory allocation: [Base, Base+Size).
+type AllocSpan struct{ Base, Size uint64 }
+
+// Contains reports whether the n-byte access at addr lies wholly inside the
+// span.
+func (s AllocSpan) Contains(addr uint64, n int) bool {
+	return addr >= s.Base && addr+uint64(n) <= s.Base+s.Size && addr+uint64(n) >= addr
+}
+
+// AllocState classifies an address against the allocation table.
+type AllocState int
+
+const (
+	// AddrUnallocated: the address was never part of an allocation still
+	// remembered by the device.
+	AddrUnallocated AllocState = iota
+	// AddrLive: the address lies inside a live allocation.
+	AddrLive
+	// AddrFreed: the address lies inside a freed allocation that has not
+	// been recycled (use-after-free).
+	AddrFreed
+)
+
+// Allocations returns the live allocation table, sorted by base address.
+// This is the allocation-query API memory-checker tools validate effective
+// addresses against; launches are synchronous, so the snapshot is stable
+// between launches.
+func (d *Device) Allocations() []AllocSpan {
+	out := make([]AllocSpan, 0, len(d.alloc.sizes))
+	for base, size := range d.alloc.sizes {
+		out = append(out, AllocSpan{base, size})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	return out
+}
+
+// FreedSpans returns recently freed allocations, most recent first (a
+// bounded history of freedHistory entries). A span stops being authoritative
+// once any part of it is handed out again; QueryAddr resolves that by
+// checking the live table first.
+func (d *Device) FreedSpans() []AllocSpan {
+	out := make([]AllocSpan, len(d.alloc.freed))
+	for i, s := range d.alloc.freed {
+		out[len(out)-1-i] = s
+	}
+	return out
+}
+
+// QueryAddr classifies one device address: inside a live allocation, inside
+// a remembered freed allocation, or unallocated. Live wins over freed (the
+// memory may have been recycled).
+func (d *Device) QueryAddr(addr uint64) (AllocSpan, AllocState) {
+	for base, size := range d.alloc.sizes {
+		if s := (AllocSpan{base, size}); s.Contains(addr, 1) {
+			return s, AddrLive
+		}
+	}
+	for i := len(d.alloc.freed) - 1; i >= 0; i-- {
+		if s := d.alloc.freed[i]; s.Contains(addr, 1) {
+			return s, AddrFreed
+		}
+	}
+	return AllocSpan{}, AddrUnallocated
+}
+
 func (d *Device) checkRange(addr uint64, n int) error {
 	if addr < heapBase || addr+uint64(n) > uint64(len(d.mem)) || addr+uint64(n) < addr {
 		return fmt.Errorf("gpu: global memory access [%#x,+%d) out of range", addr, n)
@@ -304,7 +374,11 @@ func (d *Device) fetch(pc int32) (sass.Inst, error) {
 type allocator struct {
 	spans []span // sorted by base
 	sizes map[uint64]uint64
+	freed []AllocSpan // bounded free history, oldest first (use-after-free reporting)
 }
+
+// freedHistory bounds the allocator's freed-span memory.
+const freedHistory = 4096
 
 type span struct{ base, size uint64 }
 
@@ -340,6 +414,11 @@ func (a *allocator) free(addr uint64) error {
 		return fmt.Errorf("gpu: free of unallocated address %#x", addr)
 	}
 	delete(a.sizes, addr)
+	if len(a.freed) == freedHistory {
+		copy(a.freed, a.freed[1:])
+		a.freed = a.freed[:freedHistory-1]
+	}
+	a.freed = append(a.freed, AllocSpan{addr, n})
 	i := sort.Search(len(a.spans), func(i int) bool { return a.spans[i].base > addr })
 	a.spans = append(a.spans, span{})
 	copy(a.spans[i+1:], a.spans[i:])

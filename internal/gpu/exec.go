@@ -15,6 +15,11 @@ func addF32(a, b uint32) uint32  { return f32bits(f32(a) + f32(b)) }
 func maxF32u(a, b uint32) uint32 { return f32bits(float32(math.Max(float64(f32(a)), float64(f32(b))))) }
 func minF32u(a, b uint32) uint32 { return f32bits(float32(math.Min(float64(f32(a)), float64(f32(b))))) }
 
+// maxStackDepth bounds the per-thread call and save stacks, as the finite
+// stack RAM of real hardware does; exceeding it is a FaultStackOverflow
+// rather than unbounded host-memory growth.
+const maxStackDepth = 1024
+
 // step executes one warp-level instruction (the group of live lanes sharing
 // the minimum PC).
 func (c *execContext) step(w *warp) error {
@@ -22,9 +27,17 @@ func (c *execContext) step(w *warp) error {
 	if pc == pcExited {
 		return nil
 	}
+	if c.wdLeft--; c.wdLeft < 0 {
+		f := c.trap(FaultWatchdogTimeout, pc, sass.Inst{}, -1,
+			"CTA exceeded the launch watchdog budget of %d warp instructions", c.wdBudget)
+		f.SASS = ""
+		return f
+	}
 	in, err := c.dev.fetch(pc)
 	if err != nil {
-		return err
+		f := c.trap(FaultInvalidInstruction, pc, sass.Inst{}, -1, "%v", err)
+		f.SASS = ""
+		return f
 	}
 
 	var active [WarpSize]bool
@@ -107,6 +120,9 @@ func (c *execContext) step(w *warp) error {
 				continue
 			}
 			if execLanes[i] {
+				if len(w.callStack[i]) >= maxStackDepth {
+					return c.trap(FaultStackOverflow, pc, in, i, "call stack exceeds %d frames", maxStackDepth)
+				}
 				w.callStack[i] = append(w.callStack[i], next)
 				w.pc[i] = int32(in.Imm)
 			} else {
@@ -122,7 +138,7 @@ func (c *execContext) step(w *warp) error {
 			if execLanes[i] {
 				n := len(w.callStack[i])
 				if n == 0 {
-					return c.trap(pc, in, "RET with empty call stack on lane %d", i)
+					return c.trap(FaultStackUnderflow, pc, in, i, "RET with empty call stack")
 				}
 				w.pc[i] = w.callStack[i][n-1]
 				w.callStack[i] = w.callStack[i][:n-1]
@@ -296,7 +312,7 @@ func (c *execContext) step(w *warp) error {
 			case sass.LopNot:
 				v = ^a
 			default:
-				return c.trap(pc, in, "bad LOP sub-op %d", in.Mods.SubOp())
+				return c.trap(FaultInvalidInstruction, pc, in, i, "bad LOP sub-op %d", in.Mods.SubOp())
 			}
 			w.setReg(i, in.Dst, v)
 		}
@@ -373,7 +389,7 @@ func (c *execContext) step(w *warp) error {
 			case sass.MufuLg2:
 				v = math.Log2(x)
 			default:
-				return c.trap(pc, in, "bad MUFU sub-op %d", in.Mods.SubOp())
+				return c.trap(FaultInvalidInstruction, pc, in, i, "bad MUFU sub-op %d", in.Mods.SubOp())
 			}
 			w.setReg(i, in.Dst, f32bits(float32(v)))
 		}
@@ -407,7 +423,7 @@ func (c *execContext) step(w *warp) error {
 
 	case sass.OpLDG, sass.OpSTG:
 		if err := c.globalAccess(w, in, &execLanes, pc); err != nil {
-			return c.trap(pc, in, "%v", err)
+			return err
 		}
 		w.advance(&active, next)
 
@@ -418,8 +434,15 @@ func (c *execContext) step(w *warp) error {
 				continue
 			}
 			addr := int(int32(w.reg(i, in.Src1)) + int32(in.Imm))
+			if addr%width != 0 {
+				f := c.trap(FaultMisalignedAddress, pc, in, i, "shared access at %#x not %d-byte aligned", addr, width)
+				f.Addr = uint64(uint32(addr))
+				return f
+			}
 			if addr < 0 || addr+width > len(c.shared) {
-				return c.trap(pc, in, "shared access [%#x,+%d) out of range (lane %d, %d bytes shared)", addr, width, i, len(c.shared))
+				f := c.trap(FaultSharedOOB, pc, in, i, "shared access [%#x,+%d) out of range (%d bytes shared)", addr, width, len(c.shared))
+				f.Addr = uint64(uint32(addr))
+				return f
 			}
 			if in.Op == sass.OpLDS {
 				if width == 8 {
@@ -448,7 +471,9 @@ func (c *execContext) step(w *warp) error {
 			}
 			addr := int(int32(w.reg(i, in.Src1)) + int32(in.Imm))
 			if addr < 0 || addr+width > len(w.local[i]) {
-				return c.trap(pc, in, "local access [%#x,+%d) out of range (lane %d)", addr, width, i)
+				f := c.trap(FaultLocalOOB, pc, in, i, "local access [%#x,+%d) out of range", addr, width)
+				f.Addr = uint64(uint32(addr))
+				return f
 			}
 			if in.Op == sass.OpLDL {
 				if width == 8 {
@@ -476,7 +501,9 @@ func (c *execContext) step(w *warp) error {
 			}
 			addr := int(int32(w.reg(i, in.Src1)) + int32(in.Imm))
 			if addr < 0 || addr+width > len(data) {
-				return c.trap(pc, in, "constant access c[%d][%#x] out of range (%d bytes in bank)", bank, addr, len(data))
+				f := c.trap(FaultConstOOB, pc, in, i, "constant access c[%d][%#x] out of range (%d bytes in bank)", bank, addr, len(data))
+				f.Addr = uint64(uint32(addr))
+				return f
 			}
 			if width == 8 {
 				w.setReg64(i, in.Dst, binary.LittleEndian.Uint64(data[addr:]))
@@ -487,8 +514,8 @@ func (c *execContext) step(w *warp) error {
 		w.advance(&active, next)
 
 	case sass.OpATOM, sass.OpRED:
-		if err := c.atomicAccess(w, in, &execLanes); err != nil {
-			return c.trap(pc, in, "%v", err)
+		if err := c.atomicAccess(w, in, &execLanes, pc); err != nil {
+			return err
 		}
 		w.advance(&active, next)
 
@@ -550,7 +577,7 @@ func (c *execContext) step(w *warp) error {
 				}
 			}
 		default:
-			return c.trap(pc, in, "bad VOTE sub-op %d", in.Mods.SubOp())
+			return c.trap(FaultInvalidInstruction, pc, in, -1, "bad VOTE sub-op %d", in.Mods.SubOp())
 		}
 		w.advance(&active, next)
 
@@ -587,7 +614,7 @@ func (c *execContext) step(w *warp) error {
 
 	case sass.OpWFFT32:
 		if !c.dev.cfg.EnableWFFT {
-			return c.trap(pc, in, "WFFT32 is a hypothetical instruction; this device does not implement it "+
+			return c.trap(FaultInvalidInstruction, pc, in, -1, "WFFT32 is a hypothetical instruction; this device does not implement it "+
 				"(instrument it with the emulation tool, or enable Config.EnableWFFT)")
 		}
 		execWFFT32(w, in, &execLanes)
@@ -596,6 +623,9 @@ func (c *execContext) step(w *warp) error {
 	case sass.OpSAVEPUSH:
 		for i := 0; i < w.nLanes; i++ {
 			if execLanes[i] {
+				if len(w.saveStack[i]) >= maxStackDepth {
+					return c.trap(FaultStackOverflow, pc, in, i, "save stack exceeds %d frames", maxStackDepth)
+				}
 				w.saveStack[i] = append(w.saveStack[i], saveFrame{regs: make([]uint32, in.Imm)})
 			}
 		}
@@ -606,7 +636,7 @@ func (c *execContext) step(w *warp) error {
 			if execLanes[i] {
 				n := len(w.saveStack[i])
 				if n == 0 {
-					return c.trap(pc, in, "SAVEPOP with empty save stack on lane %d", i)
+					return c.trap(FaultStackUnderflow, pc, in, i, "SAVEPOP with empty save stack")
 				}
 				w.saveStack[i] = w.saveStack[i][:n-1]
 			}
@@ -621,18 +651,18 @@ func (c *execContext) step(w *warp) error {
 			}
 			n := len(w.saveStack[i])
 			if n == 0 {
-				return c.trap(pc, in, "%v with no save frame on lane %d", in.Op, i)
+				return c.trap(FaultStackUnderflow, pc, in, i, "%v with no save frame", in.Op)
 			}
 			fr := &w.saveStack[i][n-1]
 			switch in.Op {
 			case sass.OpSTSA:
 				if int(in.Imm) >= len(fr.regs) {
-					return c.trap(pc, in, "save slot %d beyond frame of %d", in.Imm, len(fr.regs))
+					return c.trap(FaultInvalidInstruction, pc, in, i, "save slot %d beyond frame of %d", in.Imm, len(fr.regs))
 				}
 				fr.regs[in.Imm] = w.reg(i, in.Src1)
 			case sass.OpLDSA:
 				if int(in.Imm) >= len(fr.regs) {
-					return c.trap(pc, in, "save slot %d beyond frame of %d", in.Imm, len(fr.regs))
+					return c.trap(FaultInvalidInstruction, pc, in, i, "save slot %d beyond frame of %d", in.Imm, len(fr.regs))
 				}
 				w.setReg(i, in.Dst, fr.regs[in.Imm])
 			case sass.OpSTSP:
@@ -646,13 +676,13 @@ func (c *execContext) step(w *warp) error {
 			case sass.OpRDREG:
 				idx := int(w.reg(i, in.Src1)) + int(in.Imm)
 				if idx < 0 || idx >= len(fr.regs) {
-					return c.trap(pc, in, "RDREG of register %d beyond saved set of %d", idx, len(fr.regs))
+					return c.trap(FaultInvalidInstruction, pc, in, i, "RDREG of register %d beyond saved set of %d", idx, len(fr.regs))
 				}
 				w.setReg(i, in.Dst, fr.regs[idx])
 			case sass.OpWRREG:
 				idx := int(w.reg(i, in.Src1)) + int(in.Imm)
 				if idx < 0 || idx >= len(fr.regs) {
-					return c.trap(pc, in, "WRREG of register %d beyond saved set of %d", idx, len(fr.regs))
+					return c.trap(FaultInvalidInstruction, pc, in, i, "WRREG of register %d beyond saved set of %d", idx, len(fr.regs))
 				}
 				fr.regs[idx] = w.reg(i, in.Src2)
 			case sass.OpRDPRED:
@@ -664,16 +694,28 @@ func (c *execContext) step(w *warp) error {
 		w.advance(&active, next)
 
 	default:
-		return c.trap(pc, in, "unimplemented opcode")
+		return c.trap(FaultInvalidInstruction, pc, in, -1, "unimplemented opcode")
 	}
 	return nil
 }
 
-// trap formats an execution fault at the current instruction. It is the
-// cold path of step; keeping it a method (not a per-step closure) keeps the
-// dispatch loop allocation-free.
-func (c *execContext) trap(pc int32, in sass.Inst, format string, args ...any) error {
-	return fmt.Errorf("at PC %#x (%s): %s", pc, sass.Format(in), fmt.Sprintf(format, args...))
+// trap builds a structured execution fault at the current instruction,
+// stamping it with the worker's full provenance (kernel, SM, CTA, warp).
+// It is the cold path of step; keeping it a method (not a per-step closure)
+// keeps the dispatch loop allocation-free. Lane is -1 for warp-wide faults.
+func (c *execContext) trap(kind FaultKind, pc int32, in sass.Inst, lane int, format string, args ...any) *Fault {
+	return &Fault{
+		Kind:   kind,
+		PC:     pc,
+		SASS:   sass.Format(in),
+		Entry:  c.spec.Entry,
+		Kernel: c.spec.Name,
+		SM:     c.sm,
+		CTA:    c.ctaID,
+		Warp:   c.curWarp,
+		Lane:   lane,
+		Detail: fmt.Sprintf(format, args...),
+	}
 }
 
 // eff2 computes the effective second source: Src2 plus the signed immediate.
@@ -801,8 +843,15 @@ func (c *execContext) globalAccess(w *warp, in sass.Inst, execLanes *[WarpSize]b
 		}
 		any = true
 		addr := w.reg64(i, in.Src1) + uint64(in.Imm)
-		if err := d.checkRange(addr, width); err != nil {
-			return fmt.Errorf("lane %d: %w", i, err)
+		if addr%uint64(width) != 0 {
+			f := c.trap(FaultMisalignedAddress, pc, in, i, "global access at %#x not %d-byte aligned", addr, width)
+			f.Addr = addr
+			return f
+		}
+		if addr < heapBase || addr+uint64(width) > uint64(len(d.mem)) || addr+uint64(width) < addr {
+			f := c.trap(FaultIllegalAddress, pc, in, i, "global access [%#x,+%d) outside the device heap", addr, width)
+			f.Addr = addr
+			return f
 		}
 		if in.Op == sass.OpLDG {
 			if width == 8 {
@@ -870,7 +919,7 @@ func (c *execContext) lineCost(line uint64) uint64 {
 // read-modify-write is serialized through an address-striped device lock, so
 // concurrent CTAs interleave atomically — in an undefined cross-CTA order,
 // exactly as on real hardware — and the race detector stays clean.
-func (c *execContext) atomicAccess(w *warp, in sass.Inst, execLanes *[WarpSize]bool) error {
+func (c *execContext) atomicAccess(w *warp, in sass.Inst, execLanes *[WarpSize]bool, pc int32) error {
 	d := c.dev
 	width := accessWidth(in)
 	lineShift := uint(0)
@@ -884,8 +933,15 @@ func (c *execContext) atomicAccess(w *warp, in sass.Inst, execLanes *[WarpSize]b
 		}
 		any = true
 		addr := w.reg64(i, in.Src1) + uint64(in.Imm)
-		if err := d.checkRange(addr, width); err != nil {
-			return fmt.Errorf("lane %d: %w", i, err)
+		if addr%uint64(width) != 0 {
+			f := c.trap(FaultMisalignedAddress, pc, in, i, "atomic access at %#x not %d-byte aligned", addr, width)
+			f.Addr = addr
+			return f
+		}
+		if addr < heapBase || addr+uint64(width) > uint64(len(d.mem)) || addr+uint64(width) < addr {
+			f := c.trap(FaultIllegalAddress, pc, in, i, "atomic access [%#x,+%d) outside the device heap", addr, width)
+			f.Addr = addr
+			return f
 		}
 		var mu *sync.Mutex
 		if c.locked {
@@ -940,7 +996,7 @@ func (c *execContext) atomicAccess(w *warp, in sass.Inst, execLanes *[WarpSize]b
 					if mu != nil {
 						mu.Unlock()
 					}
-					return fmt.Errorf("float atomic %s unsupported", sass.AtomName(in.Mods.SubOp()))
+					return c.trap(FaultInvalidInstruction, pc, in, i, "float atomic %s unsupported", sass.AtomName(in.Mods.SubOp()))
 				}
 			} else {
 				switch in.Mods.SubOp() {

@@ -1,0 +1,104 @@
+package gpu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FaultKind classifies a device-side execution fault, mirroring the CUresult
+// buckets a real driver reports (CUDA_ERROR_ILLEGAL_ADDRESS and friends).
+type FaultKind int
+
+const (
+	// FaultIllegalAddress is a global-memory access outside the mapped
+	// device heap (including the unmapped null page below heapBase).
+	FaultIllegalAddress FaultKind = iota
+	// FaultMisalignedAddress is a global or shared access whose effective
+	// address is not a multiple of the access width.
+	FaultMisalignedAddress
+	// FaultInvalidInstruction is a fetch outside code space, an undecodable
+	// word, an unimplemented opcode or a malformed sub-operation.
+	FaultInvalidInstruction
+	// FaultStackOverflow is a call or save-frame push beyond the per-thread
+	// stack depth limit.
+	FaultStackOverflow
+	// FaultStackUnderflow is a return or pop from an empty stack, or a
+	// save-area access with no frame pushed.
+	FaultStackUnderflow
+	// FaultWatchdogTimeout means a CTA exceeded the launch watchdog's
+	// dynamic warp-instruction budget (Config.WatchdogInterval).
+	FaultWatchdogTimeout
+	// FaultSharedOOB is a shared-memory access outside the CTA's window.
+	FaultSharedOOB
+	// FaultLocalOOB is a local-memory access outside the thread's window.
+	FaultLocalOOB
+	// FaultConstOOB is a constant-bank access outside the bank.
+	FaultConstOOB
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultIllegalAddress:
+		return "illegal address"
+	case FaultMisalignedAddress:
+		return "misaligned address"
+	case FaultInvalidInstruction:
+		return "invalid instruction"
+	case FaultStackOverflow:
+		return "stack overflow"
+	case FaultStackUnderflow:
+		return "stack underflow"
+	case FaultWatchdogTimeout:
+		return "watchdog timeout"
+	case FaultSharedOOB:
+		return "shared memory out of bounds"
+	case FaultLocalOOB:
+		return "local memory out of bounds"
+	case FaultConstOOB:
+		return "constant memory out of bounds"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// Fault is a structured device-side execution fault with full provenance:
+// what kind of trap fired, where in the program (PC plus disassembled SASS),
+// and which execution context hit it (kernel, SM, CTA, warp, lane). It is the
+// error value Device.Launch returns for any in-kernel trap; the driver layer
+// maps it onto typed CUresult-style sentinels and poisons the context.
+type Fault struct {
+	Kind   FaultKind
+	PC     int32    // word index of the faulting instruction
+	SASS   string   // disassembly of the faulting instruction ("" if unfetchable)
+	Entry  CodeAddr // kernel entry PC
+	Kernel string   // kernel name, when the launch spec carried one
+	SM     int
+	CTA    int // linear CTA index
+	Warp   int
+	Lane   int    // faulting lane, or -1 for warp-/CTA-wide faults
+	Addr   uint64 // effective address, for memory faults
+	Detail string // human-readable specifics
+}
+
+func (f *Fault) Error() string {
+	loc := fmt.Sprintf("PC %#x", f.PC)
+	if f.SASS != "" {
+		loc += fmt.Sprintf(" (%s)", f.SASS)
+	}
+	where := fmt.Sprintf("SM %d, CTA %d, warp %d", f.SM, f.CTA, f.Warp)
+	if f.Lane >= 0 {
+		where += fmt.Sprintf(", lane %d", f.Lane)
+	}
+	if f.Kernel != "" {
+		where = fmt.Sprintf("kernel %s, %s", f.Kernel, where)
+	}
+	return fmt.Sprintf("gpu: %s at %s: %s [%s]", f.Kind, loc, f.Detail, where)
+}
+
+// AsFault unwraps err looking for a *Fault.
+func AsFault(err error) (*Fault, bool) {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f, true
+	}
+	return nil, false
+}

@@ -2,7 +2,9 @@ package gpu
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // Dim3 is a CUDA-style three-dimensional extent.
@@ -23,6 +25,7 @@ func D1(n int) Dim3 { return Dim3{n, 1, 1} }
 // LaunchSpec describes one kernel launch.
 type LaunchSpec struct {
 	Entry       CodeAddr // entry PC (word index in code space)
+	Name        string   // kernel name, for fault provenance (may be empty)
 	Grid, Block Dim3
 	Params      []byte // raw parameter block, mapped to constant bank 1
 	SharedBytes int    // dynamic shared memory per CTA
@@ -109,7 +112,7 @@ func (d *Device) launchSequential(spec LaunchSpec, bank0 []byte, nCTA int, launc
 		sm := cta % d.cfg.NumSMs
 		cycles, err := ctx.runCTA(cta, sm)
 		if err != nil {
-			return fmt.Errorf("gpu: CTA %d on SM %d: %w", cta, sm, err)
+			return err
 		}
 		smCycles[sm] += cycles
 		smWarps[sm] += warpsPerCTA
@@ -135,21 +138,37 @@ func (d *Device) launchParallelSM(spec LaunchSpec, bank0 []byte, nCTA int, launc
 	l2Lines := d.cfg.L2Lines / d.cfg.NumSMs
 	ctxs := make([]*execContext, nWorkers)
 	errs := make([]error, nWorkers)
+	// cancel lets a faulting worker stop its peers promptly instead of
+	// letting them grind through the rest of the grid. A worker never heeds
+	// it during its first CTA (so faults raised there are always recorded,
+	// keeping the lowest-SM winner deterministic for uniform faults), and
+	// every CTA is watchdog-bounded, so cancellation is an optimization, not
+	// the termination guarantee. See docs/faults.md.
+	var cancel atomic.Bool
 	var wg sync.WaitGroup
 	for i := 0; i < nWorkers; i++ {
 		// Contexts are created (and their warps drawn from the device
 		// pool) on the launching goroutine; workers touch only their own.
 		ctx := d.newExecContext(spec, bank0, newCache(l2Lines, l2Ways))
 		ctx.locked = true
+		ctx.cancel = &cancel
 		ctxs[i] = ctx
 		warpsPerCTA := uint64(len(ctx.warps))
 		wg.Add(1)
 		go func(sm int, ctx *execContext) {
 			defer wg.Done()
 			for cta := sm; cta < nCTA; cta += d.cfg.NumSMs {
+				ctx.heedCancel = cta != sm // never abandon the first CTA
+				if ctx.heedCancel && cancel.Load() {
+					errs[sm] = errLaunchCanceled
+					return
+				}
 				cycles, err := ctx.runCTA(cta, sm)
 				if err != nil {
-					errs[sm] = fmt.Errorf("gpu: CTA %d on SM %d: %w", cta, sm, err)
+					if err != errLaunchCanceled {
+						cancel.Store(true)
+					}
+					errs[sm] = err
 					return
 				}
 				smCycles[sm] += cycles
@@ -162,8 +181,8 @@ func (d *Device) launchParallelSM(spec LaunchSpec, bank0 []byte, nCTA int, launc
 		d.releaseContext(ctx)
 	}
 	for _, err := range errs {
-		if err != nil {
-			return err // lowest-SM error, deterministically
+		if err != nil && err != errLaunchCanceled {
+			return err // lowest-SM fault, deterministically
 		}
 	}
 	// Merge the per-SM shards in ascending SM order: fixed order makes the
@@ -174,8 +193,30 @@ func (d *Device) launchParallelSM(spec LaunchSpec, bank0 []byte, nCTA int, launc
 	return nil
 }
 
+// errLaunchCanceled marks a worker stopped by a peer's fault; it is never
+// surfaced to the caller (the peer's real fault is).
+var errLaunchCanceled = fmt.Errorf("gpu: launch canceled by a fault on another SM")
+
 // hideLimit caps the latency-hiding benefit of warp multithreading per SM.
 const hideLimit = 8
+
+// DefaultWatchdogInterval is the per-CTA warp-instruction budget used when
+// Config.WatchdogInterval is zero — large enough that no real workload in
+// this repo comes within orders of magnitude of it, small enough that an
+// infinite loop traps in seconds rather than hanging the host forever.
+const DefaultWatchdogInterval = int64(1) << 28
+
+// watchdogBudget resolves Config.WatchdogInterval: zero selects the default,
+// a negative value disables the watchdog entirely.
+func (d *Device) watchdogBudget() int64 {
+	switch {
+	case d.cfg.WatchdogInterval < 0:
+		return math.MaxInt64
+	case d.cfg.WatchdogInterval == 0:
+		return DefaultWatchdogInterval
+	}
+	return d.cfg.WatchdogInterval
+}
 
 // execContext holds the execution state one scheduler worker reuses across
 // the CTAs it runs: under the sequential backend a single context walks
@@ -192,9 +233,20 @@ type execContext struct {
 	l2     *cache   // shared L2 (sequential) or a private shard (parallel)
 	locked bool     // route global atomics through the device stripe locks
 
-	cta   Dim3 // current CTA coordinates
-	ctaID int
-	sm    int
+	// Watchdog: every CTA gets wdBudget warp instructions; wdLeft counts
+	// down in step. A per-CTA (not per-launch) budget keeps watchdog faults
+	// scheduler-invariant: the budget does not depend on how CTAs are
+	// distributed over workers.
+	wdBudget int64
+	wdLeft   int64
+
+	cancel     *atomic.Bool // parallel scheduler: peer-fault cancellation flag
+	heedCancel bool         // check cancel between warp sweeps of this CTA
+
+	cta     Dim3 // current CTA coordinates
+	ctaID   int
+	sm      int
+	curWarp int // warp currently stepping (fault provenance)
 }
 
 // newExecContext builds one worker's execution state, drawing warps from the
@@ -204,13 +256,14 @@ type execContext struct {
 func (d *Device) newExecContext(spec LaunchSpec, bank0 []byte, l2 *cache) *execContext {
 	warpsPerCTA := (spec.Block.Count() + WarpSize - 1) / WarpSize
 	c := &execContext{
-		dev:    d,
-		spec:   spec,
-		banks:  [8][]byte{0: bank0, 1: spec.Params},
-		shared: make([]byte, spec.SharedBytes),
-		warps:  make([]*warp, warpsPerCTA),
-		l1s:    d.l1s,
-		l2:     l2,
+		dev:      d,
+		spec:     spec,
+		banks:    [8][]byte{0: bank0, 1: spec.Params},
+		shared:   make([]byte, spec.SharedBytes),
+		warps:    make([]*warp, warpsPerCTA),
+		l1s:      d.l1s,
+		l2:       l2,
+		wdBudget: d.watchdogBudget(),
 	}
 	for i := range c.warps {
 		if n := len(d.warpFree); n > 0 {
@@ -241,6 +294,7 @@ func (c *execContext) runCTA(ctaLinear, sm int) (uint64, error) {
 	}
 	c.ctaID = ctaLinear
 	c.sm = sm
+	c.wdLeft = c.wdBudget
 	threads := c.spec.Block.Count()
 	for i := range c.shared {
 		c.shared[i] = 0
@@ -256,6 +310,12 @@ func (c *execContext) runCTA(ctaLinear, sm int) (uint64, error) {
 	// Round-robin warp scheduling with CTA barrier support.
 	var cycles uint64
 	for {
+		// Each sweep is bounded (64-instruction bursts per warp), so this
+		// check turns a peer's cancellation into prompt termination even
+		// while warps loop forever.
+		if c.heedCancel && c.cancel != nil && c.cancel.Load() {
+			return 0, errLaunchCanceled
+		}
 		progress := false
 		allDoneOrBarred := true
 		anyBarred := false
@@ -268,10 +328,11 @@ func (c *execContext) runCTA(ctaLinear, sm int) (uint64, error) {
 				continue
 			}
 			allDoneOrBarred = false
+			c.curWarp = wp.id
 			// Run a burst of instructions for locality.
 			for i := 0; i < 64 && !wp.done() && !wp.barWait; i++ {
 				if err := c.step(wp); err != nil {
-					return 0, fmt.Errorf("warp %d: %w", wp.id, err)
+					return 0, err
 				}
 				progress = true
 			}

@@ -15,6 +15,7 @@ package nvbit
 import (
 	"nvbitgo/internal/core"
 	"nvbitgo/internal/driver"
+	"nvbitgo/internal/gpu"
 	"nvbitgo/internal/sass"
 )
 
@@ -66,6 +67,60 @@ const (
 	CBMemcpyDtoH     = driver.CBMemcpyDtoH
 	CBLaunchKernel   = driver.CBLaunchKernel
 	CBAppExit        = driver.CBAppExit
+)
+
+// Device-fault model (docs/faults.md): a kernel trap surfaces as a *Fault
+// wrapped in a typed CUresult-style sentinel; the faulting context is then
+// sticky-poisoned until Context.ResetPersistingError.
+type (
+	// Fault is a structured device-side execution fault with kernel, PC,
+	// SASS and SM/CTA/warp/lane provenance.
+	Fault = gpu.Fault
+	// FaultKind classifies a fault.
+	FaultKind = gpu.FaultKind
+)
+
+// Fault kinds.
+const (
+	FaultIllegalAddress     = gpu.FaultIllegalAddress
+	FaultMisalignedAddress  = gpu.FaultMisalignedAddress
+	FaultInvalidInstruction = gpu.FaultInvalidInstruction
+	FaultStackOverflow      = gpu.FaultStackOverflow
+	FaultStackUnderflow     = gpu.FaultStackUnderflow
+	FaultWatchdogTimeout    = gpu.FaultWatchdogTimeout
+	FaultSharedOOB          = gpu.FaultSharedOOB
+	FaultLocalOOB           = gpu.FaultLocalOOB
+	FaultConstOOB           = gpu.FaultConstOOB
+)
+
+// Allocation-query types (memory-checker tools validate effective addresses
+// against the device's allocation table).
+type (
+	// AllocSpan is one device-memory allocation: [Base, Base+Size).
+	AllocSpan = gpu.AllocSpan
+	// AllocState classifies an address against the allocation table.
+	AllocState = gpu.AllocState
+)
+
+// Allocation states.
+const (
+	AddrUnallocated = gpu.AddrUnallocated
+	AddrLive        = gpu.AddrLive
+	AddrFreed       = gpu.AddrFreed
+)
+
+// AsFault unwraps a launch error looking for its *Fault.
+var AsFault = gpu.AsFault
+
+// CUresult-style sentinels for errors.Is classification of launch failures.
+var (
+	ErrIllegalAddress     = driver.ErrIllegalAddress
+	ErrMisalignedAddress  = driver.ErrMisalignedAddress
+	ErrIllegalInstruction = driver.ErrIllegalInstruction
+	ErrHardwareStackError = driver.ErrHardwareStackError
+	ErrLaunchTimeout      = driver.ErrLaunchTimeout
+	ErrLaunchFailed       = driver.ErrLaunchFailed
+	ErrToolCallback       = driver.ErrToolCallback
 )
 
 // Pred is a predicate register index (for GuardCall's predicate matching).
