@@ -3,10 +3,18 @@
 //
 //	nvbit-run -tool instrcount -workload specaccel:cg -size medium
 //	nvbit-run -tool memdiv -workload ml:ResNet
-//	nvbit-run -tool ophisto-sampled -workload specaccel:ostencil
+//	nvbit-run -tool opcode_hist -workload specaccel:ostencil
+//	nvbit-run -trace out.json -metrics -tool opcode_hist
 //
 // The tool may also be chosen with the NVBIT_TOOL environment variable
 // (flag wins), echoing how the real framework is injected via environment.
+//
+// Exit codes are uniform across tools:
+//
+//	0  the workload ran to completion and no tool reported a violation
+//	1  the workload failed (launch fault, driver error, I/O failure)
+//	2  a tool reported a violation (e.g. memcheck found invalid accesses)
+//	64 command-line usage error
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 
 	"nvbitgo/internal/driver"
 	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/profile"
 	"nvbitgo/internal/sass"
 	"nvbitgo/internal/tools/cachesim"
 	"nvbitgo/internal/tools/instrcount"
@@ -30,18 +39,51 @@ import (
 	"nvbitgo/nvbit"
 )
 
+// Uniform exit codes (documented in -help).
+const (
+	exitOK        = 0
+	exitFailure   = 1
+	exitViolation = 2
+	exitUsage     = 64
+)
+
 func main() {
-	toolName := flag.String("tool", os.Getenv("NVBIT_TOOL"), "tool: none, instrcount, instrcount-bb, memdiv, ophisto, ophisto-sampled, cachesim, itrace, memcheck")
-	traceOut := flag.String("trace-out", "", "itrace: write the collected trace to this file")
-	workload := flag.String("workload", "specaccel:ostencil", "workload: specaccel:<name> or ml:<Network>")
-	sizeName := flag.String("size", "medium", "specaccel size: small, medium, large")
-	familyName := flag.String("family", "volta", "device family")
-	schedName := flag.String("scheduler", "sequential", "CTA scheduler: sequential or parallel (one worker per SM)")
-	flag.Parse()
+	// A ContinueOnError flag set: the flag package's default behavior exits
+	// with status 2 on a bad flag, which would collide with the
+	// tool-violation code; usage errors exit 64 instead (EX_USAGE).
+	fs := flag.NewFlagSet("nvbit-run", flag.ContinueOnError)
+	toolName := fs.String("tool", os.Getenv("NVBIT_TOOL"), "tool: none, instrcount, instrcount-bb, memdiv, ophisto, opcode_hist, ophisto-sampled, cachesim, itrace, memcheck")
+	traceOut := fs.String("trace-out", "", "itrace: write the collected warp trace to this file")
+	traceJSON := fs.String("trace", "", "write a chrome://tracing activity timeline (JSON) to this file")
+	metrics := fs.Bool("metrics", false, "print the per-kernel metrics table after the run")
+	workload := fs.String("workload", "specaccel:ostencil", "workload: specaccel:<name> or ml:<Network>")
+	sizeName := fs.String("size", "medium", "specaccel size: small, medium, large")
+	familyName := fs.String("family", "volta", "device family")
+	schedName := fs.String("scheduler", "sequential", "CTA scheduler: sequential or parallel (one worker per SM)")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: nvbit-run [flags]")
+		fs.PrintDefaults()
+		fmt.Fprintln(fs.Output(), `
+exit codes:
+  0   workload completed, no tool violations
+  1   workload failed (launch fault, driver error, I/O failure)
+  2   a tool reported a violation (e.g. memcheck invalid accesses)
+  64  command-line usage error`)
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(exitOK)
+		}
+		os.Exit(exitUsage)
+	}
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "nvbit-run:", err)
-		os.Exit(1)
+		os.Exit(exitFailure)
+	}
+	usage := func(err error) {
+		fmt.Fprintln(os.Stderr, "nvbit-run:", err)
+		os.Exit(exitUsage)
 	}
 
 	fam, ok := map[string]sass.Family{
@@ -49,28 +91,28 @@ func main() {
 		"pascal": sass.Pascal, "volta": sass.Volta,
 	}[*familyName]
 	if !ok {
-		fail(fmt.Errorf("unknown family %q", *familyName))
+		usage(fmt.Errorf("unknown family %q", *familyName))
 	}
 	size, ok := map[string]specaccel.Size{
 		"small": specaccel.Small, "medium": specaccel.Medium, "large": specaccel.Large,
 	}[*sizeName]
 	if !ok {
-		fail(fmt.Errorf("unknown size %q", *sizeName))
+		usage(fmt.Errorf("unknown size %q", *sizeName))
 	}
 
 	sched, err := gpu.ParseScheduler(*schedName)
 	if err != nil {
-		fail(err)
+		usage(err)
 	}
-	cfg := gpu.DefaultConfig(fam)
-	cfg.Scheduler = sched
-	api, err := driver.New(cfg)
+	api, err := driver.New(gpu.DefaultConfig(fam))
 	if err != nil {
 		fail(err)
 	}
+	tracing := *traceJSON != "" || *metrics
 
 	// Inject the selected tool (at most one library can be injected).
 	var tool nvbit.Tool
+	violations := false
 	var report func(nv *nvbit.NVBit)
 	switch *toolName {
 	case "", "none":
@@ -127,10 +169,10 @@ func main() {
 		report = func(nv *nvbit.NVBit) {
 			t.Report(os.Stdout)
 			if t.TotalViolations > 0 {
-				os.Exit(2)
+				violations = true
 			}
 		}
-	case "ophisto", "ophisto-sampled":
+	case "ophisto", "opcode_hist", "ophisto-sampled":
 		t := ophisto.New(*toolName == "ophisto-sampled")
 		tool = t
 		report = func(nv *nvbit.NVBit) {
@@ -140,12 +182,22 @@ func main() {
 			}
 		}
 	default:
-		fail(fmt.Errorf("unknown tool %q", *toolName))
+		usage(fmt.Errorf("unknown tool %q", *toolName))
 	}
 	var nv *nvbit.NVBit
 	if tool != nil {
-		if nv, err = nvbit.Attach(api, tool); err != nil {
+		opts := []nvbit.Option{nvbit.WithScheduler(sched)}
+		if tracing {
+			opts = append(opts, nvbit.WithTracing(0))
+		}
+		if nv, err = nvbit.Attach(api, tool, opts...); err != nil {
 			fail(err)
+		}
+	} else {
+		// No interposer library: configure the device directly.
+		api.Device().SetScheduler(sched)
+		if tracing {
+			api.Device().SetProfiler(profile.NewCollector(0))
 		}
 	}
 
@@ -165,7 +217,7 @@ func main() {
 			}
 		}
 		if b == nil {
-			fail(fmt.Errorf("unknown specaccel benchmark %q", name))
+			usage(fmt.Errorf("unknown specaccel benchmark %q", name))
 		}
 		if err := b.Run(ctx, size); err != nil {
 			fail(err)
@@ -179,13 +231,13 @@ func main() {
 			}
 		}
 		if net == nil {
-			fail(fmt.Errorf("unknown ML network %q", name))
+			usage(fmt.Errorf("unknown ML network %q", name))
 		}
 		if _, err := mlsuite.Run(ctx, nil, *net); err != nil {
 			fail(err)
 		}
 	default:
-		fail(fmt.Errorf("unknown workload kind %q (want specaccel: or ml:)", kind))
+		usage(fmt.Errorf("unknown workload kind %q (want specaccel: or ml:)", kind))
 	}
 	elapsed := time.Since(start)
 	api.Close()
@@ -200,5 +252,28 @@ func main() {
 		js := nv.JITStats()
 		fmt.Printf("jit: lifted %d funcs / %d instrs, %d trampolines, %v total (%v disasm)\n",
 			js.FunctionsLifted, js.InstrsLifted, js.TrampolinesEmitted, js.Total().Round(time.Microsecond), js.Disassemble.Round(time.Microsecond))
+	}
+	if prof := api.Device().Profiler(); prof != nil {
+		if *metrics {
+			fmt.Print(profile.FormatMetrics(prof.Metrics()))
+		}
+		if *traceJSON != "" {
+			recs := prof.Records()
+			f, err := os.Create(*traceJSON)
+			if err != nil {
+				fail(err)
+			}
+			if err := profile.WriteChromeTrace(f, recs); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Printf("activity timeline: %d records written to %s (%d dropped)\n",
+				len(recs), *traceJSON, prof.Dropped())
+		}
+	}
+	if violations {
+		os.Exit(exitViolation)
 	}
 }

@@ -87,7 +87,7 @@ func (t *instrCounter) AtCUDACall(n *nvbit.NVBit, exit bool, cbid nvbit.CBID, na
 		log.Fatal(err)
 	}
 	for _, i := range insts {
-		n.InsertCallArgs(i, "count_instrs", nvbit.IPointBefore, nvbit.ArgImm64(t.counter))
+		n.InsertCallArgs(i, "count_instrs", nvbit.IPointBefore, nvbit.ArgConst64(t.counter))
 	}
 	fmt.Printf("[tool] instrumented %s: %d instructions\n", f.Name, len(insts))
 }
@@ -105,8 +105,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// The LD_PRELOAD moment: inject the tool into the application.
-	if _, err := nvbit.Attach(api, &instrCounter{}); err != nil {
+	// The LD_PRELOAD moment: inject the tool into the application. Attach
+	// options configure the run — here, CUPTI-style activity tracing (see
+	// docs/observability.md).
+	nv, err := nvbit.Attach(api, &instrCounter{}, nvbit.WithTracing(0))
+	if err != nil {
 		log.Fatal(err)
 	}
 
@@ -151,4 +154,9 @@ func main() {
 	got := math.Float32frombits(binary.LittleEndian.Uint32(host[4*100:]))
 	fmt.Printf("[app] y[100] = %v (want %v)\n", got, float32(100)*(1+2+2+2+2))
 	api.Close() // fires the tool's AtTerm
+
+	// The activity timeline collected by WithTracing: per-kernel metrics
+	// (Figures 7–8 shape) and, if desired, a chrome://tracing export via
+	// nvbit.WriteChromeTrace.
+	fmt.Print(nvbit.FormatMetrics(nv.Profiler().Metrics()))
 }

@@ -63,6 +63,21 @@ func (n *NVBit) generate(fs *funcState) error {
 				if a.kind == argRegVal64 && a.reg+2 > maxRegs {
 					maxRegs = a.reg + 2
 				}
+				if a.kind == argMRefAddr {
+					mref, ok := i.inst.MemOperand()
+					if !ok {
+						return fmt.Errorf("nvbit: ArgMRefAddr on %s word %d: instruction has no memory operand", f.Name, i.idx)
+					}
+					if mref.Base != sass.RZ {
+						width := 1
+						if mref.Space == sass.MemGlobal {
+							width = 2 // 64-bit base register pair
+						}
+						if r := int(mref.Base) + width; r > maxRegs {
+							maxRegs = r
+						}
+					}
+				}
 			}
 		}
 		saveN := hal.SaveSetSize(maxRegs)
@@ -203,9 +218,54 @@ func (n *NVBit) marshalArgs(tf *toolFunc, args []CallArg, site *Instr) ([]sass.I
 				p, neg = site.inst.Pred, site.inst.PredNeg
 			}
 			out = append(out, predValSeq(abiReg, p, neg)...)
+		case argMRefAddr:
+			insts, err := n.mrefAddrSeq(abiReg, site)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, insts...)
 		default:
 			return nil, fmt.Errorf("nvbit: unknown argument kind %d", a.kind)
 		}
+	}
+	return out, nil
+}
+
+// mrefAddrSeq emits code leaving the 64-bit effective address of the site's
+// memory reference in the ABI register pair (dst, dst+1): the saved base
+// register (pair) is loaded from the save frame and the encoded offset is
+// added with a wide IADD. Global references use a 64-bit base pair; shared,
+// local and constant references use a 32-bit base (zero-extended), and an RZ
+// base degenerates to the absolute offset.
+func (n *NVBit) mrefAddrSeq(dst sass.Reg, site *Instr) ([]sass.Inst, error) {
+	mref, ok := site.inst.MemOperand()
+	if !ok {
+		return nil, fmt.Errorf("nvbit: ArgMRefAddr: %s has no memory operand", sass.Format(site.inst))
+	}
+	var out []sass.Inst
+	if mref.Base == sass.RZ {
+		addr := uint64(mref.Offset)
+		out = append(out, n.materialize(dst, uint32(addr))...)
+		out = append(out, n.materialize(dst+1, uint32(addr>>32))...)
+		return out, nil
+	}
+	lo := sass.NewInst(sass.OpLDSA)
+	lo.Dst, lo.Imm = dst, int64(mref.Base)
+	out = append(out, lo)
+	if mref.Space == sass.MemGlobal {
+		hi := sass.NewInst(sass.OpLDSA)
+		hi.Dst, hi.Imm = dst+1, int64(mref.Base+1)
+		out = append(out, hi)
+	} else {
+		hi := sass.NewInst(sass.OpMOVI)
+		hi.Dst = dst + 1
+		out = append(out, hi)
+	}
+	if mref.Offset != 0 {
+		add := sass.NewInst(sass.OpIADD)
+		add.Dst, add.Src1, add.Src2, add.Imm = dst, dst, sass.RZ, mref.Offset
+		add.Mods = sass.MakeMods(0, true, false, sass.PT)
+		out = append(out, add)
 	}
 	return out, nil
 }

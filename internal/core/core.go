@@ -26,6 +26,7 @@ import (
 
 	"nvbitgo/internal/driver"
 	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/profile"
 )
 
 // Tool is the interface an NVBit tool implements. AtCUDACall mirrors
@@ -60,14 +61,22 @@ type NVBit struct {
 
 // Attach injects the tool into the driver as its interposer library and
 // fires the tool's AtInit callback. Exactly one tool can be attached per
-// driver instance, matching the single-LD_PRELOAD-library rule.
-func Attach(api *driver.API, tool Tool) (*NVBit, error) {
+// driver instance, matching the single-LD_PRELOAD-library rule. Options
+// configure the attachment (WithScheduler, WithWatchdogInterval,
+// WithTracing); they are applied before the tool's AtInit runs, so the tool
+// observes the configured device.
+func Attach(api *driver.API, tool Tool, opts ...Option) (*NVBit, error) {
 	n := &NVBit{
 		api:   api,
 		tool:  tool,
 		funcs: make(map[*driver.Function]*funcState),
 	}
 	n.loader = newToolLoader(n)
+	var cfg attachConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.apply(api.Device())
 	if err := api.SetHook((*hook)(n)); err != nil {
 		return nil, err
 	}
@@ -112,6 +121,13 @@ func (h *hook) Before(cbid driver.CBID, name string, p *driver.CallParams) {
 		n.hal = newHAL(n.api.Device())
 	}
 	if cbid == driver.CBLaunchKernel {
+		prof := n.api.Device().Profiler()
+		var jitBefore JITStats
+		var profT0 time.Duration
+		if prof != nil {
+			jitBefore = n.stats
+			profT0 = prof.Now()
+		}
 		// Phase 4: the user's instrumentation code runs inside this
 		// callback (inspecting instructions, inserting calls).
 		start := time.Now()
@@ -131,9 +147,40 @@ func (h *hook) Before(cbid driver.CBID, name string, p *driver.CallParams) {
 			// precise message, which tests can assert on.
 			panic(fmt.Sprintf("nvbit: instrumenting %s: %v", p.Launch.Func.Name, err))
 		}
+		if prof != nil {
+			n.emitJITPhases(prof, jitBefore, profT0, p.Launch.Func)
+			fs := n.funcs[p.Launch.Func]
+			prof.SetNextKernelInstrumented(fs != nil && fs.resident)
+		}
 		return
 	}
 	n.tool.AtCUDACall(n, false, cbid, name, p)
+}
+
+// emitJITPhases turns the JITStats delta accumulated across one launch
+// callback into KindJITPhase activity records — one per phase that did work,
+// laid end to end from t0 in the order the phases execute. Each record is
+// parented to the launched function's module-load record, so the trace
+// viewer nests the paper's Section 5.2 overhead breakdown under the load.
+func (n *NVBit) emitJITPhases(prof *profile.Collector, before JITStats, t0 time.Duration, f *driver.Function) {
+	cur, names := n.stats.Components()
+	prev, _ := before.Components()
+	var parent uint64
+	if f.Module != nil {
+		parent = f.Module.TraceID
+	}
+	t := t0
+	for i := range cur {
+		d := cur[i] - prev[i]
+		if d <= 0 {
+			continue
+		}
+		prof.Emit(profile.Record{
+			Kind: profile.KindJITPhase, Name: names[i], Kernel: f.Name,
+			Parent: parent, Start: t, Dur: d, SM: -1,
+		})
+		t += d
+	}
 }
 
 func (h *hook) After(cbid driver.CBID, name string, p *driver.CallParams, err error) {

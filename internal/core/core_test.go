@@ -225,7 +225,7 @@ func instrumentAll(ctr uint64) func(n *NVBit, p *driver.CallParams) {
 			panic(err)
 		}
 		for _, i := range insts {
-			n.InsertCallArgs(i, "tally", IPointBefore, ArgImm64(ctr))
+			n.InsertCallArgs(i, "tally", IPointBefore, ArgConst64(ctr))
 		}
 	}
 }
@@ -348,8 +348,8 @@ func TestGuardPredArgCountsOnlyExecutingLanes(t *testing.T) {
 			panic(err)
 		}
 		for _, i := range insts {
-			n.InsertCallArgs(i, "tally", IPointBefore, ArgImm64(ctrAll))
-			n.InsertCallArgs(i, "predtally", IPointBefore, ArgGuardPred(), ArgImm64(ctrExec))
+			n.InsertCallArgs(i, "tally", IPointBefore, ArgConst64(ctrAll))
+			n.InsertCallArgs(i, "predtally", IPointBefore, ArgSitePred(), ArgConst64(ctrExec))
 		}
 	}
 	env.launch(t)
@@ -384,11 +384,11 @@ func TestBasicBlockInstrumentation(t *testing.T) {
 		for _, bb := range blocks {
 			first := bb.Instrs[0]
 			n.InsertCallArgs(first, "bbtally", IPointBefore,
-				ArgImm32(uint32(len(bb.Instrs))), ArgImm64(ctrBB))
+				ArgConst32(uint32(len(bb.Instrs))), ArgConst64(ctrBB))
 		}
 		insts, _ := n.GetInstrs(f)
 		for _, i := range insts {
-			n.InsertCallArgs(i, "tally", IPointBefore, ArgImm64(ctrInstr))
+			n.InsertCallArgs(i, "tally", IPointBefore, ArgConst64(ctrInstr))
 		}
 	}
 	env.launch(t)
@@ -431,7 +431,7 @@ func TestIPointAfterAndRegVal(t *testing.T) {
 			// Capture the 64-bit address (base register pair), as in
 			// Listing 8, before the load executes.
 			n.InsertCallArgs(i, "capaddr", IPointBefore,
-				ArgRegVal64(int(mref.Base)), ArgImm64(slot))
+				ArgReg64(int(mref.Base)), ArgConst64(slot))
 		}
 	}
 	env.launch(t)
@@ -484,7 +484,7 @@ func TestRemoveOrigEmulation(t *testing.T) {
 		for _, i := range insts {
 			if i.Op() == sass.OpMOVI && i.Raw().Imm == 5 {
 				n.InsertCallArgs(i, "emuwr", IPointBefore,
-					ArgImm32(uint32(i.Raw().Dst)), ArgImm32(99))
+					ArgConst32(uint32(i.Raw().Dst)), ArgConst32(99))
 				n.RemoveOrig(i)
 			}
 		}
@@ -725,7 +725,7 @@ func TestArgArityValidation(t *testing.T) {
 		}
 		insts, _ := n.GetInstrs(p.Launch.Func)
 		// tally takes one u64; pass a u32.
-		n.InsertCallArgs(insts[0], "tally", IPointBefore, ArgImm32(1))
+		n.InsertCallArgs(insts[0], "tally", IPointBefore, ArgConst32(1))
 	}
 	err := env.launchErr(t)
 	if err == nil || !errors.Is(err, driver.ErrToolCallback) {

@@ -80,10 +80,10 @@ func runPredApp(t *testing.T, arm func(n *NVBit, i *Instr, ctr uint64)) (uint64,
 // first warp; the second warp skips the matched call wholesale.
 func TestGuardCallBySiteMatchesEarlyReturn(t *testing.T) {
 	early, _, earlySt := runPredApp(t, func(n *NVBit, i *Instr, ctr uint64) {
-		n.InsertCallArgs(i, "predtally", IPointBefore, ArgGuardPred(), ArgImm64(ctr))
+		n.InsertCallArgs(i, "predtally", IPointBefore, ArgSitePred(), ArgConst64(ctr))
 	})
 	matched, _, matchedSt := runPredApp(t, func(n *NVBit, i *Instr, ctr uint64) {
-		n.InsertCallArgs(i, "tally", IPointBefore, ArgImm64(ctr))
+		n.InsertCallArgs(i, "tally", IPointBefore, ArgConst64(ctr))
 		n.GuardCallBySite(i)
 	})
 	if early != 12 || matched != 12 {
@@ -102,11 +102,11 @@ func TestGuardCallBySiteMatchesEarlyReturn(t *testing.T) {
 // polarities selects complementary lane sets.
 func TestGuardCallExplicitPredicate(t *testing.T) {
 	pos, _, _ := runPredApp(t, func(n *NVBit, i *Instr, ctr uint64) {
-		n.InsertCallArgs(i, "tally", IPointBefore, ArgImm64(ctr))
+		n.InsertCallArgs(i, "tally", IPointBefore, ArgConst64(ctr))
 		n.GuardCall(i, sass.Pred(0), false)
 	})
 	neg, _, _ := runPredApp(t, func(n *NVBit, i *Instr, ctr uint64) {
-		n.InsertCallArgs(i, "tally", IPointBefore, ArgImm64(ctr))
+		n.InsertCallArgs(i, "tally", IPointBefore, ArgConst64(ctr))
 		n.GuardCall(i, sass.Pred(0), true)
 	})
 	// P0 derives from tid.x: 12 true lanes in warp 0, none in warp 1 —
@@ -134,7 +134,7 @@ func TestGuardCallSemanticsPreserved(t *testing.T) {
 		}
 		insts, _ := n.GetInstrs(p.Launch.Func)
 		for _, i := range insts {
-			n.InsertCallArgs(i, "tally", IPointBefore, ArgImm64(ctr))
+			n.InsertCallArgs(i, "tally", IPointBefore, ArgConst64(ctr))
 			n.GuardCallBySite(i)
 		}
 	}

@@ -124,7 +124,7 @@ func TestICFBasicBlockFallback(t *testing.T) {
 			panic(err)
 		}
 		for _, i := range insts {
-			n.InsertCallArgs(i, "tally", IPointBefore, ArgImm64(ctr))
+			n.InsertCallArgs(i, "tally", IPointBefore, ArgConst64(ctr))
 		}
 	}
 	ctx, _ := api.CtxCreate()

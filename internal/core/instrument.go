@@ -32,6 +32,7 @@ const (
 	argCBank
 	argPredVal
 	argGuardPred
+	argMRefAddr
 )
 
 // CallArg is one positional argument for an injected function
@@ -48,35 +49,86 @@ type CallArg struct {
 	predNeg bool
 }
 
-// ArgRegVal passes the run-time value of a 32-bit register at the
+// The unified argument-constructor API (nvbit_add_call_arg variants). Every
+// constructor returns a CallArg describing what the trampoline marshals into
+// the corresponding positional parameter of the injected device function;
+// see docs/tools.md for the mapping from the historical names.
+
+// ArgReg passes the run-time value of a 32-bit register at the
 // instrumentation site.
-func ArgRegVal(reg int) CallArg { return CallArg{kind: argRegVal, reg: reg} }
+func ArgReg(reg int) CallArg { return CallArg{kind: argRegVal, reg: reg} }
 
-// ArgRegVal64 passes the 64-bit value held in the register pair (reg, reg+1).
-func ArgRegVal64(reg int) CallArg { return CallArg{kind: argRegVal64, reg: reg} }
+// ArgReg64 passes the 64-bit value held in the register pair (reg, reg+1).
+func ArgReg64(reg int) CallArg { return CallArg{kind: argRegVal64, reg: reg} }
 
-// ArgImm32 passes a 32-bit immediate chosen at instrumentation time.
-func ArgImm32(v uint32) CallArg { return CallArg{kind: argImm32, imm: uint64(v)} }
+// ArgConst32 passes a 32-bit constant chosen at instrumentation time.
+func ArgConst32(v uint32) CallArg { return CallArg{kind: argImm32, imm: uint64(v)} }
 
-// ArgImm64 passes a 64-bit immediate (e.g. the device address of a counter).
-func ArgImm64(v uint64) CallArg { return CallArg{kind: argImm64, imm: v} }
+// ArgConst64 passes a 64-bit constant (e.g. the device address of a counter).
+func ArgConst64(v uint64) CallArg { return CallArg{kind: argImm64, imm: v} }
 
-// ArgCBank passes a 32-bit value read from a constant bank at run time.
-func ArgCBank(bank, off int) CallArg { return CallArg{kind: argCBank, bank: bank, off: off} }
+// ArgConstBank passes a 32-bit value read from a constant bank at run time.
+func ArgConstBank(bank, off int) CallArg { return CallArg{kind: argCBank, bank: bank, off: off} }
 
-// ArgPredVal passes the run-time value (0/1) of a predicate register.
-func ArgPredVal(p sass.Pred, neg bool) CallArg {
+// ArgPred passes the run-time value (0/1) of a predicate register.
+func ArgPred(p sass.Pred, neg bool) CallArg {
 	return CallArg{kind: argPredVal, pred: p, predNeg: neg}
 }
 
-// ArgGuardPred passes the value of the instrumented instruction's own guard
+// ArgSitePred passes the value of the instrumented instruction's own guard
 // predicate — the idiom of Listing 8, where the injected function returns
 // immediately if the instruction was not actually executing.
-func ArgGuardPred() CallArg { return CallArg{kind: argGuardPred} }
+func ArgSitePred() CallArg { return CallArg{kind: argGuardPred} }
+
+// ArgMRefAddr passes the 64-bit effective address of the instrumented
+// instruction's memory reference, computed at the instrumentation site from
+// the saved base register (pair) plus the encoded offset — the
+// nvbit_add_call_arg_mref_addr64 analog that memory tools previously had to
+// assemble by hand from ArgReg64 and the decoded offset. Instrumenting an
+// instruction with no memory operand fails at code generation.
+func ArgMRefAddr() CallArg { return CallArg{kind: argMRefAddr} }
+
+// LaunchDim selects one launch-configuration dimension for ArgLaunchDim.
+type LaunchDim int
+
+// Launch-configuration dimensions, in constant-bank 0 layout order.
+const (
+	GridDimX LaunchDim = iota
+	GridDimY
+	GridDimZ
+	BlockDimX
+	BlockDimY
+	BlockDimZ
+)
+
+// ArgLaunchDim passes one grid/block dimension of the current launch, read
+// from constant bank 0 where the driver places the launch configuration.
+func ArgLaunchDim(d LaunchDim) CallArg {
+	return CallArg{kind: argCBank, bank: 0, off: 4 * int(d)}
+}
+
+// Deprecated aliases for the pre-unification constructor names. They remain
+// source-compatible indefinitely; new code should use the Arg* names above.
+var (
+	// Deprecated: use ArgReg.
+	ArgRegVal = ArgReg
+	// Deprecated: use ArgReg64.
+	ArgRegVal64 = ArgReg64
+	// Deprecated: use ArgConst32.
+	ArgImm32 = ArgConst32
+	// Deprecated: use ArgConst64.
+	ArgImm64 = ArgConst64
+	// Deprecated: use ArgConstBank.
+	ArgCBank = ArgConstBank
+	// Deprecated: use ArgPred.
+	ArgPredVal = ArgPred
+	// Deprecated: use ArgSitePred.
+	ArgGuardPred = ArgSitePred
+)
 
 // bytes returns the argument's ABI width.
 func (a CallArg) bytes() int {
-	if a.kind == argRegVal64 || a.kind == argImm64 {
+	if a.kind == argRegVal64 || a.kind == argImm64 || a.kind == argMRefAddr {
 		return 8
 	}
 	return 4

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/profile"
+)
+
+// Option configures an Attach call. Options are the supported way to select
+// per-attachment behavior (execution backend, watchdog budget, activity
+// tracing); the zero-option Attach behaves exactly as before they existed.
+type Option func(*attachConfig)
+
+type attachConfig struct {
+	scheduler    gpu.SchedulerKind
+	setScheduler bool
+
+	watchdog    int64
+	setWatchdog bool
+
+	tracing     bool
+	traceBuffer int
+}
+
+// WithScheduler selects the CTA-to-SM execution backend (see
+// docs/scheduler.md) for the attached device.
+func WithScheduler(k gpu.SchedulerKind) Option {
+	return func(c *attachConfig) { c.scheduler = k; c.setScheduler = true }
+}
+
+// WithWatchdogInterval sets the launch watchdog's per-CTA warp-instruction
+// budget: zero selects the default, a negative value disables the watchdog
+// (see docs/faults.md).
+func WithWatchdogInterval(v int64) Option {
+	return func(c *attachConfig) { c.watchdog = v; c.setWatchdog = true }
+}
+
+// WithTracing attaches an activity-record collector to the device, enabling
+// the CUPTI-style tracing and metrics surface (NVBit.Profiler,
+// docs/observability.md). bufferRecords bounds the collector's ring; zero or
+// negative selects profile.DefaultCapacity. Without this option the launch
+// path stays allocation-free.
+func WithTracing(bufferRecords int) Option {
+	return func(c *attachConfig) { c.tracing = true; c.traceBuffer = bufferRecords }
+}
+
+// apply mutates the device per the collected options.
+func (c *attachConfig) apply(dev *gpu.Device) {
+	if c.setScheduler {
+		dev.SetScheduler(c.scheduler)
+	}
+	if c.setWatchdog {
+		dev.SetWatchdogInterval(c.watchdog)
+	}
+	if c.tracing && dev.Profiler() == nil {
+		dev.SetProfiler(profile.NewCollector(c.traceBuffer))
+	}
+}
+
+// Profiler returns the activity collector attached to the framework's
+// device, nil when tracing is off. Tools and launchers use it to subscribe
+// to records, drain the timeline, or read the per-kernel metrics table.
+func (n *NVBit) Profiler() *profile.Collector { return n.api.Device().Profiler() }

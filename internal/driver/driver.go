@@ -13,8 +13,10 @@ package driver
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/profile"
 	"nvbitgo/internal/ptx"
 )
 
@@ -106,6 +108,11 @@ func (a *API) SetHook(h Hook) error {
 // behaved applications never need it.
 func (a *API) Device() *gpu.Device { return a.dev }
 
+// prof returns the activity collector attached to the device, nil when
+// tracing is off. Every emission site below is guarded by a nil check so the
+// tracing-off path does no extra work.
+func (a *API) prof() *profile.Collector { return a.dev.Profiler() }
+
 // before fires the interposer's enter callback. A panic inside the callback
 // is recovered into an ErrToolCallback error; the caller must then skip the
 // interposed operation, so a broken tool turns into a failing driver call
@@ -113,6 +120,15 @@ func (a *API) Device() *gpu.Device { return a.dev }
 func (a *API) before(cbid CBID, p *CallParams) (err error) {
 	defer recoverHookPanic(cbid, &err)
 	if a.hook != nil {
+		if prof := a.prof(); prof != nil {
+			t0 := prof.Now()
+			defer func() {
+				prof.Emit(profile.Record{
+					Kind: profile.KindToolCallback, Name: cbid.String() + ":enter",
+					Start: t0, Dur: prof.Now() - t0, SM: -1,
+				})
+			}()
+		}
 		a.hook.Before(cbid, cbid.String(), p)
 	}
 	return nil
@@ -124,6 +140,15 @@ func (a *API) before(cbid CBID, p *CallParams) (err error) {
 func (a *API) after(cbid CBID, p *CallParams, result error) (err error) {
 	defer recoverHookPanic(cbid, &err)
 	if a.hook != nil {
+		if prof := a.prof(); prof != nil {
+			t0 := prof.Now()
+			defer func() {
+				prof.Emit(profile.Record{
+					Kind: profile.KindToolCallback, Name: cbid.String() + ":exit",
+					Start: t0, Dur: prof.Now() - t0, SM: -1,
+				})
+			}()
+		}
 		a.hook.After(cbid, cbid.String(), p, result)
 	}
 	return nil
@@ -165,10 +190,20 @@ func (a *API) CtxCreate() (*Context, error) {
 	}
 	c := &Context{api: a}
 	p := &CallParams{Ctx: c}
+	var t0 time.Duration
+	if prof := a.prof(); prof != nil {
+		t0 = prof.Now()
+	}
 	if err := a.before(CBCtxCreate, p); err != nil {
 		return nil, err
 	}
 	a.ctxs = append(a.ctxs, c)
+	if prof := a.prof(); prof != nil {
+		prof.Emit(profile.Record{
+			Kind: profile.KindCtxCreate, Name: CBCtxCreate.String(),
+			Start: t0, Dur: prof.Now() - t0, SM: -1,
+		})
+	}
 	if err := a.after(CBCtxCreate, p, nil); err != nil {
 		return nil, err
 	}
@@ -223,8 +258,19 @@ func (c *Context) MemAlloc(n uint64) (uint64, error) {
 	if err := c.api.before(CBMemAlloc, p); err != nil {
 		return 0, err
 	}
+	var t0 time.Duration
+	prof := c.api.prof()
+	if prof != nil {
+		t0 = prof.Now()
+	}
 	addr, err := c.api.dev.Malloc(n)
 	p.Addr = addr
+	if prof != nil && err == nil {
+		prof.Emit(profile.Record{
+			Kind: profile.KindMemAlloc, Name: CBMemAlloc.String(),
+			Start: t0, Dur: prof.Now() - t0, SM: -1, Addr: addr, Bytes: n,
+		})
+	}
 	if aerr := c.api.after(CBMemAlloc, p, err); err == nil {
 		err = aerr
 	}
@@ -240,7 +286,18 @@ func (c *Context) MemFree(addr uint64) error {
 	if err := c.api.before(CBMemFree, p); err != nil {
 		return err
 	}
+	var t0 time.Duration
+	prof := c.api.prof()
+	if prof != nil {
+		t0 = prof.Now()
+	}
 	err := c.api.dev.Free(addr)
+	if prof != nil && err == nil {
+		prof.Emit(profile.Record{
+			Kind: profile.KindMemFree, Name: CBMemFree.String(),
+			Start: t0, Dur: prof.Now() - t0, SM: -1, Addr: addr,
+		})
+	}
 	if aerr := c.api.after(CBMemFree, p, err); err == nil {
 		err = aerr
 	}
@@ -256,7 +313,18 @@ func (c *Context) MemcpyHtoD(dst uint64, src []byte) error {
 	if err := c.api.before(CBMemcpyHtoD, p); err != nil {
 		return err
 	}
+	var t0 time.Duration
+	prof := c.api.prof()
+	if prof != nil {
+		t0 = prof.Now()
+	}
 	err := c.api.dev.Write(dst, src)
+	if prof != nil && err == nil {
+		prof.Emit(profile.Record{
+			Kind: profile.KindMemcpyH2D, Name: CBMemcpyHtoD.String(),
+			Start: t0, Dur: prof.Now() - t0, SM: -1, Addr: dst, Bytes: uint64(len(src)),
+		})
+	}
 	if aerr := c.api.after(CBMemcpyHtoD, p, err); err == nil {
 		err = aerr
 	}
@@ -272,7 +340,18 @@ func (c *Context) MemcpyDtoH(dst []byte, src uint64) error {
 	if err := c.api.before(CBMemcpyDtoH, p); err != nil {
 		return err
 	}
+	var t0 time.Duration
+	prof := c.api.prof()
+	if prof != nil {
+		t0 = prof.Now()
+	}
 	err := c.api.dev.Read(src, dst)
+	if prof != nil && err == nil {
+		prof.Emit(profile.Record{
+			Kind: profile.KindMemcpyD2H, Name: CBMemcpyDtoH.String(),
+			Start: t0, Dur: prof.Now() - t0, SM: -1, Addr: src, Bytes: uint64(len(dst)),
+		})
+	}
 	if aerr := c.api.after(CBMemcpyDtoH, p, err); err == nil {
 		err = aerr
 	}

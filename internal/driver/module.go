@@ -3,8 +3,10 @@ package driver
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/profile"
 	"nvbitgo/internal/ptx"
 	"nvbitgo/internal/sass"
 )
@@ -18,6 +20,11 @@ type Module struct {
 	// libraries like the cuBLAS/cuDNN analogs): they were loaded from a
 	// device binary, with no PTX source available.
 	FromCubin bool
+	// TraceID is the correlation ID of the module-load activity record, 0
+	// when tracing was off at load time. JIT-phase records emitted when a
+	// function of this module is lifted at first launch reference it as
+	// their Parent, nesting them under the load in the trace viewer.
+	TraceID uint64
 
 	ctx   *Context
 	funcs map[string]*Function
@@ -164,7 +171,21 @@ func (c *Context) loadCompiled(name string, pm *ptx.Module, fromCubin, withLines
 	if err := c.api.before(CBModuleLoadData, p); err != nil {
 		return nil, err
 	}
+	var t0 time.Duration
+	var code0 uint64
+	prof := c.api.prof()
+	if prof != nil {
+		t0 = prof.Now()
+		code0 = c.api.dev.Stats().CodeBytesWritten
+	}
 	err := c.doLoad(m, pm, withLines)
+	if prof != nil && err == nil {
+		m.TraceID = prof.Emit(profile.Record{
+			Kind: profile.KindModuleLoad, Name: m.Name,
+			Start: t0, Dur: prof.Now() - t0, SM: -1,
+			Bytes: c.api.dev.Stats().CodeBytesWritten - code0,
+		})
+	}
 	if aerr := c.api.after(CBModuleLoadData, p, err); err == nil {
 		err = aerr
 	}

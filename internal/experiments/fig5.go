@@ -31,9 +31,21 @@ var scheduler = gpu.SchedulerSequential
 func SetScheduler(k gpu.SchedulerKind) { scheduler = k }
 
 func newAPI() (*driver.API, error) {
-	cfg := gpu.DefaultConfig(Family)
-	cfg.Scheduler = scheduler
-	return driver.New(cfg)
+	api, err := driver.New(gpu.DefaultConfig(Family))
+	if err != nil {
+		return nil, err
+	}
+	// Native (uninstrumented) runs have no Attach call to carry options, so
+	// the backend is applied directly; instrumented runs restate it through
+	// attachOpts at their Attach site.
+	api.Device().SetScheduler(scheduler)
+	return api, nil
+}
+
+// attachOpts returns the Attach options every instrumented experiment run
+// uses, so the configured scheduler travels the supported options path.
+func attachOpts() []nvbit.Option {
+	return []nvbit.Option{nvbit.WithScheduler(scheduler)}
 }
 
 // Fig5Row is one benchmark's JIT-compilation overhead breakdown, as a
@@ -82,7 +94,7 @@ func Fig5(size specaccel.Size) ([]Fig5Row, error) {
 			return nil, err
 		}
 		tool := instrcount.New()
-		nv, err := nvbit.Attach(api, tool)
+		nv, err := nvbit.Attach(api, tool, attachOpts()...)
 		if err != nil {
 			return nil, err
 		}

@@ -28,7 +28,7 @@ func LibFraction() ([]LibFracRow, error) {
 			return nil, err
 		}
 		tool := instrcount.New()
-		nv, err := nvbit.Attach(api, tool)
+		nv, err := nvbit.Attach(api, tool, attachOpts()...)
 		if err != nil {
 			return nil, err
 		}
@@ -78,7 +78,7 @@ func Fig6() ([]Fig6Row, error) {
 		}
 		tool := memdiv.New()
 		tool.SkipLibraries = skipLibs
-		nv, err := nvbit.Attach(api, tool)
+		nv, err := nvbit.Attach(api, tool, attachOpts()...)
 		if err != nil {
 			return 0, err
 		}

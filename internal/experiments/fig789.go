@@ -61,7 +61,7 @@ func runHisto(b *specaccel.Benchmark, size specaccel.Size, mode string) (*histoR
 		return nil, fmt.Errorf("bad mode %q", mode)
 	}
 	if tool != nil {
-		if nv, err = nvbit.Attach(api, tool); err != nil {
+		if nv, err = nvbit.Attach(api, tool, attachOpts()...); err != nil {
 			return nil, err
 		}
 	}

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"nvbitgo/internal/profile"
 	"nvbitgo/internal/sass"
 )
 
@@ -117,10 +118,26 @@ type Device struct {
 
 	stats Stats
 
+	// prof, when non-nil, receives activity records for every launch
+	// (kernel spans and their per-SM children). The nil path is the
+	// allocation-free fast path.
+	prof *profile.Collector
+
 	// warpFree recycles warp slabs (32 KiB of registers each) across
 	// launches. Touched only on the launching goroutine (newExecContext /
 	// releaseContext), never by SM workers.
 	warpFree []*warp
+	// ctxFree recycles execution contexts (shared-memory buffers, warp
+	// slices, constant-bank tables) the same way, so the tracing-off
+	// launch path allocates nothing. Same single-goroutine discipline.
+	ctxFree []*execContext
+	// smCycles/smWarps are the per-launch per-SM accumulators, reused
+	// across launches (workers write disjoint indexes).
+	smCycles, smWarps []uint64
+	// smSpanShard hands the per-SM span records from the scheduler
+	// backends to emitKernelRecord, which merges them under the kernel
+	// record's ID. Only set while tracing is on.
+	smSpanShard *profile.Shard
 
 	// atomLocks stripes the simulated ATOM/RED read-modify-write path by
 	// global word address so concurrent CTA workers stay race-free.
@@ -157,6 +174,8 @@ func New(cfg Config) (*Device, error) {
 		decoded:  make([]sass.Inst, cfg.CodeBytes/ib),
 		decValid: make([]uint32, cfg.CodeBytes/ib),
 		l2:       newCache(cfg.L2Lines, l2Ways),
+		smCycles: make([]uint64, cfg.NumSMs),
+		smWarps:  make([]uint64, cfg.NumSMs),
 	}
 	for i := 0; i < cfg.NumSMs; i++ {
 		d.l1s = append(d.l1s, newCache(cfg.L1Lines, l1Ways))
@@ -181,6 +200,24 @@ func (d *Device) Stats() Stats { return d.stats }
 
 // ResetStats zeroes the accumulated statistics.
 func (d *Device) ResetStats() { d.stats = Stats{} }
+
+// SetProfiler attaches (or, with nil, detaches) an activity-record
+// collector. Launches emit one kernel record plus per-SM span children into
+// it; with no collector the launch path stays allocation-free. Must not be
+// called concurrently with a launch.
+func (d *Device) SetProfiler(p *profile.Collector) { d.prof = p }
+
+// Profiler returns the attached activity collector, nil when tracing is off.
+func (d *Device) Profiler() *profile.Collector { return d.prof }
+
+// SetScheduler switches the CTA-to-SM execution backend. The choice is read
+// at each launch; launches are synchronous, so switching between launches is
+// safe.
+func (d *Device) SetScheduler(k SchedulerKind) { d.cfg.Scheduler = k }
+
+// SetWatchdogInterval replaces the launch watchdog's per-CTA budget (see
+// Config.WatchdogInterval: zero selects the default, negative disables).
+func (d *Device) SetWatchdogInterval(v int64) { d.cfg.WatchdogInterval = v }
 
 // --- Global memory ---------------------------------------------------------
 

@@ -5,6 +5,9 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"nvbitgo/internal/profile"
 )
 
 // Dim3 is a CUDA-style three-dimensional extent.
@@ -35,7 +38,11 @@ type LaunchSpec struct {
 // launch only (they are also accumulated on the device). The CTA-to-SM
 // mapping is fixed (cta % NumSMs); Config.Scheduler selects whether the SMs
 // execute sequentially on one goroutine or concurrently with one worker per
-// SM (see docs/scheduler.md for the determinism contract).
+// SM (see docs/scheduler.md for the determinism contract). With a profiler
+// attached (SetProfiler), the launch additionally emits one kernel activity
+// record plus per-SM span children, merged in ascending SM order so record
+// ordering is deterministic under both schedulers; without one, the launch
+// path allocates nothing.
 func (d *Device) Launch(spec LaunchSpec) (Stats, error) {
 	if spec.Block.Count() <= 0 || spec.Block.Count() > 1024 {
 		return Stats{}, fmt.Errorf("gpu: block of %d threads out of range (1..1024)", spec.Block.Count())
@@ -47,34 +54,30 @@ func (d *Device) Launch(spec LaunchSpec) (Stats, error) {
 		return Stats{}, fmt.Errorf("gpu: %d bytes of shared memory exceed the per-CTA limit %d", spec.SharedBytes, d.cfg.SharedMemPerCTA)
 	}
 
-	// Constant bank 0: launch configuration (grid and block dimensions),
-	// as the backend compiler expects (see internal/ptx lowering).
-	bank0 := make([]byte, 32)
-	putU32 := func(off, v int) {
-		bank0[off] = byte(v)
-		bank0[off+1] = byte(v >> 8)
-		bank0[off+2] = byte(v >> 16)
-		bank0[off+3] = byte(v >> 24)
+	prof := d.prof
+	var profStart time.Duration
+	if prof != nil {
+		profStart = prof.Now()
 	}
-	putU32(0, spec.Grid.X)
-	putU32(4, spec.Grid.Y)
-	putU32(8, spec.Grid.Z)
-	putU32(12, spec.Block.X)
-	putU32(16, spec.Block.Y)
-	putU32(20, spec.Block.Z)
 
 	nCTA := spec.Grid.Count()
-	smCycles := make([]uint64, d.cfg.NumSMs)
-	smWarps := make([]uint64, d.cfg.NumSMs)
+	smCycles, smWarps := d.smCycles, d.smWarps
+	for i := range smCycles {
+		smCycles[i] = 0
+		smWarps[i] = 0
+	}
 
 	var launch Stats
 	var err error
 	if d.cfg.Scheduler == SchedulerParallelSM {
-		err = d.launchParallelSM(spec, bank0, nCTA, &launch, smCycles, smWarps)
+		err = d.launchParallelSM(spec, nCTA, &launch, smCycles, smWarps)
 	} else {
-		err = d.launchSequential(spec, bank0, nCTA, &launch, smCycles, smWarps)
+		err = d.launchSequential(spec, nCTA, &launch, smCycles, smWarps)
 	}
 	if err != nil {
+		if prof != nil {
+			d.emitKernelRecord(prof, spec, profStart, nCTA, Stats{}, smWarps, err)
+		}
 		return Stats{}, err
 	}
 
@@ -98,14 +101,69 @@ func (d *Device) Launch(spec LaunchSpec) (Stats, error) {
 	launch.Cycles += kernelCycles
 	launch.Launches++
 	d.stats.Add(launch)
+	if prof != nil {
+		d.emitKernelRecord(prof, spec, profStart, nCTA, launch, smWarps, nil)
+	}
 	return launch, nil
+}
+
+// emitKernelRecord emits the KindKernel activity record for one launch,
+// followed by its per-SM KindSMSpan children in ascending SM order. SM spans
+// are produced by the scheduler workers into per-worker shards (parallel) or
+// synthesized in SM order (sequential); either way the merge order is fixed,
+// so record IDs and ordering are deterministic. On a failed launch only the
+// kernel record (with its fault outcome) is emitted — partial SM spans would
+// depend on cross-SM cancellation timing.
+func (d *Device) emitKernelRecord(prof *profile.Collector, spec LaunchSpec, start time.Duration, nCTA int, launch Stats, smWarps []uint64, lerr error) {
+	var warpsRetired uint64
+	for _, w := range smWarps {
+		warpsRetired += w
+	}
+	rec := profile.Record{
+		Kind:         profile.KindKernel,
+		Name:         spec.Name,
+		Kernel:       spec.Name,
+		Start:        start,
+		Dur:          prof.Now() - start,
+		SM:           -1,
+		Grid:         [3]int{spec.Grid.X, spec.Grid.Y, spec.Grid.Z},
+		Block:        [3]int{spec.Block.X, spec.Block.Y, spec.Block.Z},
+		CTAs:         nCTA,
+		WarpsRetired: warpsRetired,
+		WarpInstrs:   launch.WarpInstrs,
+		ThreadInstrs: launch.ThreadInstrs,
+		Cycles:       launch.Cycles,
+		Instrumented: prof.TakeNextKernelInstrumented(),
+	}
+	if lerr != nil {
+		if f, ok := AsFault(lerr); ok {
+			rec.Fault = f.Kind.String()
+		} else {
+			rec.Fault = "error"
+		}
+	}
+	kid := prof.Emit(rec)
+	if lerr != nil {
+		d.smSpanShard = nil
+		return
+	}
+	if d.smSpanShard != nil {
+		prof.MergeShard(d.smSpanShard, kid)
+		d.smSpanShard = nil
+	}
+}
+
+// ctasOnSM returns how many of nCTA blocks the fixed cta%NumSMs mapping
+// places on the given SM.
+func (d *Device) ctasOnSM(sm, nCTA int) int {
+	return (nCTA - sm + d.cfg.NumSMs - 1) / d.cfg.NumSMs
 }
 
 // launchSequential is the reference backend: one goroutine walks the CTAs in
 // linear order, so every counter — including shared-L2 hit/miss attribution —
 // is fully deterministic.
-func (d *Device) launchSequential(spec LaunchSpec, bank0 []byte, nCTA int, launch *Stats, smCycles, smWarps []uint64) error {
-	ctx := d.newExecContext(spec, bank0, d.l2)
+func (d *Device) launchSequential(spec LaunchSpec, nCTA int, launch *Stats, smCycles, smWarps []uint64) error {
+	ctx := d.newExecContext(spec, d.l2)
 	defer d.releaseContext(ctx)
 	warpsPerCTA := uint64(len(ctx.warps))
 	for cta := 0; cta < nCTA; cta++ {
@@ -118,6 +176,24 @@ func (d *Device) launchSequential(spec LaunchSpec, bank0 []byte, nCTA int, launc
 		smWarps[sm] += warpsPerCTA
 	}
 	launch.Add(ctx.stats)
+	if prof := d.prof; prof != nil {
+		// Synthesize the per-SM spans in ascending SM order from the
+		// per-SM accumulators (the single walking context has no
+		// per-worker wall clocks; span content matches the parallel
+		// backend's, timing fields cover the whole launch).
+		sh := profile.NewShard(d.cfg.NumSMs)
+		t := prof.Now()
+		for sm := 0; sm < d.cfg.NumSMs && sm < nCTA; sm++ {
+			sh.Append(profile.Record{
+				Kind: profile.KindSMSpan, Name: spec.Name, Kernel: spec.Name,
+				SM: sm, Start: t, Dur: 0,
+				CTAs:         d.ctasOnSM(sm, nCTA),
+				WarpsRetired: smWarps[sm],
+				Cycles:       smCycles[sm],
+			})
+		}
+		d.smSpanShard = sh
+	}
 	return nil
 }
 
@@ -130,7 +206,8 @@ func (d *Device) launchSequential(spec LaunchSpec, bank0 []byte, nCTA int, launc
 // are bit-identical run to run; only the L2 hit/miss split (and the cycle
 // counts derived from it) can differ from the sequential backend. See
 // docs/scheduler.md.
-func (d *Device) launchParallelSM(spec LaunchSpec, bank0 []byte, nCTA int, launch *Stats, smCycles, smWarps []uint64) error {
+func (d *Device) launchParallelSM(spec LaunchSpec, nCTA int, launch *Stats, smCycles, smWarps []uint64) error {
+	prof := d.prof
 	nWorkers := d.cfg.NumSMs
 	if nWorkers > nCTA {
 		nWorkers = nCTA // trailing SMs would have no CTAs
@@ -149,14 +226,22 @@ func (d *Device) launchParallelSM(spec LaunchSpec, bank0 []byte, nCTA int, launc
 	for i := 0; i < nWorkers; i++ {
 		// Contexts are created (and their warps drawn from the device
 		// pool) on the launching goroutine; workers touch only their own.
-		ctx := d.newExecContext(spec, bank0, newCache(l2Lines, l2Ways))
+		ctx := d.newExecContext(spec, newCache(l2Lines, l2Ways))
 		ctx.locked = true
 		ctx.cancel = &cancel
+		if prof != nil {
+			ctx.shard = profile.NewShard(1)
+		}
 		ctxs[i] = ctx
 		warpsPerCTA := uint64(len(ctx.warps))
 		wg.Add(1)
 		go func(sm int, ctx *execContext) {
 			defer wg.Done()
+			var t0 time.Duration
+			if prof != nil {
+				t0 = prof.Now()
+			}
+			ctas := 0
 			for cta := sm; cta < nCTA; cta += d.cfg.NumSMs {
 				ctx.heedCancel = cta != sm // never abandon the first CTA
 				if ctx.heedCancel && cancel.Load() {
@@ -173,13 +258,28 @@ func (d *Device) launchParallelSM(spec LaunchSpec, bank0 []byte, nCTA int, launc
 				}
 				smCycles[sm] += cycles
 				smWarps[sm] += warpsPerCTA
+				ctas++
+			}
+			if prof != nil {
+				// This worker's span goes into its private shard; the
+				// launching goroutine merges shards in ascending SM
+				// order after the join.
+				ctx.shard.Append(profile.Record{
+					Kind: profile.KindSMSpan, Name: spec.Name, Kernel: spec.Name,
+					SM: sm, Start: t0, Dur: prof.Now() - t0,
+					CTAs:         ctas,
+					WarpsRetired: smWarps[sm],
+					Cycles:       smCycles[sm],
+				})
 			}
 		}(i, ctx)
 	}
 	wg.Wait()
-	for _, ctx := range ctxs {
-		d.releaseContext(ctx)
-	}
+	defer func() {
+		for _, ctx := range ctxs {
+			d.releaseContext(ctx)
+		}
+	}()
 	for _, err := range errs {
 		if err != nil && err != errLaunchCanceled {
 			return err // lowest-SM fault, deterministically
@@ -189,6 +289,15 @@ func (d *Device) launchParallelSM(spec LaunchSpec, bank0 []byte, nCTA int, launc
 	// aggregate bit-identical run to run.
 	for _, ctx := range ctxs {
 		launch.Add(ctx.stats)
+	}
+	if prof != nil {
+		sh := profile.NewShard(nWorkers)
+		for _, ctx := range ctxs {
+			for _, r := range ctx.shard.Records() {
+				sh.Append(r)
+			}
+		}
+		d.smSpanShard = sh
 	}
 	return nil
 }
@@ -224,6 +333,7 @@ func (d *Device) watchdogBudget() int64 {
 type execContext struct {
 	dev    *Device
 	spec   LaunchSpec
+	bank0  [32]byte // constant bank 0 backing store (launch configuration)
 	banks  [8][]byte
 	shared []byte
 	warps  []*warp
@@ -232,6 +342,11 @@ type execContext struct {
 	l1s    []*cache // per-SM L1 models (indexed by c.sm)
 	l2     *cache   // shared L2 (sequential) or a private shard (parallel)
 	locked bool     // route global atomics through the device stripe locks
+
+	// shard buffers this worker's activity records (per-SM spans) until
+	// the launching goroutine merges them in SM order; nil when tracing
+	// is off.
+	shard *profile.Shard
 
 	// Watchdog: every CTA gets wdBudget warp instructions; wdLeft counts
 	// down in step. A per-CTA (not per-launch) budget keeps watchdog faults
@@ -249,21 +364,53 @@ type execContext struct {
 	curWarp int // warp currently stepping (fault provenance)
 }
 
-// newExecContext builds one worker's execution state, drawing warps from the
-// device's free pool (warp slabs dominate per-launch allocation: 32 KiB of
-// registers each). Must be called on the launching goroutine — the pool is
-// unsynchronized; releaseContext returns the warps once the worker is done.
-func (d *Device) newExecContext(spec LaunchSpec, bank0 []byte, l2 *cache) *execContext {
+// newExecContext builds (or recycles) one worker's execution state, drawing
+// warps from the device's free pool (warp slabs dominate per-launch
+// allocation: 32 KiB of registers each) and the context itself from the
+// context pool, so a launch with tracing off allocates nothing. Must be
+// called on the launching goroutine — the pools are unsynchronized;
+// releaseContext returns everything once the worker is done.
+func (d *Device) newExecContext(spec LaunchSpec, l2 *cache) *execContext {
+	var c *execContext
+	if n := len(d.ctxFree); n > 0 {
+		c = d.ctxFree[n-1]
+		d.ctxFree = d.ctxFree[:n-1]
+	} else {
+		c = &execContext{}
+	}
+	c.dev = d
+	c.spec = spec
+	c.stats = Stats{}
+	c.l1s = d.l1s
+	c.l2 = l2
+	c.locked = false
+	c.cancel = nil
+	c.heedCancel = false
+	c.shard = nil
+	c.wdBudget = d.watchdogBudget()
+
+	// Constant bank 0: launch configuration (grid and block dimensions),
+	// as the backend compiler expects (see internal/ptx lowering).
+	c.bank0 = [32]byte{}
+	putU32(c.bank0[0:], uint32(spec.Grid.X))
+	putU32(c.bank0[4:], uint32(spec.Grid.Y))
+	putU32(c.bank0[8:], uint32(spec.Grid.Z))
+	putU32(c.bank0[12:], uint32(spec.Block.X))
+	putU32(c.bank0[16:], uint32(spec.Block.Y))
+	putU32(c.bank0[20:], uint32(spec.Block.Z))
+	c.banks = [8][]byte{0: c.bank0[:], 1: spec.Params}
+
+	if cap(c.shared) >= spec.SharedBytes {
+		c.shared = c.shared[:spec.SharedBytes]
+	} else {
+		c.shared = make([]byte, spec.SharedBytes)
+	}
+
 	warpsPerCTA := (spec.Block.Count() + WarpSize - 1) / WarpSize
-	c := &execContext{
-		dev:      d,
-		spec:     spec,
-		banks:    [8][]byte{0: bank0, 1: spec.Params},
-		shared:   make([]byte, spec.SharedBytes),
-		warps:    make([]*warp, warpsPerCTA),
-		l1s:      d.l1s,
-		l2:       l2,
-		wdBudget: d.watchdogBudget(),
+	if cap(c.warps) >= warpsPerCTA {
+		c.warps = c.warps[:warpsPerCTA]
+	} else {
+		c.warps = make([]*warp, warpsPerCTA)
 	}
 	for i := range c.warps {
 		if n := len(d.warpFree); n > 0 {
@@ -276,13 +423,23 @@ func (d *Device) newExecContext(spec LaunchSpec, bank0 []byte, l2 *cache) *execC
 	return c
 }
 
-// releaseContext returns a context's warps to the device pool for the next
-// launch. As on hardware, register and local-memory contents are undefined
-// at CTA start, so recycled slabs are handed back as-is (warp.reset clears
-// the architectural state that must be fresh).
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+// releaseContext returns a context's warps to the device pool and the
+// context itself to the context pool for the next launch. As on hardware,
+// register and local-memory contents are undefined at CTA start, so recycled
+// slabs are handed back as-is (warp.reset clears the architectural state
+// that must be fresh).
 func (d *Device) releaseContext(c *execContext) {
 	d.warpFree = append(d.warpFree, c.warps...)
-	c.warps = nil
+	c.warps = c.warps[:0]
+	c.banks[1] = nil
+	c.spec.Params = nil
+	c.l2 = nil
+	c.shard = nil
+	d.ctxFree = append(d.ctxFree, c)
 }
 
 func (c *execContext) runCTA(ctaLinear, sm int) (uint64, error) {

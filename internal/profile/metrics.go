@@ -1,0 +1,98 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// KernelMetrics aggregates every launch of one kernel into the per-kernel
+// overhead shape of the paper's Figures 7–8: how often it ran, how much work
+// it did, and how instrumented wall time compares to uninstrumented.
+type KernelMetrics struct {
+	Name string
+
+	Launches             uint64
+	InstrumentedLaunches uint64
+	Faults               uint64
+
+	WarpInstrs   uint64
+	ThreadInstrs uint64
+	Cycles       uint64
+
+	// Wall time split by resident code version, so Slowdown can mirror
+	// Figure 8's instrumented-vs-native ratio when both versions ran.
+	WallNative       time.Duration
+	WallInstrumented time.Duration
+}
+
+// Slowdown returns the ratio of mean instrumented to mean native launch
+// wall time, or 0 when either version never ran.
+func (m KernelMetrics) Slowdown() float64 {
+	nNat := m.Launches - m.InstrumentedLaunches
+	if nNat == 0 || m.InstrumentedLaunches == 0 || m.WallNative == 0 {
+		return 0
+	}
+	meanNat := float64(m.WallNative) / float64(nNat)
+	meanIns := float64(m.WallInstrumented) / float64(m.InstrumentedLaunches)
+	return meanIns / meanNat
+}
+
+// aggregate folds one kernel record into the per-kernel table. Caller holds
+// c.mu.
+func (c *Collector) aggregate(r Record) {
+	m := c.agg[r.Name]
+	if m == nil {
+		m = &KernelMetrics{Name: r.Name}
+		c.agg[r.Name] = m
+	}
+	m.Launches++
+	if r.Instrumented {
+		m.InstrumentedLaunches++
+		m.WallInstrumented += r.Dur
+	} else {
+		m.WallNative += r.Dur
+	}
+	if r.Fault != "" {
+		m.Faults++
+	}
+	m.WarpInstrs += r.WarpInstrs
+	m.ThreadInstrs += r.ThreadInstrs
+	m.Cycles += r.Cycles
+}
+
+// Metrics returns the per-kernel aggregate table, sorted by descending warp
+// instructions (busiest kernels first), name-ordered among ties.
+func (c *Collector) Metrics() []KernelMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]KernelMetrics, 0, len(c.agg))
+	for _, m := range c.agg {
+		out = append(out, *m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].WarpInstrs != out[j].WarpInstrs {
+			return out[i].WarpInstrs > out[j].WarpInstrs
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// FormatMetrics renders the per-kernel metrics table as aligned text.
+func FormatMetrics(ms []KernelMetrics) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %8s %6s %6s %14s %14s %12s %9s\n",
+		"kernel", "launches", "instr", "faults", "warp-instrs", "thread-instrs", "cycles", "slowdown")
+	for _, m := range ms {
+		slow := "-"
+		if s := m.Slowdown(); s > 0 {
+			slow = fmt.Sprintf("%.2fx", s)
+		}
+		fmt.Fprintf(&b, "%-28s %8d %6d %6d %14d %14d %12d %9s\n",
+			m.Name, m.Launches, m.InstrumentedLaunches, m.Faults,
+			m.WarpInstrs, m.ThreadInstrs, m.Cycles, slow)
+	}
+	return b.String()
+}

@@ -195,11 +195,11 @@ func (t *Tool) AtCUDACall(n *nvbit.NVBit, exit bool, cbid nvbit.CBID, name strin
 			flags |= FlagWide
 		}
 		n.InsertCallArgs(i, "cachesim_rec", nvbit.IPointBefore,
-			nvbit.ArgGuardPred(),
-			nvbit.ArgRegVal64(int(mref.Base)),
-			nvbit.ArgImm32(uint32(mref.Offset)),
-			nvbit.ArgImm32(flags),
-			nvbit.ArgImm64(t.ctrl))
+			nvbit.ArgSitePred(),
+			nvbit.ArgReg64(int(mref.Base)),
+			nvbit.ArgConst32(uint32(mref.Offset)),
+			nvbit.ArgConst32(flags),
+			nvbit.ArgConst64(t.ctrl))
 	}
 }
 

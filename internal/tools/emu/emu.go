@@ -139,8 +139,8 @@ func Apply(n *nvbit.NVBit, f *nvbit.Function) (int, error) {
 		}
 		raw := i.Raw()
 		n.InsertCallArgs(i, "wfft32emu", nvbit.IPointBefore,
-			nvbit.ArgImm32(uint32(raw.Dst)),
-			nvbit.ArgImm32(uint32(raw.Src1)))
+			nvbit.ArgConst32(uint32(raw.Dst)),
+			nvbit.ArgConst32(uint32(raw.Src1)))
 		n.RemoveOrig(i)
 		sites++
 	}

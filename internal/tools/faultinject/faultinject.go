@@ -101,9 +101,9 @@ func (t *Tool) AtCUDACall(n *nvbit.NVBit, exit bool, cbid nvbit.CBID, name strin
 		}
 		if k == t.Site.InstIdx {
 			n.InsertCallArgs(i, "flip_bit", nvbit.IPointAfter,
-				nvbit.ArgImm32(uint32(t.Site.Lane)),
-				nvbit.ArgImm32(uint32(reg)),
-				nvbit.ArgImm32(uint32(1)<<t.Site.Bit))
+				nvbit.ArgConst32(uint32(t.Site.Lane)),
+				nvbit.ArgConst32(uint32(reg)),
+				nvbit.ArgConst32(uint32(1)<<t.Site.Bit))
 			t.Injected = true
 			t.Description = fmt.Sprintf("%s word %d (%s): flip bit %d of %v in lane %d",
 				f.Name, i.Idx(), i.GetOpcode(), t.Site.Bit, reg, t.Site.Lane)

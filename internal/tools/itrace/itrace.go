@@ -160,10 +160,10 @@ func (t *Tool) AtCUDACall(n *nvbit.NVBit, exit bool, cbid nvbit.CBID, name strin
 	}
 	for _, i := range insts {
 		n.InsertCallArgs(i, "itrace_rec", nvbit.IPointBefore,
-			nvbit.ArgGuardPred(),
-			nvbit.ArgImm32(kid),
-			nvbit.ArgImm32(uint32(i.Idx())),
-			nvbit.ArgImm64(t.ctrl))
+			nvbit.ArgSitePred(),
+			nvbit.ArgConst32(kid),
+			nvbit.ArgConst32(uint32(i.Idx())),
+			nvbit.ArgConst64(t.ctrl))
 	}
 }
 

@@ -225,11 +225,11 @@ func (t *Tool) AtCUDACall(n *nvbit.NVBit, exit bool, cbid nvbit.CBID, name strin
 			isStore: i.IsStore(),
 		})
 		n.InsertCallArgs(i, "memcheck_rec", nvbit.IPointBefore,
-			nvbit.ArgGuardPred(),
-			nvbit.ArgRegVal64(int(mref.Base)),
-			nvbit.ArgImm32(uint32(mref.Offset)),
-			nvbit.ArgImm32(id),
-			nvbit.ArgImm64(t.ctrl))
+			nvbit.ArgSitePred(),
+			nvbit.ArgReg64(int(mref.Base)),
+			nvbit.ArgConst32(uint32(mref.Offset)),
+			nvbit.ArgConst32(id),
+			nvbit.ArgConst64(t.ctrl))
 	}
 }
 

@@ -115,10 +115,10 @@ func (t *Tool) AtCUDACall(n *nvbit.NVBit, exit bool, cbid nvbit.CBID, name strin
 			continue
 		}
 		n.InsertCallArgs(i, "memdiv_ifunc", nvbit.IPointBefore,
-			nvbit.ArgGuardPred(),
-			nvbit.ArgRegVal64(int(mref.Base)),
-			nvbit.ArgImm32(uint32(mref.Offset)),
-			nvbit.ArgImm64(t.ctrs))
+			nvbit.ArgSitePred(),
+			nvbit.ArgReg64(int(mref.Base)),
+			nvbit.ArgConst32(uint32(mref.Offset)),
+			nvbit.ArgConst64(t.ctrs))
 	}
 }
 

@@ -104,8 +104,8 @@ func (t *Tool) AtCUDACall(n *nvbit.NVBit, exit bool, cbid nvbit.CBID, name strin
 		}
 		for _, i := range insts {
 			n.InsertCallArgs(i, "ophisto_tally", nvbit.IPointBefore,
-				nvbit.ArgImm64(t.basecell),
-				nvbit.ArgImm32(uint32(i.Op())*8))
+				nvbit.ArgConst64(t.basecell),
+				nvbit.ArgConst32(uint32(i.Op())*8))
 		}
 	}
 

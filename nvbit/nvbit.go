@@ -16,6 +16,7 @@ import (
 	"nvbitgo/internal/core"
 	"nvbitgo/internal/driver"
 	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/profile"
 	"nvbitgo/internal/sass"
 )
 
@@ -37,6 +38,71 @@ type (
 	JITStats = core.JITStats
 	// HAL is the hardware abstraction layer view.
 	HAL = core.HAL
+	// Option configures an Attach call (WithScheduler, WithWatchdogInterval,
+	// WithTracing).
+	Option = core.Option
+	// LaunchDim selects one launch-configuration dimension for ArgLaunchDim.
+	LaunchDim = core.LaunchDim
+)
+
+// Activity tracing and metrics (docs/observability.md): with
+// WithTracing the framework records a CUPTI-style activity timeline —
+// module loads with their JIT-phase children, memory traffic, kernel
+// launches with per-SM spans, tool-callback time — retrievable through
+// NVBit.Profiler.
+type (
+	// Profiler collects typed activity records into a bounded ring.
+	Profiler = profile.Collector
+	// Record is one typed activity record.
+	Record = profile.Record
+	// RecordKind classifies an activity record.
+	RecordKind = profile.Kind
+	// KernelMetrics is one kernel's aggregated launch metrics (the
+	// per-kernel table behind the paper's Figures 7–8).
+	KernelMetrics = profile.KernelMetrics
+	// ChromeTrace is the chrome://tracing JSON document form of a record
+	// timeline.
+	ChromeTrace = profile.ChromeTrace
+)
+
+// Activity record kinds.
+const (
+	KindCtxCreate    = profile.KindCtxCreate
+	KindModuleLoad   = profile.KindModuleLoad
+	KindJITPhase     = profile.KindJITPhase
+	KindMemAlloc     = profile.KindMemAlloc
+	KindMemFree      = profile.KindMemFree
+	KindMemcpyH2D    = profile.KindMemcpyH2D
+	KindMemcpyD2H    = profile.KindMemcpyD2H
+	KindKernel       = profile.KindKernel
+	KindSMSpan       = profile.KindSMSpan
+	KindToolCallback = profile.KindToolCallback
+)
+
+// Attach options.
+var (
+	// WithScheduler selects the CTA-to-SM execution backend.
+	WithScheduler = core.WithScheduler
+	// WithWatchdogInterval sets the launch watchdog's per-CTA budget.
+	WithWatchdogInterval = core.WithWatchdogInterval
+	// WithTracing attaches an activity collector (0 = default capacity).
+	WithTracing = core.WithTracing
+)
+
+// Trace export helpers.
+var (
+	// ToChromeTrace converts records to the chrome://tracing document form.
+	ToChromeTrace = profile.ToChromeTrace
+	// WriteChromeTrace writes records as chrome://tracing-loadable JSON.
+	WriteChromeTrace = profile.WriteChromeTrace
+	// FormatMetrics renders a per-kernel metrics table as aligned text.
+	FormatMetrics = profile.FormatMetrics
+)
+
+// Scheduler kinds (WithScheduler).
+const (
+	SchedulerSequential = gpu.SchedulerSequential
+	SchedulerParallelSM = gpu.SchedulerParallelSM
 )
 
 // Driver-facing types a tool sees in callbacks.
@@ -139,16 +205,51 @@ const (
 )
 
 // Attach injects a tool into an application's driver instance and fires its
-// AtInit callback. Only one tool can be attached per driver.
-func Attach(api *driver.API, tool Tool) (*NVBit, error) { return core.Attach(api, tool) }
+// AtInit callback. Only one tool can be attached per driver. Options
+// configure the attachment (WithScheduler, WithWatchdogInterval,
+// WithTracing) and are applied before AtInit runs.
+func Attach(api *driver.API, tool Tool, opts ...Option) (*NVBit, error) {
+	return core.Attach(api, tool, opts...)
+}
 
-// Argument constructors (nvbit_add_call_arg variants).
+// Argument constructors (nvbit_add_call_arg variants); see docs/tools.md for
+// the full mapping.
 var (
-	ArgRegVal    = core.ArgRegVal
-	ArgRegVal64  = core.ArgRegVal64
-	ArgImm32     = core.ArgImm32
-	ArgImm64     = core.ArgImm64
-	ArgCBank     = core.ArgCBank
-	ArgPredVal   = core.ArgPredVal
-	ArgGuardPred = core.ArgGuardPred
+	ArgReg       = core.ArgReg
+	ArgReg64     = core.ArgReg64
+	ArgConst32   = core.ArgConst32
+	ArgConst64   = core.ArgConst64
+	ArgConstBank = core.ArgConstBank
+	ArgPred      = core.ArgPred
+	ArgSitePred  = core.ArgSitePred
+	ArgMRefAddr  = core.ArgMRefAddr
+	ArgLaunchDim = core.ArgLaunchDim
+)
+
+// Launch-configuration dimensions for ArgLaunchDim.
+const (
+	GridDimX  = core.GridDimX
+	GridDimY  = core.GridDimY
+	GridDimZ  = core.GridDimZ
+	BlockDimX = core.BlockDimX
+	BlockDimY = core.BlockDimY
+	BlockDimZ = core.BlockDimZ
+)
+
+// Deprecated argument-constructor aliases (pre-unification names).
+var (
+	// Deprecated: use ArgReg.
+	ArgRegVal = core.ArgReg
+	// Deprecated: use ArgReg64.
+	ArgRegVal64 = core.ArgReg64
+	// Deprecated: use ArgConst32.
+	ArgImm32 = core.ArgConst32
+	// Deprecated: use ArgConst64.
+	ArgImm64 = core.ArgConst64
+	// Deprecated: use ArgConstBank.
+	ArgCBank = core.ArgConstBank
+	// Deprecated: use ArgPred.
+	ArgPredVal = core.ArgPred
+	// Deprecated: use ArgSitePred.
+	ArgGuardPred = core.ArgSitePred
 )
