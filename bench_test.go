@@ -21,6 +21,7 @@ import (
 	"nvbitgo/internal/sass"
 	"nvbitgo/internal/tools/instrcount"
 	"nvbitgo/internal/tools/memdiv"
+	"nvbitgo/internal/tools/memtrace"
 	"nvbitgo/internal/tools/ophisto"
 	"nvbitgo/internal/workloads/mlsuite"
 	"nvbitgo/internal/workloads/specaccel"
@@ -473,4 +474,41 @@ func BenchmarkToolOverheads(b *testing.B) {
 	b.Run("instrcount", func(b *testing.B) { run(b, func() nvbit.Tool { return instrcount.New() }) })
 	b.Run("memdiv", func(b *testing.B) { run(b, func() nvbit.Tool { return memdiv.New() }) })
 	b.Run("ophisto", func(b *testing.B) { run(b, func() nvbit.Tool { return ophisto.New(false) }) })
+}
+
+// BenchmarkChannelThroughput measures the streaming-channel subsystem
+// end-to-end — warp-aggregated device-side reservation, mid-kernel flushes,
+// async receipt — through its heaviest client (memtrace, 280-byte records
+// with all 32 lane addresses) on AlexNet. The channel is sized well below
+// the trace length so every run exercises buffer recycling; the Drop/Block
+// pair prices the backpressure guarantee.
+func BenchmarkChannelThroughput(b *testing.B) {
+	net := mlsuite.Networks()[0] // AlexNet
+	run := func(b *testing.B, policy nvbit.ChannelPolicy) {
+		b.ReportAllocs()
+		var delivered, dropped uint64
+		for i := 0; i < b.N; i++ {
+			api, err := gpusim.New(gpusim.Volta)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tool := memtrace.New(4096)
+			tool.Policy = policy
+			tool.Keep = false
+			if _, err := nvbit.Attach(api, tool, nvbit.WithScheduler(gpusim.SchedulerParallelSM)); err != nil {
+				b.Fatal(err)
+			}
+			ctx, _ := api.CtxCreate()
+			if _, err := mlsuite.Run(ctx, nil, net); err != nil {
+				b.Fatal(err)
+			}
+			st := tool.Stats()
+			delivered += st.Delivered
+			dropped += st.Dropped
+		}
+		b.ReportMetric(float64(delivered)/b.Elapsed().Seconds(), "records/s")
+		b.ReportMetric(float64(dropped)/float64(b.N), "dropped/op")
+	}
+	b.Run("drop", func(b *testing.B) { run(b, nvbit.ChannelDrop) })
+	b.Run("block", func(b *testing.B) { run(b, nvbit.ChannelBlock) })
 }

@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -33,6 +34,7 @@ import (
 	"nvbitgo/internal/tools/itrace"
 	"nvbitgo/internal/tools/memcheck"
 	"nvbitgo/internal/tools/memdiv"
+	"nvbitgo/internal/tools/memtrace"
 	"nvbitgo/internal/tools/ophisto"
 	"nvbitgo/internal/workloads/mlsuite"
 	"nvbitgo/internal/workloads/specaccel"
@@ -52,7 +54,9 @@ func main() {
 	// with status 2 on a bad flag, which would collide with the
 	// tool-violation code; usage errors exit 64 instead (EX_USAGE).
 	fs := flag.NewFlagSet("nvbit-run", flag.ContinueOnError)
-	toolName := fs.String("tool", os.Getenv("NVBIT_TOOL"), "tool: none, instrcount, instrcount-bb, memdiv, ophisto, opcode_hist, ophisto-sampled, cachesim, itrace, memcheck")
+	toolName := fs.String("tool", os.Getenv("NVBIT_TOOL"), "tool: none, instrcount, instrcount-bb, memdiv, ophisto, opcode_hist, ophisto-sampled, cachesim, itrace, memtrace, memcheck")
+	outPath := fs.String("out", "", "write tool reports to this file instead of stdout")
+	backpressure := fs.String("backpressure", "drop", "channel tools (cachesim, itrace, memtrace): drop or block when buffers fill")
 	traceOut := fs.String("trace-out", "", "itrace: write the collected warp trace to this file")
 	traceJSON := fs.String("trace", "", "write a chrome://tracing activity timeline (JSON) to this file")
 	metrics := fs.Bool("metrics", false, "print the per-kernel metrics table after the run")
@@ -64,6 +68,10 @@ func main() {
 		fmt.Fprintln(fs.Output(), "usage: nvbit-run [flags]")
 		fs.PrintDefaults()
 		fmt.Fprintln(fs.Output(), `
+output:
+  tool reports go to stdout by default; -out <file> redirects them (the
+  workload/JIT summary lines stay on stdout, diagnostics on stderr)
+
 exit codes:
   0   workload completed, no tool violations
   1   workload failed (launch fault, driver error, I/O failure)
@@ -104,6 +112,24 @@ exit codes:
 	if err != nil {
 		usage(err)
 	}
+	policy, ok := map[string]nvbit.ChannelPolicy{
+		"drop": nvbit.ChannelDrop, "block": nvbit.ChannelBlock,
+	}[*backpressure]
+	if !ok {
+		usage(fmt.Errorf("unknown backpressure policy %q (want drop or block)", *backpressure))
+	}
+
+	// Tool reports go to -out when given; everything else stays on stdout.
+	var reportW io.Writer = os.Stdout
+	var outFile *os.File
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fail(err)
+		}
+		outFile = f
+		reportW = f
+	}
 	api, err := driver.New(gpu.DefaultConfig(fam))
 	if err != nil {
 		fail(err)
@@ -113,42 +139,45 @@ exit codes:
 	// Inject the selected tool (at most one library can be injected).
 	var tool nvbit.Tool
 	violations := false
-	var report func(nv *nvbit.NVBit)
+	var report func(w io.Writer, nv *nvbit.NVBit)
 	switch *toolName {
 	case "", "none":
 	case "instrcount", "instrcount-bb":
 		t := instrcount.New()
 		t.PerBasicBlock = *toolName == "instrcount-bb"
 		tool = t
-		report = func(nv *nvbit.NVBit) {
-			fmt.Printf("thread-level instructions: app %d, libraries %d (%.1f%% in libraries)\n",
+		report = func(w io.Writer, nv *nvbit.NVBit) {
+			fmt.Fprintf(w, "thread-level instructions: app %d, libraries %d (%.1f%% in libraries)\n",
 				t.AppInstrs(nv), t.LibInstrs(nv), 100*t.LibraryFraction(nv))
 		}
 	case "memdiv":
 		t := memdiv.New()
 		tool = t
-		report = func(nv *nvbit.NVBit) {
-			fmt.Printf("average cache lines requested per memory instruction %f\n",
+		report = func(w io.Writer, nv *nvbit.NVBit) {
+			fmt.Fprintf(w, "average cache lines requested per memory instruction %f\n",
 				t.AvgLinesPerMemInstr(nv))
 		}
 	case "cachesim":
-		t := cachesim.New(cachesim.DefaultConfig())
+		cfg := cachesim.DefaultConfig()
+		cfg.Policy = policy
+		t := cachesim.New(cfg)
 		tool = t
-		report = func(nv *nvbit.NVBit) {
+		report = func(w io.Writer, nv *nvbit.NVBit) {
 			st := t.Stats()
-			fmt.Printf("cache replay: %d accesses, L1 %.1f%% hit, L2 %d hits / %d misses, %d dropped\n",
+			fmt.Fprintf(w, "cache replay: %d accesses, L1 %.1f%% hit, L2 %d hits / %d misses, %d dropped\n",
 				st.Accesses, 100*st.L1HitRate(), st.L2Hits, st.L2Misses, st.Dropped)
 		}
 	case "itrace":
 		t := itrace.New(1 << 20)
+		t.Policy = policy
 		tool = t
-		report = func(nv *nvbit.NVBit) {
+		report = func(w io.Writer, nv *nvbit.NVBit) {
 			kernels := map[uint32]bool{}
 			for _, r := range t.Records {
 				kernels[r.KernelID] = true
 			}
-			fmt.Printf("trace: %d warp-level records across %d kernels, %d dropped\n",
-				len(t.Records), len(kernels), t.Dropped)
+			fmt.Fprintf(w, "trace: %d warp-level records across %d kernels, %d dropped\n",
+				len(t.Records), len(kernels), t.Dropped())
 			if *traceOut != "" {
 				f, err := os.Create(*traceOut)
 				if err != nil {
@@ -160,14 +189,35 @@ exit codes:
 				if err := f.Close(); err != nil {
 					fail(err)
 				}
-				fmt.Printf("trace written to %s\n", *traceOut)
+				fmt.Fprintf(w, "trace written to %s\n", *traceOut)
 			}
+		}
+	case "memtrace":
+		// 280-byte records are double-buffered per SM: 64K aggregate slots
+		// cost ~36 MB of device memory and mid-kernel flushes recycle them.
+		t := memtrace.New(1 << 16)
+		t.Policy = policy
+		tool = t
+		report = func(w io.Writer, nv *nvbit.NVBit) {
+			kernels := map[uint32]bool{}
+			var lanes uint64
+			for _, r := range t.Records {
+				kernels[r.KernelID] = true
+				for m := r.ExecMask; m != 0; m &= m - 1 {
+					lanes++
+				}
+			}
+			st := t.Stats()
+			fmt.Fprintf(w, "memtrace: %d warp-level accesses (%d lane addresses) across %d kernels, %d dropped\n",
+				len(t.Records), lanes, len(kernels), st.Dropped)
+			fmt.Fprintf(w, "memtrace channel: %d flushes (%d sweep, %d cta, %d drain), %d bytes shipped\n",
+				st.Flushes, st.TickFlushes, st.CTAFlushes, st.DrainFlushes, st.BytesShipped)
 		}
 	case "memcheck":
 		t := memcheck.New(1 << 20)
 		tool = t
-		report = func(nv *nvbit.NVBit) {
-			t.Report(os.Stdout)
+		report = func(w io.Writer, nv *nvbit.NVBit) {
+			t.Report(w)
 			if t.TotalViolations > 0 {
 				violations = true
 			}
@@ -175,10 +225,10 @@ exit codes:
 	case "ophisto", "opcode_hist", "ophisto-sampled":
 		t := ophisto.New(*toolName == "ophisto-sampled")
 		tool = t
-		report = func(nv *nvbit.NVBit) {
-			fmt.Println("top-5 executed instructions:")
+		report = func(w io.Writer, nv *nvbit.NVBit) {
+			fmt.Fprintln(w, "top-5 executed instructions:")
 			for _, e := range t.Top(nv, 5) {
-				fmt.Printf("  %-8s %12d\n", e.Opcode, e.Count)
+				fmt.Fprintf(w, "  %-8s %12d\n", e.Opcode, e.Count)
 			}
 		}
 	default:
@@ -246,7 +296,12 @@ exit codes:
 	fmt.Printf("workload %s: %d launches, %d warp instructions, %d cycles, %.2fs wall\n",
 		*workload, st.Launches, st.WarpInstrs, st.Cycles, elapsed.Seconds())
 	if report != nil {
-		report(nv)
+		report(reportW, nv)
+	}
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			fail(err)
+		}
 	}
 	if nv != nil {
 		js := nv.JITStats()

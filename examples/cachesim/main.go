@@ -2,9 +2,9 @@
 // the paper's introduction motivates (CMP$im-style simulators built on
 // binary instrumentation). The tool records every global memory access of an
 // ML workload — including those issued inside the binary-only accelerated
-// library — into a device-resident ring buffer and replays the trace through
-// configurable cache models, letting an architect sweep cache geometries
-// without re-running the application.
+// library — into a device→host streaming channel and replays the trace
+// through configurable cache models, letting an architect sweep cache
+// geometries without re-running the application.
 //
 //	go run ./examples/cachesim
 package main

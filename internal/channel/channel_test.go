@@ -1,0 +1,230 @@
+package channel
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/sass"
+)
+
+func testDevice(t *testing.T) *gpu.Device {
+	t.Helper()
+	dev, err := gpu.New(gpu.DefaultConfig(sass.Volta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+func TestOpenValidatesConfig(t *testing.T) {
+	dev := testDevice(t)
+	for _, bad := range []Config{
+		{RecordBytes: 0},
+		{RecordBytes: -8},
+		{RecordBytes: 12}, // not a multiple of 8
+	} {
+		if _, err := Open(dev, bad); err == nil {
+			t.Fatalf("config %+v accepted", bad)
+		}
+	}
+}
+
+func TestCapacitySizing(t *testing.T) {
+	dev := testDevice(t)
+	nSMs := dev.Config().NumSMs
+
+	// TotalRecords splits across shards; tiny totals clamp to MinBufRecords.
+	c, err := Open(dev, Config{RecordBytes: 8, TotalRecords: 64 * nSMs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Config().BufRecords; got != 64 {
+		t.Fatalf("BufRecords = %d, want 64", got)
+	}
+	c.Close()
+
+	c, err = Open(dev, Config{RecordBytes: 8, TotalRecords: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Config().BufRecords; got != MinBufRecords {
+		t.Fatalf("BufRecords = %d, want the %d-record clamp", got, MinBufRecords)
+	}
+	c.Close()
+
+	// Explicit BufRecords wins over TotalRecords.
+	c, err = Open(dev, Config{RecordBytes: 8, BufRecords: 100, TotalRecords: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Config().BufRecords; got != 100 {
+		t.Fatalf("BufRecords = %d, want 100", got)
+	}
+	c.Close()
+}
+
+// TestDrainDeliversAscendingSM fills several shards by writing the device
+// memory directly (the host-side protocol doesn't care who the producer is)
+// and checks Drain hands OnBatch the shards in ascending-SM order with exact
+// record accounting.
+func TestDrainDeliversAscendingSM(t *testing.T) {
+	dev := testDevice(t)
+	var got []uint64
+	c, err := Open(dev, Config{
+		RecordBytes: 8,
+		BufRecords:  MinBufRecords,
+		OnBatch: func(data []byte) {
+			for off := 0; off+8 <= len(data); off += 8 {
+				got = append(got, binary.LittleEndian.Uint64(data[off:]))
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Populate shards 5, 2 and 0 (deliberately out of order) with two
+	// records each, tagged by SM, and mark them claimed+committed.
+	var scratch [8]byte
+	for _, sm := range []int{5, 2, 0} {
+		ctrl := c.CtrlAddr() + uint64(sm)*ctrlBytes
+		buf := make([]byte, ctrlBytes)
+		if err := dev.Read(ctrl, buf); err != nil {
+			t.Fatal(err)
+		}
+		bufAddr := binary.LittleEndian.Uint64(buf[offBuf:])
+		for i := 0; i < 2; i++ {
+			binary.LittleEndian.PutUint64(scratch[:], uint64(sm)*100+uint64(i))
+			if err := dev.Write(bufAddr+uint64(i)*8, scratch[:]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		binary.LittleEndian.PutUint64(buf[offHead:], 2)
+		binary.LittleEndian.PutUint64(buf[offCommit:], 2)
+		if err := dev.Write(ctrl, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c.Drain()
+	want := []uint64{0, 1, 200, 201, 500, 501}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivered %v, want ascending-SM order %v", got, want)
+		}
+	}
+	st := c.Stats()
+	if st.Delivered != 6 || st.DrainFlushes != 3 || st.Dropped != 0 {
+		t.Fatalf("stats %+v, want 6 delivered over 3 drain flushes", st)
+	}
+	if st.BytesShipped != 48 {
+		t.Fatalf("bytes shipped %d, want 48", st.BytesShipped)
+	}
+
+	// A second drain with nothing new delivers nothing.
+	got = got[:0]
+	c.Drain()
+	if len(got) != 0 {
+		t.Fatalf("idle drain delivered %v", got)
+	}
+}
+
+// TestMidKernelGateRequiresQuiescence drives the flush decision table
+// directly: a partially committed buffer must not ship mid-kernel, a full
+// quiescent one must.
+func TestMidKernelGateRequiresQuiescence(t *testing.T) {
+	dev := testDevice(t)
+	batches := 0
+	c, err := Open(dev, Config{
+		RecordBytes: 8,
+		BufRecords:  MinBufRecords,
+		OnBatch:     func([]byte) { batches++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctrl := c.CtrlAddr()
+	set := func(head, failed, commit uint64) {
+		buf := make([]byte, ctrlBytes)
+		if err := dev.Read(ctrl, buf); err != nil {
+			t.Fatal(err)
+		}
+		binary.LittleEndian.PutUint64(buf[offHead:], head)
+		binary.LittleEndian.PutUint64(buf[offFailed:], failed)
+		binary.LittleEndian.PutUint64(buf[offCommit:], commit)
+		if err := dev.Write(ctrl, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flushes := func() uint64 { return c.Stats().Flushes }
+
+	// Not full: no mid-kernel ship even though quiescent.
+	set(2, 0, 2)
+	c.flushShard(0, gpu.FlushTick, false)
+	if flushes() != 0 {
+		t.Fatal("partially full buffer shipped mid-kernel")
+	}
+	// Full but a claim is uncommitted (a warp is mid-push): must skip.
+	set(MinBufRecords, 0, MinBufRecords-1)
+	c.flushShard(0, gpu.FlushTick, false)
+	if flushes() != 0 {
+		t.Fatal("non-quiescent buffer shipped mid-kernel")
+	}
+	// Full and quiescent: ships.
+	set(MinBufRecords, 0, MinBufRecords)
+	c.flushShard(0, gpu.FlushTick, false)
+	if flushes() != 1 {
+		t.Fatal("full quiescent buffer did not ship")
+	}
+	// Wedged (failed claim) and quiescent: ships the successful prefix and
+	// counts the loss under Drop.
+	set(MinBufRecords+4, 4, MinBufRecords)
+	c.flushShard(0, gpu.FlushTick, false)
+	st := c.Stats()
+	if st.Flushes != 2 || st.Dropped != 4 {
+		t.Fatalf("stats %+v, want a second flush with 4 dropped", st)
+	}
+}
+
+func TestReservePTXValidation(t *testing.T) {
+	base := ReserveSpec{CtrlParam: "ctrl", PushPred: "%p1", RecAddr: "%rd1",
+		SkipLabel: "skip", RecordBytes: 16, R: 4, RD: 2, P: 3}
+	if _, err := base.ReservePTX(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*ReserveSpec){
+		"no ctrl":      func(s *ReserveSpec) { s.CtrlParam = "" },
+		"no pred":      func(s *ReserveSpec) { s.PushPred = "" },
+		"no recaddr":   func(s *ReserveSpec) { s.RecAddr = "" },
+		"bad stride":   func(s *ReserveSpec) { s.RecordBytes = 10 },
+		"drop no skip": func(s *ReserveSpec) { s.SkipLabel = "" },
+	} {
+		s := base
+		mutate(&s)
+		if _, err := s.ReservePTX(); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+	// Block needs no SkipLabel but must emit the load-only wait loop.
+	s := base
+	s.SkipLabel = ""
+	s.Policy = Block
+	frag, err := s.ReservePTX()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(frag, "nvch_wait") {
+		t.Fatal("Block fragment lacks the wait loop")
+	}
+	if strings.Contains(strings.SplitN(frag, "nvch_wait", 2)[1], "atom.") {
+		t.Fatal("Block wait path must stay load-only (quiescence)")
+	}
+}

@@ -1,0 +1,177 @@
+package channel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file generates the device-side half of the channel protocol: a PTX
+// fragment a tool embeds in its injected function to claim record slots in
+// the %smid-selected shard, and the matching commit fragment. It is the
+// common core that itrace, cachesim and memtrace previously each hand-rolled
+// as private ring-buffer code.
+//
+// The reservation is warp-aggregated (the CUDA warp-aggregated-atomics
+// idiom): the lowest pushing lane — the leader — claims popc(ballot) slots
+// with one global atomic and broadcasts the slot base with shfl, so the
+// full-buffer decision is warp-uniform and a claiming warp always proceeds
+// to write and commit. Per-lane spin loops would deadlock under the
+// simulator's min-PC scheduling: spinning lanes at a low PC would starve
+// the same warp's slot-holding lanes, whose commit the flush is waiting on.
+
+// Fragment register counts: a toolfunc embedding ReservePTX must declare at
+// least Spec.R+ReserveRegs .u32 registers, Spec.RD+ReserveRegs64 .u64
+// registers and Spec.P+ReservePreds predicates.
+const (
+	ReserveRegs   = 7 // %r scratch registers
+	ReserveRegs64 = 4 // %rd registers (two survive for CommitPTX)
+	ReservePreds  = 2 // predicates (one survives for CommitPTX)
+)
+
+// ReserveSpec parameterizes one ReservePTX/CommitPTX pair.
+//
+// Contract for the embedding toolfunc:
+//   - At least one lane reaching the fragment must have PushPred true
+//     (ret lanes that push nothing before the fragment — an empty ballot
+//     would elect no leader).
+//   - Embed at most one fragment per toolfunc: the fragment's internal
+//     labels (nvch_*) are fixed names.
+//   - Between ReservePTX and CommitPTX the tool must not write
+//     %rd{RD}, %rd{RD+1} or %p{P} — they carry the shard control address,
+//     the claimed slot count and the leader predicate into the commit.
+//   - Record stores into RecAddr must be guarded by PushPred (per-lane
+//     mode): non-pushing lanes compute a RecAddr too, but it aliases a
+//     pushing lane's slot.
+type ReserveSpec struct {
+	// CtrlParam is the name of the toolfunc's .u64 parameter holding the
+	// channel's CtrlAddr().
+	CtrlParam string
+	// PushPred is the predicate register (e.g. "%p2") selecting the lanes
+	// that push one record each. Under SharedSlot it selects the single
+	// lane (per warp) that claims the shared record.
+	PushPred string
+	// RecAddr is the .u64 register that receives each pushing lane's
+	// record address. Under SharedSlot every lane receives the claimed
+	// record's address (lanes cooperate to fill one record).
+	RecAddr string
+	// SkipLabel is where the warp branches when a Drop-policy claim fails;
+	// place it after the record stores and CommitPTX (CommitPTX is safe to
+	// skip — nothing was claimed). Required for Drop, unused for Block.
+	SkipLabel string
+	// SharedSlot selects one-record-per-warp mode: the warp claims
+	// popc(PushPred ballot) slots but every lane's RecAddr is the slot
+	// base, so with a single push lane the warp shares one record.
+	SharedSlot bool
+	// RecordBytes is the channel's record stride.
+	RecordBytes int
+	// Policy must match the host Config's policy: it selects the
+	// full-buffer code path (count-and-skip vs wait-and-retry).
+	Policy Policy
+	// R, RD, P are the first %r / %rd / %p register indexes the fragment
+	// may use (it uses ReserveRegs/ReserveRegs64/ReservePreds from each).
+	R, RD, P int
+}
+
+// ReservePTX returns the claim fragment. On the fall-through path every
+// pushing lane's RecAddr points at its claimed slot (the shared slot under
+// SharedSlot) in the shard's active buffer; under Drop the warp instead
+// branches to SkipLabel when the buffer is full.
+//
+// The Block-policy full path publishes the failed claim, then spins on a
+// pure-load wait loop until the host's sweep-boundary flush resets the
+// shard. The loop deliberately contains no atomics: a warp's burst can end
+// anywhere, and a warp parked inside a load-only loop is quiescent, so it
+// can never hold up the very flush it is waiting for.
+func (s ReserveSpec) ReservePTX() (string, error) {
+	if s.CtrlParam == "" || s.PushPred == "" || s.RecAddr == "" {
+		return "", fmt.Errorf("channel: ReserveSpec needs CtrlParam, PushPred and RecAddr")
+	}
+	if s.RecordBytes <= 0 || s.RecordBytes%8 != 0 {
+		return "", fmt.Errorf("channel: ReserveSpec.RecordBytes %d not a positive multiple of 8", s.RecordBytes)
+	}
+	if s.Policy == Drop && s.SkipLabel == "" {
+		return "", fmt.Errorf("channel: Drop policy needs a SkipLabel")
+	}
+	r := func(i int) string { return fmt.Sprintf("%%r%d", s.R+i) }
+	rd := func(i int) string { return fmt.Sprintf("%%rd%d", s.RD+i) }
+	p := func(i int) string { return fmt.Sprintf("%%p%d", s.P+i) }
+
+	var b strings.Builder
+	line := func(format string, args ...interface{}) {
+		fmt.Fprintf(&b, "\t"+format+"\n", args...)
+	}
+	// Shard select: ctrl + %smid*64.
+	line("ld.param.u64 %s, [%s];", rd(2), s.CtrlParam)
+	line("mov.u32 %s, %%smid;", r(0))
+	line("mov.u32 %s, %d;", r(1), ctrlBytes)
+	line("mad.wide.u32 %s, %s, %s, %s;", rd(0), r(0), r(1), rd(2))
+	// Warp aggregation: need = popc(push ballot); rank = pushing lanes
+	// below me; leader = lowest pushing lane.
+	line("vote.ballot.b32 %s, %s;", r(1), s.PushPred)
+	line("popc.b32 %s, %s;", r(2), r(1))
+	line("cvt.u64.u32 %s, %s;", rd(1), r(2))
+	line("mov.u32 %s, %%laneid;", r(0))
+	line("mov.u32 %s, 1;", r(3))
+	line("shl.b32 %s, %s, %s;", r(3), r(3), r(0))
+	line("sub.u32 %s, %s, 1;", r(3), r(3))
+	line("and.b32 %s, %s, %s;", r(3), r(1), r(3))
+	line("popc.b32 %s, %s;", r(3), r(3))
+	line("not.b32 %s, %s;", r(4), r(1))
+	line("add.u32 %s, %s, 1;", r(4), r(4))
+	line("and.b32 %s, %s, %s;", r(4), r(1), r(4))
+	line("sub.u32 %s, %s, 1;", r(4), r(4))
+	line("popc.b32 %s, %s;", r(4), r(4))
+	line("mov.u32 %s, 1;", r(0))
+	line("selp.b32 %s, %s, %s, %s;", r(0), r(3), r(0), s.PushPred)
+	line("setp.eq.u32 %s, %s, 0;", p(0), r(0))
+	// Claim: leader fetch-adds need onto head; the old head is the slot
+	// base, broadcast to the warp. Base and cap stay below 2^32 (buffer
+	// epochs are reset every flush), so the full check is 32-bit.
+	fmt.Fprintf(&b, "nvch_retry:\n")
+	line("@%s atom.global.add.u64 %s, [%s], %s;", p(0), rd(2), rd(0), rd(1))
+	line("cvt.u32.u64 %s, %s;", r(5), rd(2))
+	line("shfl.idx.b32 %s, %s, %s;", r(5), r(5), r(4))
+	line("add.u32 %s, %s, %s;", r(6), r(5), r(2))
+	line("ld.global.u64 %s, [%s+%d];", rd(3), rd(0), offCap)
+	line("cvt.u32.u64 %s, %s;", r(0), rd(3))
+	line("setp.gt.u32 %s, %s, %s;", p(1), r(6), r(0))
+	line("@%s bra nvch_full;", p(1))
+	// Success: slot address in the active buffer.
+	line("ld.global.u64 %s, [%s+%d];", rd(2), rd(0), offBuf)
+	line("mov.u32 %s, %d;", r(0), s.RecordBytes)
+	if s.SharedSlot {
+		line("mad.wide.u32 %s, %s, %s, %s;", s.RecAddr, r(5), r(0), rd(2))
+	} else {
+		line("add.u32 %s, %s, %s;", r(6), r(5), r(3))
+		line("mad.wide.u32 %s, %s, %s, %s;", s.RecAddr, r(6), r(0), rd(2))
+	}
+	line("bra nvch_done;")
+	fmt.Fprintf(&b, "nvch_full:\n")
+	line("@%s red.global.add.u64 [%s+%d], %s;", p(0), rd(0), offFailed, rd(1))
+	if s.Policy == Drop {
+		line("bra %s;", s.SkipLabel)
+	} else {
+		// Wait (load-only, see above) until a flush makes room, then
+		// re-claim.
+		fmt.Fprintf(&b, "nvch_wait:\n")
+		line("ld.global.u64 %s, [%s+%d];", rd(2), rd(0), offHead)
+		line("cvt.u32.u64 %s, %s;", r(0), rd(2))
+		line("add.u32 %s, %s, %s;", r(6), r(0), r(2))
+		line("ld.global.u64 %s, [%s+%d];", rd(3), rd(0), offCap)
+		line("cvt.u32.u64 %s, %s;", r(5), rd(3))
+		line("setp.gt.u32 %s, %s, %s;", p(1), r(6), r(5))
+		line("@%s bra nvch_wait;", p(1))
+		line("bra nvch_retry;")
+	}
+	fmt.Fprintf(&b, "nvch_done:\n")
+	return b.String(), nil
+}
+
+// CommitPTX returns the publish fragment: the leader adds the warp's
+// claimed slot count to the shard's commit counter. Emit it after every
+// pushing lane's record stores have been issued; the host ships a buffer
+// only once commits cover every claim.
+func (s ReserveSpec) CommitPTX() string {
+	return fmt.Sprintf("\t@%%p%d red.global.add.u64 [%%rd%d+%d], %%rd%d;\n",
+		s.P, s.RD, offCommit, s.RD+1)
+}

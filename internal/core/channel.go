@@ -1,0 +1,13 @@
+package core
+
+import (
+	"nvbitgo/internal/channel"
+)
+
+// OpenChannel opens a device→host streaming record channel on the current
+// device (the framework-level entry point tools use from AtInit). The
+// channel registers mid-kernel flush hooks with the device, so it must be
+// opened — and later Drained/Closed — between launches.
+func (n *NVBit) OpenChannel(cfg channel.Config) (*channel.Channel, error) {
+	return channel.Open(n.api.Device(), cfg)
+}

@@ -139,9 +139,58 @@ type Device struct {
 	// record's ID. Only set while tracing is on.
 	smSpanShard *profile.Shard
 
+	// flushHooks are invoked by the scheduler at CTA-completion and
+	// warp-sweep boundaries (see FlushHook); nil when no channel is bound,
+	// which keeps the launch hot path allocation- and call-free.
+	flushHooks []*flushHookEntry
+
 	// atomLocks stripes the simulated ATOM/RED read-modify-write path by
 	// global word address so concurrent CTA workers stay race-free.
 	atomLocks [atomStripes]sync.Mutex
+}
+
+// FlushPoint identifies the scheduler boundary at which a flush hook runs.
+type FlushPoint int
+
+const (
+	// FlushTick is a warp-sweep boundary of a running CTA: the point at
+	// which every resident warp has had a bounded burst of instructions,
+	// so no warp can be mid-way through a multi-instruction record push.
+	// This is the watchdog-tick granularity — sweeps are what bound a
+	// CTA's progress against its watchdog budget.
+	FlushTick FlushPoint = iota
+	// FlushCTA is a CTA retiring on the SM: all its warps have exited.
+	FlushCTA
+)
+
+// FlushHook observes SM execution boundaries. The scheduler invokes every
+// registered hook with the SM index at each FlushTick and FlushCTA boundary,
+// on the goroutine that owns that SM (the single walking goroutine under the
+// sequential backend, SM worker i under the parallel backend) — so a hook
+// that touches only per-SM state needs no synchronization. Hooks run on the
+// launch hot path: they must be cheap and must not allocate when they have
+// nothing to do.
+type FlushHook func(sm int, point FlushPoint)
+
+type flushHookEntry struct{ fn FlushHook }
+
+// AddFlushHook registers a flush hook and returns a function that removes
+// it. Both registration and removal must happen between launches — the hook
+// slice is captured by each launch's execution contexts.
+func (d *Device) AddFlushHook(h FlushHook) (remove func()) {
+	e := &flushHookEntry{fn: h}
+	d.flushHooks = append(d.flushHooks, e)
+	return func() {
+		for i, cur := range d.flushHooks {
+			if cur == e {
+				d.flushHooks = append(d.flushHooks[:i], d.flushHooks[i+1:]...)
+				if len(d.flushHooks) == 0 {
+					d.flushHooks = nil
+				}
+				return
+			}
+		}
+	}
 }
 
 // atomStripes is the number of address-hashed locks serializing simulated

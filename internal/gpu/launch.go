@@ -348,6 +348,11 @@ type execContext struct {
 	// is off.
 	shard *profile.Shard
 
+	// flush holds the device's registered flush hooks for the duration of
+	// the launch; empty when no channel is bound (the hot path pays one
+	// length check per sweep).
+	flush []*flushHookEntry
+
 	// Watchdog: every CTA gets wdBudget warp instructions; wdLeft counts
 	// down in step. A per-CTA (not per-launch) budget keeps watchdog faults
 	// scheduler-invariant: the budget does not depend on how CTAs are
@@ -387,6 +392,7 @@ func (d *Device) newExecContext(spec LaunchSpec, l2 *cache) *execContext {
 	c.cancel = nil
 	c.heedCancel = false
 	c.shard = nil
+	c.flush = d.flushHooks
 	c.wdBudget = d.watchdogBudget()
 
 	// Constant bank 0: launch configuration (grid and block dimensions),
@@ -439,6 +445,7 @@ func (d *Device) releaseContext(c *execContext) {
 	c.spec.Params = nil
 	c.l2 = nil
 	c.shard = nil
+	c.flush = nil
 	d.ctxFree = append(d.ctxFree, c)
 }
 
@@ -472,6 +479,14 @@ func (c *execContext) runCTA(ctaLinear, sm int) (uint64, error) {
 		// while warps loop forever.
 		if c.heedCancel && c.cancel != nil && c.cancel.Load() {
 			return 0, errLaunchCanceled
+		}
+		// Sweep boundary: no warp is mid-burst, so a bound channel can
+		// swap a full record buffer to the host here — this is what turns
+		// Block-policy device spins into forward progress.
+		if len(c.flush) != 0 {
+			for _, h := range c.flush {
+				h.fn(sm, FlushTick)
+			}
 		}
 		progress := false
 		allDoneOrBarred := true
@@ -511,6 +526,11 @@ func (c *execContext) runCTA(ctaLinear, sm int) (uint64, error) {
 	for _, wp := range c.warps {
 		cycles += wp.cycles
 		wp.cycles = 0
+	}
+	if len(c.flush) != 0 {
+		for _, h := range c.flush {
+			h.fn(sm, FlushCTA)
+		}
 	}
 	return cycles, nil
 }

@@ -40,6 +40,7 @@ type ChromeArgs struct {
 	SM           int    `json:"sm,omitempty"`
 	Addr         uint64 `json:"addr,omitempty"`
 	Bytes        uint64 `json:"bytes,omitempty"`
+	Count        uint64 `json:"count,omitempty"`
 	Grid         [3]int `json:"grid,omitempty"`
 	Block        [3]int `json:"block,omitempty"`
 	CTAs         int    `json:"ctas,omitempty"`
@@ -62,6 +63,10 @@ func chromeTID(r Record) string {
 		return "gpu-sm" + itoa(r.SM)
 	case KindToolCallback:
 		return "tool"
+	case KindChannelFlush:
+		return "channel-sm" + itoa(r.SM)
+	case KindChannelDrain:
+		return "channel"
 	}
 	return "driver"
 }
@@ -95,6 +100,7 @@ func ToChromeTrace(recs []Record) ChromeTrace {
 				SM:           r.SM,
 				Addr:         r.Addr,
 				Bytes:        r.Bytes,
+				Count:        r.Count,
 				Grid:         r.Grid,
 				Block:        r.Block,
 				CTAs:         r.CTAs,

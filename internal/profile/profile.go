@@ -52,12 +52,22 @@ const (
 	// KindToolCallback is the time spent inside one tool callback
 	// invocation (the interposition overhead a tool adds).
 	KindToolCallback
+	// KindChannelFlush is one device→host streaming-channel buffer flush:
+	// a full per-SM shard shipped to the host mid-kernel (at a CTA or
+	// warp-sweep boundary) or the remainder drained at launch exit.
+	KindChannelFlush
+	// KindChannelDrain is one launch-exit channel drain — the barrier at
+	// which buffered flushes are merged in ascending-SM order and
+	// delivered to the consumer; its flush children reference it through
+	// Parent.
+	KindChannelDrain
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"ctx_create", "module_load", "jit_phase", "mem_alloc", "mem_free",
 	"memcpy_h2d", "memcpy_d2h", "kernel", "sm_span", "tool_callback",
+	"channel_flush", "channel_drain",
 }
 
 func (k Kind) String() string {
@@ -86,6 +96,7 @@ type Record struct {
 	SM    int    // SM index for KindSMSpan, -1 otherwise
 	Addr  uint64 // device address for memory records
 	Bytes uint64 // size for memory records, code bytes for module loads
+	Count uint64 // record count for channel flush/drain records
 
 	// Kernel-launch metrics (KindKernel, and per-SM slices of them on
 	// KindSMSpan records).

@@ -5,17 +5,19 @@
 //
 // Every warp-level global memory instruction is instrumented with a device
 // function that appends one record per executing lane — the 64-bit address
-// plus access flags — into a device-resident ring buffer, reserving slots
-// with a 64-bit atomic. At the exit of each cuLaunchKernel driver callback
-// the host drains the buffer and replays the trace through a configurable
-// two-level set-associative LRU cache model. The result is an offline cache
-// simulator whose input is a dynamically collected, full-fidelity address
-// trace — including addresses issued inside binary-only libraries.
+// plus access flags — to a device→host streaming channel, claiming slots
+// with the channel's warp-aggregated reserve fragment. Delivered buffers are
+// replayed through a configurable two-level set-associative LRU cache model
+// at each launch-exit drain. The result is an offline cache simulator whose
+// input is a dynamically collected, full-fidelity address trace — including
+// addresses issued inside binary-only libraries — and whose completeness is
+// a policy knob: ChannelBlock trades device spin time for a lossless trace.
 package cachesim
 
 import (
 	"encoding/binary"
 	"fmt"
+	"strings"
 
 	"nvbitgo/nvbit"
 )
@@ -30,46 +32,33 @@ const (
 // recBytes is the size of one trace record: u64 address + u32 flags + u32 pad.
 const recBytes = 16
 
-// Control block layout (device memory):
-//
-//	[0]  u64 head   — next free record index (atomically reserved)
-//	[8]  u64 cap    — record capacity
-//	[16] u64 buf    — record buffer base address
-//	[24] u64 drops  — records dropped on overflow
-const ctrlBytes = 32
-
-const toolPTX = `
+// toolPTXTemplate wraps the channel reserve/commit fragments with the
+// per-lane record stores. Guard-false lanes retire before the fragment, so
+// the always-true %p1 makes every remaining lane claim its own slot.
+// Register budget: %r0 and %p0/%p1 belong to the tool; the reserve fragment
+// owns %r4–%r10, %rd2–%rd5 and %p3–%p4 per its ReserveSpec; %rd1 receives
+// each lane's record address.
+const toolPTXTemplate = `
 .toolfunc cachesim_rec(.param .u32 pred, .param .u64 base, .param .u32 off, .param .u32 flags, .param .u64 ctrl)
 {
-	.reg .u32 %r<8>;
-	.reg .u64 %rd<14>;
-	.reg .pred %p<3>;
+	.reg .u32 %r<11>;
+	.reg .u64 %rd<6>;
+	.reg .pred %p<5>;
 	ld.param.u32 %r0, [pred];
 	setp.eq.u32 %p0, %r0, 0;
 	@%p0 ret;
-	// Reconstruct the access address.
+	setp.ne.u32 %p1, %r0, 0;
+@RESERVE@
+	// Reconstruct and store the access address.
 	ld.param.u64 %rd0, [base];
-	ld.param.u32 %r1, [off];
-	cvt.u64.u32 %rd2, %r1;
-	add.u64 %rd0, %rd0, %rd2;
-	// Reserve a slot: old = atomicAdd(&head, 1).
-	ld.param.u64 %rd4, [ctrl];
-	mov.u64 %rd6, 1;
-	atom.global.add.u64 %rd8, [%rd4], %rd6;
-	// Drop on overflow, counting the loss.
-	ld.global.u64 %rd10, [%rd4+8];
-	cvt.u32.u64 %r2, %rd8;
-	cvt.u32.u64 %r3, %rd10;
-	setp.ge.u32 %p1, %r2, %r3;
-	@%p1 red.global.add.u64 [%rd4+24], %rd6;
-	@%p1 ret;
-	// rec = buf + old*16
-	ld.global.u64 %rd10, [%rd4+16];
-	mov.u32 %r4, 16;
-	mad.wide.u32 %rd12, %r2, %r4, %rd10;
-	st.global.u64 [%rd12], %rd0;
-	ld.param.u32 %r5, [flags];
-	st.global.u32 [%rd12+8], %r5;
+	ld.param.u32 %r0, [off];
+	cvt.u64.u32 %rd4, %r0;
+	add.u64 %rd0, %rd0, %rd4;
+	st.global.u64 [%rd1], %rd0;
+	ld.param.u32 %r0, [flags];
+	st.global.u32 [%rd1+8], %r0;
+@COMMIT@
+cs_skip:
 	ret;
 }
 `
@@ -81,8 +70,13 @@ type Config struct {
 	L1Ways    int
 	L2Lines   int
 	L2Ways    int
-	// Capacity is the trace ring-buffer capacity in records.
+	// Capacity is the aggregate trace-channel capacity in records (split
+	// across the per-SM shards).
 	Capacity int
+	// Policy selects the backpressure behaviour when a channel buffer
+	// fills between flushes: ChannelDrop loses (and counts) records,
+	// ChannelBlock guarantees a complete trace.
+	Policy nvbit.ChannelPolicy
 }
 
 // DefaultConfig models a 32 KiB 4-way L1 with a 1 MiB 8-way L2 and 128-byte
@@ -100,7 +94,7 @@ type Stats struct {
 	L1Misses uint64
 	L2Hits   uint64
 	L2Misses uint64
-	Dropped  uint64 // trace records lost to ring-buffer overflow
+	Dropped  uint64 // trace records lost to channel overflow (Drop policy)
 }
 
 // L1HitRate returns the fraction of accesses that hit in the modelled L1.
@@ -114,11 +108,12 @@ func (s Stats) L1HitRate() float64 {
 // Tool is the cache-simulator tool.
 type Tool struct {
 	cfg   Config
-	ctrl  uint64
-	buf   uint64
+	ch    *nvbit.Channel
+	final nvbit.ChannelStats // snapshot at AtTerm, after the channel closes
 	l1    *lru
 	l2    *lru
 	stats Stats
+	shift uint
 	// SkipLibraries excludes binary-only modules (for the compiler-view
 	// comparison, as in the paper's Section 6.1 experiments).
 	SkipLibraries bool
@@ -126,46 +121,65 @@ type Tool struct {
 
 // New returns a cache-simulator tool with the given hierarchy model.
 func New(cfg Config) *Tool {
-	return &Tool{cfg: cfg, l1: newLRU(cfg.L1Lines, cfg.L1Ways), l2: newLRU(cfg.L2Lines, cfg.L2Ways)}
+	t := &Tool{cfg: cfg, l1: newLRU(cfg.L1Lines, cfg.L1Ways), l2: newLRU(cfg.L2Lines, cfg.L2Ways)}
+	for 1<<t.shift < cfg.LineBytes {
+		t.shift++
+	}
+	return t
 }
 
-// AtInit registers the trace device function and allocates the ring buffer.
+// AtInit opens the trace channel and registers the device function.
 func (t *Tool) AtInit(n *nvbit.NVBit) {
-	if err := n.RegisterToolPTX(toolPTX); err != nil {
-		panic(err)
-	}
 	var err error
-	if t.ctrl, err = n.Malloc(ctrlBytes); err != nil {
-		panic(err)
+	t.ch, err = n.OpenChannel(nvbit.ChannelConfig{
+		Name:         "cachesim",
+		RecordBytes:  recBytes,
+		TotalRecords: t.cfg.Capacity,
+		Policy:       t.cfg.Policy,
+		OnBatch:      t.replay,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("cachesim: %v", err))
 	}
-	if t.buf, err = n.Malloc(uint64(t.cfg.Capacity * recBytes)); err != nil {
-		panic(err)
+	spec := nvbit.ChannelReserveSpec{
+		CtrlParam:   "ctrl",
+		PushPred:    "%p1",
+		RecAddr:     "%rd1",
+		SkipLabel:   "cs_skip",
+		RecordBytes: recBytes,
+		Policy:      t.cfg.Policy,
+		R:           4,
+		RD:          2,
+		P:           3,
 	}
-	if err := n.WriteU64(t.ctrl, 0); err != nil {
-		panic(err)
+	reserve, err := spec.ReservePTX()
+	if err != nil {
+		panic(fmt.Sprintf("cachesim: %v", err))
 	}
-	if err := n.WriteU64(t.ctrl+8, uint64(t.cfg.Capacity)); err != nil {
-		panic(err)
-	}
-	if err := n.WriteU64(t.ctrl+16, t.buf); err != nil {
-		panic(err)
-	}
-	if err := n.WriteU64(t.ctrl+24, 0); err != nil {
-		panic(err)
+	ptx := strings.Replace(toolPTXTemplate, "@RESERVE@", reserve, 1)
+	ptx = strings.Replace(ptx, "@COMMIT@", spec.CommitPTX(), 1)
+	if err := n.RegisterToolPTX(ptx); err != nil {
+		panic(fmt.Sprintf("cachesim: %v", err))
 	}
 }
 
-// AtTerm implements the Tool interface.
-func (t *Tool) AtTerm(n *nvbit.NVBit) {}
+// AtTerm closes the channel, keeping a final stats snapshot.
+func (t *Tool) AtTerm(n *nvbit.NVBit) {
+	if t.ch != nil {
+		t.final = t.ch.Stats()
+		t.ch.Close()
+		t.ch = nil
+	}
+}
 
 // AtCUDACall instruments memory instructions at launch entry and drains the
-// trace at launch exit.
+// trace channel at launch exit.
 func (t *Tool) AtCUDACall(n *nvbit.NVBit, exit bool, cbid nvbit.CBID, name string, p *nvbit.CallParams) {
 	if cbid != nvbit.CBLaunchKernel {
 		return
 	}
 	if exit {
-		t.drain(n)
+		t.ch.Drain()
 		return
 	}
 	f := p.Launch.Func
@@ -199,65 +213,50 @@ func (t *Tool) AtCUDACall(n *nvbit.NVBit, exit bool, cbid nvbit.CBID, name strin
 			nvbit.ArgReg64(int(mref.Base)),
 			nvbit.ArgConst32(uint32(mref.Offset)),
 			nvbit.ArgConst32(flags),
-			nvbit.ArgConst64(t.ctrl))
+			nvbit.ArgConst64(t.ch.CtrlAddr()))
 	}
 }
 
-// drain replays the collected trace through the cache model and resets the
-// ring buffer.
-func (t *Tool) drain(n *nvbit.NVBit) {
-	head, err := n.ReadU64(t.ctrl)
-	if err != nil {
-		panic(err)
-	}
-	drops, err := n.ReadU64(t.ctrl + 24)
-	if err != nil {
-		panic(err)
-	}
-	t.stats.Dropped += drops
-	records := head
-	if records > uint64(t.cfg.Capacity) {
-		records = uint64(t.cfg.Capacity)
-	}
-	if records > 0 {
-		raw := make([]byte, records*recBytes)
-		if err := n.Device().Read(t.buf, raw); err != nil {
-			panic(err)
+// replay is the channel's OnBatch consumer: it runs each delivered buffer
+// through the cache model.
+func (t *Tool) replay(data []byte) {
+	for off := 0; off+recBytes <= len(data); off += recBytes {
+		addr := binary.LittleEndian.Uint64(data[off:])
+		flags := binary.LittleEndian.Uint32(data[off+8:])
+		line := addr >> t.shift
+		t.stats.Accesses++
+		if flags&FlagStore != 0 {
+			t.stats.Stores++
 		}
-		shift := uint(0)
-		for 1<<shift < t.cfg.LineBytes {
-			shift++
+		if t.l1.access(line) {
+			t.stats.L1Hits++
+			continue
 		}
-		for r := uint64(0); r < records; r++ {
-			addr := binary.LittleEndian.Uint64(raw[r*recBytes:])
-			flags := binary.LittleEndian.Uint32(raw[r*recBytes+8:])
-			line := addr >> shift
-			t.stats.Accesses++
-			if flags&FlagStore != 0 {
-				t.stats.Stores++
-			}
-			if t.l1.access(line) {
-				t.stats.L1Hits++
-				continue
-			}
-			t.stats.L1Misses++
-			if t.l2.access(line) {
-				t.stats.L2Hits++
-			} else {
-				t.stats.L2Misses++
-			}
+		t.stats.L1Misses++
+		if t.l2.access(line) {
+			t.stats.L2Hits++
+		} else {
+			t.stats.L2Misses++
 		}
-	}
-	if err := n.WriteU64(t.ctrl, 0); err != nil {
-		panic(err)
-	}
-	if err := n.WriteU64(t.ctrl+24, 0); err != nil {
-		panic(err)
 	}
 }
 
-// Stats returns the accumulated replay results.
-func (t *Tool) Stats() Stats { return t.stats }
+// Stats returns the accumulated replay results; Dropped reflects the
+// channel's atomic loss counter.
+func (t *Tool) Stats() Stats {
+	st := t.stats
+	st.Dropped = t.ChannelStats().Dropped
+	return st
+}
+
+// ChannelStats returns the trace channel's counter snapshot (the final
+// snapshot once the tool has been terminated).
+func (t *Tool) ChannelStats() nvbit.ChannelStats {
+	if t.ch == nil {
+		return t.final
+	}
+	return t.ch.Stats()
+}
 
 // lru is a set-associative LRU cache model (host side).
 type lru struct {

@@ -109,20 +109,42 @@ func TestStreamingThrashesL1(t *testing.T) {
 	}
 }
 
-func TestRingBufferOverflowCountsDrops(t *testing.T) {
+func TestChannelOverflowCountsDrops(t *testing.T) {
+	// A single 256-thread CTA pushes 512 lane-accesses into one SM shard
+	// clamped to the 32-record minimum: far more than fits between
+	// flushes, so the Drop policy must lose some — but every loss must be
+	// counted, and mid-kernel flushes must still deliver real records.
 	cfg := DefaultConfig()
-	cfg.Capacity = 16 // force overflow
+	cfg.Capacity = 16
 	tool := runStride(t, cfg, 4, 256)
 	st := tool.Stats()
 	if st.Dropped == 0 {
-		t.Fatal("expected dropped records with a tiny ring buffer")
+		t.Fatal("expected dropped records with a tiny channel")
 	}
-	if st.Accesses != 16 {
-		t.Fatalf("replayed %d records, want the 16 that fit", st.Accesses)
+	if st.Accesses == 0 {
+		t.Fatal("expected mid-kernel flushes to deliver some records")
 	}
-	// 512 lane-accesses total: drops + replayed must account for all.
 	if st.Accesses+st.Dropped != 512 {
 		t.Fatalf("accesses %d + dropped %d != 512", st.Accesses, st.Dropped)
+	}
+}
+
+func TestBlockPolicyCompleteTrace(t *testing.T) {
+	// Same overflow workload under ChannelBlock: pushes wait for a flush
+	// instead of dropping, so the replayed trace must be complete.
+	cfg := DefaultConfig()
+	cfg.Capacity = 16
+	cfg.Policy = nvbit.ChannelBlock
+	tool := runStride(t, cfg, 4, 256)
+	st := tool.Stats()
+	if st.Dropped != 0 {
+		t.Fatalf("dropped = %d, want 0 under Block", st.Dropped)
+	}
+	if st.Accesses != 512 {
+		t.Fatalf("accesses = %d, want the full 512-record trace", st.Accesses)
+	}
+	if fl := tool.ChannelStats().TickFlushes; fl == 0 {
+		t.Fatal("expected mid-kernel (sweep-boundary) flushes")
 	}
 }
 

@@ -7,8 +7,9 @@
 // function in which the lowest active lane (one record per warp-level
 // dynamic instruction) appends a compact record — kernel id, static
 // instruction index, global warp id, and the executing-lane mask — to a
-// device-resident ring buffer. The host drains the buffer at each launch
-// exit; the accumulated trace is a faithful warp-level dynamic instruction
+// device→host streaming channel. Records flow to the host through the
+// channel's mid-kernel flushes and are delivered at each launch-exit drain;
+// the accumulated trace is a faithful warp-level dynamic instruction
 // stream, including instructions (like an emulated WFFT32) that no silicon
 // implements.
 package itrace
@@ -16,60 +17,57 @@ package itrace
 import (
 	"encoding/binary"
 	"fmt"
+	"strings"
 
 	"nvbitgo/nvbit"
 )
 
 const recBytes = 16
 
-const toolPTX = `
+// toolPTXTemplate wraps the channel reserve/commit fragments with the
+// itrace record stores. Non-leader lanes retire before the fragment, so the
+// always-true %p1 selects exactly one pushing lane per warp. Register
+// budget: %r0–%r3 and %p0–%p2 belong to the tool; the reserve fragment owns
+// %r4–%r10, %rd2–%rd5 and %p3–%p4 per its ReserveSpec; %rd1 receives the
+// claimed record address.
+const toolPTXTemplate = `
 .toolfunc itrace_rec(.param .u32 pred, .param .u32 kid, .param .u32 idx, .param .u64 ctrl)
 {
-	.reg .u32 %r<14>;
-	.reg .u64 %rd<14>;
-	.reg .pred %p<4>;
+	.reg .u32 %r<11>;
+	.reg .u64 %rd<6>;
+	.reg .pred %p<5>;
 	// Executing-lane mask (guard-true lanes).
 	ld.param.u32 %r0, [pred];
 	setp.ne.u32 %p0, %r0, 0;
 	vote.ballot.b32 %r1, %p0;
-	// Leader election among all lanes that entered (active lanes).
+	// Leader election among all lanes that entered (active lanes); the
+	// non-leaders retire so one record is pushed per warp.
 	setp.eq.u32 %p1, %r0, %r0;
 	vote.ballot.b32 %r2, %p1;
 	not.b32 %r3, %r2;
 	add.u32 %r3, %r3, 1;
-	and.b32 %r3, %r2, %r3;          // lowest active lane bit
-	mov.u32 %r4, %laneid;
-	mov.u32 %r5, 1;
-	shl.b32 %r5, %r5, %r4;
-	setp.ne.u32 %p2, %r3, %r5;
-	@%p2 ret;                        // only the leader records
-	// Reserve a slot.
-	ld.param.u64 %rd0, [ctrl];
-	mov.u64 %rd2, 1;
-	atom.global.add.u64 %rd4, [%rd0], %rd2;
-	ld.global.u64 %rd6, [%rd0+8];   // capacity
-	cvt.u32.u64 %r6, %rd4;
-	cvt.u32.u64 %r7, %rd6;
-	setp.ge.u32 %p3, %r6, %r7;
-	@%p3 red.global.add.u64 [%rd0+24], %rd2;
-	@%p3 ret;
-	ld.global.u64 %rd8, [%rd0+16];  // buffer base
-	mov.u32 %r8, 16;
-	mad.wide.u32 %rd10, %r6, %r8, %rd8;
-	// Global warp id: ctaid.x * warpsPerCTA + warpid.
-	mov.u32 %r9, %ntid.x;
-	add.u32 %r9, %r9, 31;
-	shr.b32 %r9, %r9, 5;
-	mov.u32 %r10, %ctaid.x;
-	mov.u32 %r11, %warpid;
-	mad.lo.u32 %r12, %r10, %r9, %r11;
+	and.b32 %r3, %r2, %r3;
+	mov.u32 %r0, %laneid;
+	mov.u32 %r2, 1;
+	shl.b32 %r2, %r2, %r0;
+	setp.ne.u32 %p2, %r3, %r2;
+	@%p2 ret;
+@RESERVE@
 	// Record: kid, idx, gwid, exec mask.
-	ld.param.u32 %r13, [kid];
-	st.global.u32 [%rd10], %r13;
-	ld.param.u32 %r13, [idx];
-	st.global.u32 [%rd10+4], %r13;
-	st.global.u32 [%rd10+8], %r12;
-	st.global.u32 [%rd10+12], %r1;
+	ld.param.u32 %r0, [kid];
+	st.global.u32 [%rd1], %r0;
+	ld.param.u32 %r0, [idx];
+	st.global.u32 [%rd1+4], %r0;
+	mov.u32 %r0, %ntid.x;
+	add.u32 %r0, %r0, 31;
+	shr.b32 %r0, %r0, 5;
+	mov.u32 %r3, %ctaid.x;
+	mov.u32 %r2, %warpid;
+	mad.lo.u32 %r0, %r3, %r0, %r2;
+	st.global.u32 [%rd1+8], %r0;
+	st.global.u32 [%rd1+12], %r1;
+@COMMIT@
+it_skip:
 	ret;
 }
 `
@@ -84,24 +82,28 @@ type Record struct {
 
 // Tool collects the dynamic instruction trace.
 type Tool struct {
-	// Capacity is the device ring buffer size in records.
+	// Capacity is the aggregate channel capacity in records (split across
+	// the per-SM shards).
 	Capacity int
-	// OnRecord, if set, streams records at drain time instead of (in
+	// Policy selects the backpressure behaviour when a shard's buffer
+	// fills between flushes (ChannelDrop or ChannelBlock).
+	Policy nvbit.ChannelPolicy
+	// OnRecord, if set, streams records at delivery time instead of (in
 	// addition to) accumulating them in Records.
 	OnRecord func(Record)
-	// Keep controls whether drained records accumulate in Records
+	// Keep controls whether delivered records accumulate in Records
 	// (default true; turn off for long streaming runs).
 	Keep bool
 
 	Records []Record
-	Dropped uint64
 
-	ctrl, buf uint64
-	kernels   map[*nvbit.Function]uint32
-	names     []string
+	ch      *nvbit.Channel
+	final   nvbit.ChannelStats // snapshot at AtTerm, after the channel closes
+	kernels map[*nvbit.Function]uint32
+	names   []string
 }
 
-// New returns a tracer with the given ring-buffer capacity.
+// New returns a tracer with the given aggregate channel capacity.
 func New(capacity int) *Tool {
 	return &Tool{Capacity: capacity, Keep: true, kernels: make(map[*nvbit.Function]uint32)}
 }
@@ -114,35 +116,74 @@ func (t *Tool) KernelName(id uint32) string {
 	return fmt.Sprintf("kernel#%d", id)
 }
 
-// AtInit registers the device function and allocates the ring buffer.
+// Dropped returns how many records were lost to full buffers (always zero
+// under ChannelBlock).
+func (t *Tool) Dropped() uint64 { return t.Stats().Dropped }
+
+// Stats returns the channel's counter snapshot (the final snapshot once the
+// tool has been terminated).
+func (t *Tool) Stats() nvbit.ChannelStats {
+	if t.ch == nil {
+		return t.final
+	}
+	return t.ch.Stats()
+}
+
+// Channel exposes the underlying streaming channel (for flush statistics).
+func (t *Tool) Channel() *nvbit.Channel { return t.ch }
+
+// AtInit opens the streaming channel and registers the device function.
 func (t *Tool) AtInit(n *nvbit.NVBit) {
-	if err := n.RegisterToolPTX(toolPTX); err != nil {
-		panic(err)
-	}
 	var err error
-	if t.ctrl, err = n.Malloc(32); err != nil {
-		panic(err)
+	t.ch, err = n.OpenChannel(nvbit.ChannelConfig{
+		Name:         "itrace",
+		RecordBytes:  recBytes,
+		TotalRecords: t.Capacity,
+		Policy:       t.Policy,
+		OnBatch:      t.decode,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("itrace: %v", err))
 	}
-	if t.buf, err = n.Malloc(uint64(t.Capacity * recBytes)); err != nil {
-		panic(err)
+	spec := nvbit.ChannelReserveSpec{
+		CtrlParam:   "ctrl",
+		PushPred:    "%p1",
+		RecAddr:     "%rd1",
+		SkipLabel:   "it_skip",
+		RecordBytes: recBytes,
+		Policy:      t.Policy,
+		R:           4,
+		RD:          2,
+		P:           3,
 	}
-	for off, v := range map[uint64]uint64{0: 0, 8: uint64(t.Capacity), 16: t.buf, 24: 0} {
-		if err := n.WriteU64(t.ctrl+off, v); err != nil {
-			panic(err)
-		}
+	reserve, err := spec.ReservePTX()
+	if err != nil {
+		panic(fmt.Sprintf("itrace: %v", err))
+	}
+	ptx := strings.Replace(toolPTXTemplate, "@RESERVE@", reserve, 1)
+	ptx = strings.Replace(ptx, "@COMMIT@", spec.CommitPTX(), 1)
+	if err := n.RegisterToolPTX(ptx); err != nil {
+		panic(fmt.Sprintf("itrace: %v", err))
 	}
 }
 
-// AtTerm implements the Tool interface.
-func (t *Tool) AtTerm(n *nvbit.NVBit) {}
+// AtTerm closes the channel, keeping a final stats snapshot.
+func (t *Tool) AtTerm(n *nvbit.NVBit) {
+	if t.ch != nil {
+		t.final = t.ch.Stats()
+		t.ch.Close()
+		t.ch = nil
+	}
+}
 
-// AtCUDACall instruments at launch entry and drains at launch exit.
+// AtCUDACall instruments at launch entry and drains the channel at launch
+// exit.
 func (t *Tool) AtCUDACall(n *nvbit.NVBit, exit bool, cbid nvbit.CBID, name string, p *nvbit.CallParams) {
 	if cbid != nvbit.CBLaunchKernel {
 		return
 	}
 	if exit {
-		t.drain(n)
+		t.ch.Drain()
 		return
 	}
 	f := p.Launch.Func
@@ -163,49 +204,25 @@ func (t *Tool) AtCUDACall(n *nvbit.NVBit, exit bool, cbid nvbit.CBID, name strin
 			nvbit.ArgSitePred(),
 			nvbit.ArgConst32(kid),
 			nvbit.ArgConst32(uint32(i.Idx())),
-			nvbit.ArgConst64(t.ctrl))
+			nvbit.ArgConst64(t.ch.CtrlAddr()))
 	}
 }
 
-func (t *Tool) drain(n *nvbit.NVBit) {
-	head, err := n.ReadU64(t.ctrl)
-	if err != nil {
-		panic(err)
-	}
-	drops, err := n.ReadU64(t.ctrl + 24)
-	if err != nil {
-		panic(err)
-	}
-	t.Dropped += drops
-	count := head
-	if count > uint64(t.Capacity) {
-		count = uint64(t.Capacity)
-	}
-	if count > 0 {
-		raw := make([]byte, count*recBytes)
-		if err := n.Device().Read(t.buf, raw); err != nil {
-			panic(err)
+// decode is the channel's OnBatch consumer.
+func (t *Tool) decode(data []byte) {
+	for off := 0; off+recBytes <= len(data); off += recBytes {
+		rec := Record{
+			KernelID: binary.LittleEndian.Uint32(data[off:]),
+			InstIdx:  binary.LittleEndian.Uint32(data[off+4:]),
+			WarpID:   binary.LittleEndian.Uint32(data[off+8:]),
+			ExecMask: binary.LittleEndian.Uint32(data[off+12:]),
 		}
-		for r := uint64(0); r < count; r++ {
-			rec := Record{
-				KernelID: binary.LittleEndian.Uint32(raw[r*recBytes:]),
-				InstIdx:  binary.LittleEndian.Uint32(raw[r*recBytes+4:]),
-				WarpID:   binary.LittleEndian.Uint32(raw[r*recBytes+8:]),
-				ExecMask: binary.LittleEndian.Uint32(raw[r*recBytes+12:]),
-			}
-			if t.OnRecord != nil {
-				t.OnRecord(rec)
-			}
-			if t.Keep {
-				t.Records = append(t.Records, rec)
-			}
+		if t.OnRecord != nil {
+			t.OnRecord(rec)
 		}
-	}
-	if err := n.WriteU64(t.ctrl, 0); err != nil {
-		panic(err)
-	}
-	if err := n.WriteU64(t.ctrl+24, 0); err != nil {
-		panic(err)
+		if t.Keep {
+			t.Records = append(t.Records, rec)
+		}
 	}
 }
 

@@ -119,7 +119,7 @@ func TestStraightLineTraceIsProgramOrder(t *testing.T) {
 	if tool.KernelName(0) != "straight" {
 		t.Fatalf("kernel name %q", tool.KernelName(0))
 	}
-	if tool.Dropped != 0 {
+	if tool.Dropped() != 0 {
 		t.Fatal("records dropped")
 	}
 }

@@ -64,7 +64,7 @@ func (t *Tool) WriteTo(w io.Writer) (int64, error) {
 			return n, err
 		}
 	}
-	binary.LittleEndian.PutUint64(scratch[:8], t.Dropped)
+	binary.LittleEndian.PutUint64(scratch[:8], t.Dropped())
 	if err := put(scratch[:8]); err != nil {
 		return n, err
 	}

@@ -27,7 +27,7 @@ func TestTraceFileRoundTrip(t *testing.T) {
 			t.Fatalf("record %d mismatch: %+v vs %+v", i, back.Records[i], tool.Records[i])
 		}
 	}
-	if back.Dropped != tool.Dropped {
+	if back.Dropped != tool.Dropped() {
 		t.Fatal("dropped count lost")
 	}
 }

@@ -1,0 +1,229 @@
+package memtrace
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"testing"
+
+	"nvbitgo/gpusim"
+	"nvbitgo/nvbit"
+)
+
+// strideKernel: each thread loads and stores data[tid*stride/4].
+const strideKernel = `
+.visible .entry stride(.param .u64 data, .param .u32 stride)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<4>;
+	mov.u32 %r4, %ctaid.x;
+	mov.u32 %r5, %ntid.x;
+	mov.u32 %r6, %tid.x;
+	mad.lo.u32 %r0, %r4, %r5, %r6;
+	ld.param.u32 %r1, [stride];
+	mul.lo.u32 %r2, %r0, %r1;
+	ld.param.u64 %rd0, [data];
+	cvt.u64.u32 %rd2, %r2;
+	add.u64 %rd0, %rd0, %rd2;
+	ld.global.u32 %r3, [%rd0];
+	st.global.u32 [%rd0], %r3;
+	exit;
+}
+`
+
+// loopKernel: each thread loads and stores data[gtid] iters times — a
+// record volume knob that overflows small channel buffers mid-kernel.
+const loopKernel = `
+.visible .entry looper(.param .u64 data, .param .u32 iters)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<4>;
+	.reg .pred %p<2>;
+	mov.u32 %r4, %ctaid.x;
+	mov.u32 %r5, %ntid.x;
+	mov.u32 %r6, %tid.x;
+	mad.lo.u32 %r0, %r4, %r5, %r6;
+	ld.param.u64 %rd0, [data];
+	mov.u32 %r1, 4;
+	mul.wide.u32 %rd2, %r0, %r1;
+	add.u64 %rd0, %rd0, %rd2;
+	ld.param.u32 %r2, [iters];
+	mov.u32 %r3, 0;
+loop:
+	ld.global.u32 %r7, [%rd0];
+	st.global.u32 [%rd0], %r7;
+	add.u32 %r3, %r3, 1;
+	setp.lt.u32 %p0, %r3, %r2;
+	@%p0 bra loop;
+	exit;
+}
+`
+
+type runCfg struct {
+	capacity  int
+	policy    nvbit.ChannelPolicy
+	scheduler gpusim.SchedulerKind
+	ctas      int
+	threads   int
+	iters     uint32 // 0 = stride kernel
+	onRecord  func(Record)
+	keep      bool
+}
+
+func run(t *testing.T, cfg runCfg) *Tool {
+	t.Helper()
+	api, err := gpusim.New(gpusim.Volta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := New(cfg.capacity)
+	tool.Policy = cfg.policy
+	tool.OnRecord = cfg.onRecord
+	tool.Keep = cfg.keep
+	nv, err := nvbit.Attach(api, tool, nvbit.WithScheduler(cfg.scheduler))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := api.CtxCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, entry := strideKernel, "stride"
+	if cfg.iters > 0 {
+		src, entry = loopKernel, "looper"
+	}
+	mod, err := ctx.ModuleLoadPTX("app", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := mod.GetFunction(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ctx.MemAlloc(uint64(cfg.ctas*cfg.threads) * 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arg := uint32(4)
+	if cfg.iters > 0 {
+		arg = cfg.iters
+	}
+	params, err := gpusim.PackParams(f, data, arg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.LaunchKernel(f, gpusim.D1(cfg.ctas), gpusim.D1(cfg.threads), 0, params); err != nil {
+		t.Fatal(err)
+	}
+	tool.AtTerm(nv)
+	return tool
+}
+
+func TestSingleWarpRecords(t *testing.T) {
+	tool := run(t, runCfg{
+		capacity: 1 << 10, scheduler: gpusim.SchedulerSequential,
+		ctas: 1, threads: 32, keep: true,
+	})
+	if len(tool.Records) != 2 {
+		t.Fatalf("records = %d, want 2 (one load, one store site)", len(tool.Records))
+	}
+	ld, st := tool.Records[0], tool.Records[1]
+	if ld.Flags&FlagStore != 0 || st.Flags&FlagStore == 0 {
+		t.Fatalf("flag order wrong: %#x then %#x (load should precede store)", ld.Flags, st.Flags)
+	}
+	for _, r := range tool.Records {
+		if r.ExecMask != 0xffffffff {
+			t.Fatalf("exec mask = %#x, want full warp", r.ExecMask)
+		}
+		if r.KernelID != 0 || r.WarpID != 0 {
+			t.Fatalf("kernel/warp id = %d/%d, want 0/0", r.KernelID, r.WarpID)
+		}
+		base := r.Addrs[0]
+		for lane := 0; lane < 32; lane++ {
+			if want := base + uint64(lane)*4; r.Addrs[lane] != want {
+				t.Fatalf("lane %d addr = %#x, want %#x", lane, r.Addrs[lane], want)
+			}
+		}
+	}
+	if ld.InstIdx >= st.InstIdx {
+		t.Fatalf("instruction order: load idx %d, store idx %d", ld.InstIdx, st.InstIdx)
+	}
+	if tool.Dropped() != 0 {
+		t.Fatalf("dropped = %d", tool.Dropped())
+	}
+}
+
+func fingerprint(t *testing.T, policy nvbit.ChannelPolicy, sched gpusim.SchedulerKind) ([32]byte, *Tool) {
+	t.Helper()
+	h := sha256.New()
+	var buf [8]byte
+	tool := run(t, runCfg{
+		// 64 total records across 8 SMs clamps to the 32-record minimum
+		// per shard; the workload pushes 64 records per SM, forcing
+		// mid-kernel flushes.
+		capacity: 64, policy: policy, scheduler: sched,
+		ctas: 16, threads: 64, iters: 8,
+		onRecord: func(r Record) {
+			for _, v := range []uint32{r.KernelID, r.InstIdx, r.Opcode, r.WarpID, r.ExecMask, r.Flags} {
+				binary.LittleEndian.PutUint32(buf[:4], v)
+				h.Write(buf[:4])
+			}
+			for _, a := range r.Addrs {
+				binary.LittleEndian.PutUint64(buf[:], a)
+				h.Write(buf[:])
+			}
+		},
+	})
+	var sum [32]byte
+	copy(sum[:], h.Sum(nil))
+	return sum, tool
+}
+
+// TestCrossSchedulerDeterminism is the channel's ordering guarantee: the
+// delivered record stream — including mid-kernel flush boundaries — must be
+// byte-identical under the sequential and parallel-SM schedulers, for both
+// backpressure policies.
+func TestCrossSchedulerDeterminism(t *testing.T) {
+	for _, pol := range []nvbit.ChannelPolicy{nvbit.ChannelDrop, nvbit.ChannelBlock} {
+		seq, seqTool := fingerprint(t, pol, gpusim.SchedulerSequential)
+		par, parTool := fingerprint(t, pol, gpusim.SchedulerParallelSM)
+		if seq != par {
+			t.Fatalf("policy %v: stream fingerprints differ across schedulers", pol)
+		}
+		if sd, pd := seqTool.Dropped(), parTool.Dropped(); sd != pd {
+			t.Fatalf("policy %v: drop counts differ across schedulers: %d vs %d", pol, sd, pd)
+		}
+	}
+}
+
+// TestBlockPolicyZeroLoss sizes the workload several times past the channel
+// capacity — where the old launch-exit ring drain dropped records — and
+// requires a complete trace: every record delivered, none dropped, with
+// mid-kernel flushes doing the salvage.
+func TestBlockPolicyZeroLoss(t *testing.T) {
+	const ctas, threads, iters = 16, 64, 8
+	tool := run(t, runCfg{
+		capacity: 64, policy: nvbit.ChannelBlock, scheduler: gpusim.SchedulerParallelSM,
+		ctas: ctas, threads: threads, iters: iters, keep: true,
+	})
+	want := ctas * (threads / 32) * 2 * iters
+	if len(tool.Records) != want {
+		t.Fatalf("records = %d, want %d (complete trace)", len(tool.Records), want)
+	}
+	if d := tool.Dropped(); d != 0 {
+		t.Fatalf("dropped = %d, want 0 under Block", d)
+	}
+}
+
+// TestDropPolicyAccountsLosses: same overflow workload under Drop must
+// complete, and delivered+dropped must cover every pushed record.
+func TestDropPolicyAccountsLosses(t *testing.T) {
+	const ctas, threads, iters = 16, 64, 8
+	tool := run(t, runCfg{
+		capacity: 64, policy: nvbit.ChannelDrop, scheduler: gpusim.SchedulerSequential,
+		ctas: ctas, threads: threads, iters: iters, keep: true,
+	})
+	want := uint64(ctas * (threads / 32) * 2 * iters)
+	if got := uint64(len(tool.Records)) + tool.Dropped(); got != want {
+		t.Fatalf("delivered %d + dropped %d = %d, want %d", len(tool.Records), tool.Dropped(), got, want)
+	}
+}

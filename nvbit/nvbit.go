@@ -13,6 +13,7 @@
 package nvbit
 
 import (
+	"nvbitgo/internal/channel"
 	"nvbitgo/internal/core"
 	"nvbitgo/internal/driver"
 	"nvbitgo/internal/gpu"
@@ -77,6 +78,35 @@ const (
 	KindKernel       = profile.KindKernel
 	KindSMSpan       = profile.KindSMSpan
 	KindToolCallback = profile.KindToolCallback
+	KindChannelFlush = profile.KindChannelFlush
+	KindChannelDrain = profile.KindChannelDrain
+)
+
+// Device→host streaming channels (docs/channels.md): a per-SM double-
+// buffered record stream with mid-kernel flushes, an async host receiver
+// and selectable backpressure. Tools open one with NVBit.OpenChannel from
+// AtInit and embed its ChannelReserveSpec PTX fragments in their injected
+// functions.
+type (
+	// Channel is one open device→host record stream.
+	Channel = channel.Channel
+	// ChannelConfig configures OpenChannel.
+	ChannelConfig = channel.Config
+	// ChannelStats is a snapshot of a channel's delivery/drop counters.
+	ChannelStats = channel.Stats
+	// ChannelPolicy selects the full-buffer backpressure behaviour.
+	ChannelPolicy = channel.Policy
+	// ChannelReserveSpec parameterizes the device-side push fragments.
+	ChannelReserveSpec = channel.ReserveSpec
+)
+
+// Channel backpressure policies.
+const (
+	// ChannelDrop counts and discards pushes into a full buffer.
+	ChannelDrop = channel.Drop
+	// ChannelBlock makes full-buffer pushes wait for a mid-kernel flush;
+	// no record is ever lost.
+	ChannelBlock = channel.Block
 )
 
 // Attach options.
