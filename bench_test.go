@@ -357,9 +357,52 @@ func BenchmarkLaunchParallel(b *testing.B)   { benchLaunch(b, gpusim.SchedulerPa
 
 // --- ablations -------------------------------------------------------------------
 
+// BenchmarkSaveSet reports what the per-site liveness analysis buys at code
+// generation: trampoline length and saved registers per instrumentation
+// site, liveness-minimal vs the full-register-file ablation.
+func BenchmarkSaveSet(b *testing.B) {
+	run := func(b *testing.B, fullSave bool) {
+		var words, saved, sites float64
+		for i := 0; i < b.N; i++ {
+			api, err := gpusim.New(gpusim.Volta)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tool := instrcount.New()
+			nv, err := nvbit.Attach(api, tool)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nv.ForceFullSaveSet(fullSave)
+			ctx, _ := api.CtxCreate()
+			mod, err := ctx.ModuleLoadPTX("m", benchKernelPTX)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f, _ := mod.GetFunction("bench")
+			data, _ := ctx.MemAlloc(4 * 4096)
+			params, _ := driver.PackParams(f, data, uint32(4096))
+			if err := ctx.LaunchKernel(f, gpusim.D1(16), gpusim.D1(256), 0, params); err != nil {
+				b.Fatal(err)
+			}
+			js := nv.JITStats()
+			if js.TrampolinesEmitted == 0 {
+				b.Fatal("no trampolines emitted")
+			}
+			words += float64(js.TrampolineWords)
+			saved += float64(js.SavedRegs)
+			sites += float64(js.TrampolinesEmitted)
+		}
+		b.ReportMetric(words/sites, "words/site")
+		b.ReportMetric(saved/sites, "savedregs/site")
+	}
+	b.Run("liveness", func(b *testing.B) { run(b, false) })
+	b.Run("full255", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkSaveSetSizing compares trampoline execution cost with the minimal
-// save set (what NVBit computes from register requirements) against always
-// saving the full 255-register file — the design choice of Section 5.1.
+// save set (what NVBit computes from the per-site register liveness) against
+// always saving the full 255-register file — the design choice of Section 5.1.
 func BenchmarkSaveSetSizing(b *testing.B) {
 	run := func(b *testing.B, fullSave bool) uint64 {
 		cfg := gpu.DefaultConfig(sass.Volta)

@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, lib, wfft, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, lib, wfft, saveset, all")
 	sizeName := flag.String("size", "", "problem size: small, medium, large (default: per-figure paper size)")
 	schedName := flag.String("scheduler", "sequential", "CTA scheduler: sequential (reference, used for published figures) or parallel")
 	flag.Parse()
@@ -98,6 +98,14 @@ func main() {
 		fmt.Print(experiments.RenderFig9(f9))
 		return nil
 	}
+	runSaveSet := func() error {
+		rows, err := experiments.SaveSet(size(specaccel.Small))
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderSaveSet(rows))
+		return nil
+	}
 	runWFFT := func() error {
 		r, err := experiments.WFFT()
 		if err != nil {
@@ -118,12 +126,15 @@ func main() {
 		section("fig789", runFig789)
 	case "wfft":
 		section("wfft", runWFFT)
+	case "saveset":
+		section("saveset", runSaveSet)
 	case "all":
 		section("fig5", runFig5)
 		section("lib", runLib)
 		section("fig6", runFig6)
 		section("fig789", runFig789)
 		section("wfft", runWFFT)
+		section("saveset", runSaveSet)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)

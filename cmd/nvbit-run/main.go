@@ -305,8 +305,8 @@ exit codes:
 	}
 	if nv != nil {
 		js := nv.JITStats()
-		fmt.Printf("jit: lifted %d funcs / %d instrs, %d trampolines, %v total (%v disasm)\n",
-			js.FunctionsLifted, js.InstrsLifted, js.TrampolinesEmitted, js.Total().Round(time.Microsecond), js.Disassemble.Round(time.Microsecond))
+		fmt.Printf("jit: lifted %d funcs / %d instrs, %d trampolines (%.1f saved regs each), %v total (%v disasm)\n",
+			js.FunctionsLifted, js.InstrsLifted, js.TrampolinesEmitted, js.AvgSavedRegs(), js.Total().Round(time.Microsecond), js.Disassemble.Round(time.Microsecond))
 	}
 	if prof := api.Device().Profiler(); prof != nil {
 		if *metrics {

@@ -1,0 +1,303 @@
+package main_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"nvbitgo/gpusim"
+	"nvbitgo/internal/tools/cachesim"
+	"nvbitgo/internal/tools/instrcount"
+	"nvbitgo/internal/tools/itrace"
+	"nvbitgo/internal/tools/memcheck"
+	"nvbitgo/internal/tools/memtrace"
+	"nvbitgo/internal/tools/ophisto"
+	"nvbitgo/internal/workloads/specaccel"
+	"nvbitgo/nvbit"
+)
+
+// The differential instrumentation suite: liveness-minimal save sets are a
+// pure performance optimization, so every in-tree tool must produce output
+// byte-identical to the ForceFullSaveSet ablation, under both schedulers.
+// The report closures mirror cmd/nvbit-run so the comparison covers what a
+// user actually sees.
+
+// diffTools builds each tool fresh per run (tools carry state) together
+// with its nvbit-run-style report.
+var diffTools = map[string]func() (nvbit.Tool, func(io.Writer, *nvbit.NVBit)){
+	"instrcount": func() (nvbit.Tool, func(io.Writer, *nvbit.NVBit)) {
+		t := instrcount.New()
+		return t, func(w io.Writer, nv *nvbit.NVBit) {
+			fmt.Fprintf(w, "thread-level instructions: app %d, libraries %d (%.1f%% in libraries)\n",
+				t.AppInstrs(nv), t.LibInstrs(nv), 100*t.LibraryFraction(nv))
+		}
+	},
+	"ophisto": func() (nvbit.Tool, func(io.Writer, *nvbit.NVBit)) {
+		t := ophisto.New(false)
+		return t, func(w io.Writer, nv *nvbit.NVBit) {
+			for _, e := range t.Top(nv, 10) {
+				fmt.Fprintf(w, "%-8s %12d\n", e.Opcode, e.Count)
+			}
+		}
+	},
+	"itrace": func() (nvbit.Tool, func(io.Writer, *nvbit.NVBit)) {
+		t := itrace.New(1 << 20)
+		t.Policy = nvbit.ChannelBlock
+		return t, func(w io.Writer, nv *nvbit.NVBit) {
+			kernels := map[uint32]bool{}
+			for _, r := range t.Records {
+				kernels[r.KernelID] = true
+			}
+			fmt.Fprintf(w, "trace: %d warp-level records across %d kernels, %d dropped\n",
+				len(t.Records), len(kernels), t.Dropped())
+		}
+	},
+	"memtrace": func() (nvbit.Tool, func(io.Writer, *nvbit.NVBit)) {
+		t := memtrace.New(1 << 16)
+		t.Policy = nvbit.ChannelBlock
+		return t, func(w io.Writer, nv *nvbit.NVBit) {
+			var lanes uint64
+			for _, r := range t.Records {
+				for m := r.ExecMask; m != 0; m &= m - 1 {
+					lanes++
+				}
+			}
+			st := t.Stats()
+			fmt.Fprintf(w, "memtrace: %d warp-level accesses (%d lane addresses), %d dropped, %d bytes shipped\n",
+				len(t.Records), lanes, st.Dropped, st.BytesShipped)
+		}
+	},
+	"memcheck": func() (nvbit.Tool, func(io.Writer, *nvbit.NVBit)) {
+		t := memcheck.New(1 << 20)
+		return t, func(w io.Writer, nv *nvbit.NVBit) { t.Report(w) }
+	},
+	"cachesim": func() (nvbit.Tool, func(io.Writer, *nvbit.NVBit)) {
+		cfg := cachesim.DefaultConfig()
+		// Block backpressure: drops under load (e.g. -race) would make the
+		// replayed stream — and thus the report — timing-dependent.
+		cfg.Policy = nvbit.ChannelBlock
+		t := cachesim.New(cfg)
+		return t, func(w io.Writer, nv *nvbit.NVBit) {
+			st := t.Stats()
+			fmt.Fprintf(w, "cache replay: %d accesses, L1 %.1f%% hit, L2 %d hits / %d misses, %d dropped\n",
+				st.Accesses, 100*st.L1HitRate(), st.L2Hits, st.L2Misses, st.Dropped)
+		}
+	},
+}
+
+// diffBenchmark returns the workload the differential runs execute.
+func diffBenchmark(t *testing.T) *specaccel.Benchmark {
+	t.Helper()
+	for _, b := range specaccel.Benchmarks() {
+		if b.Name == "cg" {
+			return b
+		}
+	}
+	t.Fatal("specaccel benchmark cg not found")
+	return nil
+}
+
+// diffRun executes the workload under one tool/save-mode/scheduler triple
+// and returns the tool's report output plus the mean saved registers per
+// trampoline.
+func diffRun(t *testing.T, toolName string, fullSave bool, sched gpusim.SchedulerKind) (string, float64) {
+	t.Helper()
+	api, err := gpusim.New(gpusim.Volta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool, report := diffTools[toolName]()
+	nv, err := nvbit.Attach(api, tool, nvbit.WithScheduler(sched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv.ForceFullSaveSet(fullSave)
+	ctx, err := api.CtxCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := diffBenchmark(t).Run(ctx, specaccel.Small); err != nil {
+		t.Fatal(err)
+	}
+	api.Close() // fires AtTerm: channel tools drain before reporting
+	var buf bytes.Buffer
+	report(&buf, nv)
+
+	js := nv.JITStats()
+	if js.TrampolinesEmitted == 0 {
+		t.Fatalf("%s: no trampolines emitted", toolName)
+	}
+	return buf.String(), js.AvgSavedRegs()
+}
+
+// quickCounter reproduces the quickstart example's tool (Listing 1): one
+// atomic bump per thread-level instruction.
+type quickCounter struct {
+	counter uint64
+}
+
+const quickToolPTX = `
+.toolfunc count_instrs(.param .u64 counter)
+{
+	.reg .u64 %rd<4>;
+	ld.param.u64 %rd0, [counter];
+	mov.u64 %rd2, 1;
+	red.global.add.u64 [%rd0], %rd2;
+	ret;
+}
+`
+
+func (t *quickCounter) AtInit(n *nvbit.NVBit) {
+	if err := n.RegisterToolPTX(quickToolPTX); err != nil {
+		panic(err)
+	}
+	var err error
+	if t.counter, err = n.Malloc(8); err != nil {
+		panic(err)
+	}
+}
+
+func (t *quickCounter) AtTerm(*nvbit.NVBit) {}
+
+func (t *quickCounter) AtCUDACall(n *nvbit.NVBit, exit bool, cbid nvbit.CBID, name string, p *nvbit.CallParams) {
+	if exit || cbid != nvbit.CBLaunchKernel {
+		return
+	}
+	f := p.Launch.Func
+	if n.IsInstrumented(f) {
+		return
+	}
+	insts, err := n.GetInstrs(f)
+	if err != nil {
+		panic(err)
+	}
+	for _, i := range insts {
+		n.InsertCallArgs(i, "count_instrs", nvbit.IPointBefore, nvbit.ArgConst64(t.counter))
+	}
+}
+
+const quickSaxpyPTX = `
+.visible .entry saxpy(.param .u64 x, .param .u64 y, .param .f32 a, .param .u32 n)
+{
+	.reg .u32 %r<8>;
+	.reg .u64 %rd<6>;
+	.reg .f32 %f<4>;
+	.reg .pred %p<2>;
+	mov.u32 %r0, %ctaid.x;
+	mov.u32 %r1, %ntid.x;
+	mov.u32 %r2, %tid.x;
+	mad.lo.u32 %r3, %r0, %r1, %r2;
+	ld.param.u32 %r4, [n];
+	setp.ge.u32 %p0, %r3, %r4;
+	@%p0 exit;
+	ld.param.u64 %rd0, [x];
+	ld.param.u64 %rd2, [y];
+	mul.wide.u32 %rd4, %r3, 4;
+	add.u64 %rd0, %rd0, %rd4;
+	add.u64 %rd2, %rd2, %rd4;
+	ld.global.f32 %f0, [%rd0];
+	ld.global.f32 %f1, [%rd2];
+	ld.param.f32 %f2, [a];
+	fma.rn.f32 %f1, %f2, %f0, %f1;
+	st.global.f32 [%rd2], %f1;
+	exit;
+}
+`
+
+// runQuickstart attaches the instruction counter to the quickstart saxpy
+// and returns the counted instructions, the mean saved registers per
+// trampoline, and the kernel's register high-water mark.
+func runQuickstart(t *testing.T, fullSave bool) (count uint64, avgSaved float64, maxRegs int) {
+	t.Helper()
+	api, err := gpusim.New(gpusim.Volta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := &quickCounter{}
+	nv, err := nvbit.Attach(api, tool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv.ForceFullSaveSet(fullSave)
+	ctx, err := api.CtxCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := ctx.ModuleLoadPTX("saxpy", quickSaxpyPTX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := mod.GetFunction("saxpy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1024
+	x, _ := ctx.MemAlloc(4 * n)
+	y, _ := ctx.MemAlloc(4 * n)
+	params, err := gpusim.PackParams(f, x, y, float32(2.0), uint32(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.LaunchKernel(f, gpusim.D1(n/256), gpusim.D1(256), 0, params); err != nil {
+		t.Fatal(err)
+	}
+	count, err = nv.ReadU64(tool.counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return count, nv.JITStats().AvgSavedRegs(), f.MaxRegs()
+}
+
+// TestQuickstartSaveSetBelowMaxRegs is the paper-facing acceptance check:
+// instrumenting the quickstart saxpy with the instruction counter, the mean
+// saved-register count per trampoline is strictly below the function's
+// register high-water mark, with an identical instruction count to the
+// full-save ablation.
+func TestQuickstartSaveSetBelowMaxRegs(t *testing.T) {
+	minCount, avgMin, maxRegs := runQuickstart(t, false)
+	fullCount, avgFull, _ := runQuickstart(t, true)
+	if minCount != fullCount {
+		t.Fatalf("instruction counts diverge: minimal %d, full %d", minCount, fullCount)
+	}
+	if minCount == 0 {
+		t.Fatal("no instructions counted")
+	}
+	if avgMin >= float64(maxRegs) {
+		t.Fatalf("mean saved regs per trampoline %.1f, want strictly below MaxRegs %d", avgMin, maxRegs)
+	}
+	if avgMin >= avgFull {
+		t.Fatalf("liveness sizing (%.1f regs/site) did not improve on the full save (%.1f)", avgMin, avgFull)
+	}
+}
+
+// TestDifferentialSaveSets is the end-to-end guarantee behind the liveness
+// optimization: for all six tools and both schedulers, minimal and full
+// save sets yield identical reports.
+func TestDifferentialSaveSets(t *testing.T) {
+	scheds := map[string]gpusim.SchedulerKind{
+		"sequential": gpusim.SchedulerSequential,
+		"parallel":   gpusim.SchedulerParallelSM,
+	}
+	for toolName := range diffTools {
+		for schedName, sched := range scheds {
+			toolName, schedName, sched := toolName, schedName, sched
+			t.Run(toolName+"/"+schedName, func(t *testing.T) {
+				t.Parallel()
+				minimal, avgMin := diffRun(t, toolName, false, sched)
+				full, avgFull := diffRun(t, toolName, true, sched)
+				if minimal != full {
+					t.Errorf("output diverges between minimal and full save sets:\nminimal:\n%s\nfull:\n%s", minimal, full)
+				}
+				if minimal == "" {
+					t.Error("empty report")
+				}
+				// The minimal runs must actually shrink the save sets,
+				// not merely match output.
+				if avgMin >= avgFull {
+					t.Errorf("liveness sizing saved %.1f regs/site on average, full save %.1f — no reduction", avgMin, avgFull)
+				}
+			})
+		}
+	}
+}

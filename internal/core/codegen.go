@@ -38,10 +38,31 @@ func (n *NVBit) generate(fs *funcState) error {
 			continue
 		}
 
-		// Size the save set: the maximum register requirement of the
-		// original code (including dependent functions), every injected
-		// function, and every register the argument marshalling reads.
+		// Size the save set per site: the registers the liveness pass
+		// proves live at this instruction (clipped to the function's
+		// register requirement, which is also the fallback when the
+		// analysis is conservative), every injected function, and every
+		// register the argument marshalling reads. Registers above the
+		// save set are provably dead here and never written by
+		// trampoline code, so skipping them cannot change tool output.
 		maxRegs := f.MaxRegs()
+		if live := fs.liveness(); !live.Conservative() {
+			rs, _ := live.SiteLive(i.idx)
+			if m := rs.Max() + 1; m < maxRegs {
+				maxRegs = m
+			}
+		}
+		// needCapture: some injected call is guarded by a real predicate,
+		// so the trampoline snapshots the site-entry predicate bank into a
+		// scratch register (chosen above every register the app or the
+		// tool functions touch) and re-materializes it before each guarded
+		// CAL. Without this, an after-group guard would read the value
+		// left by the relocated original instruction — wrong when the
+		// instruction defines its own guard predicate — and a guard in a
+		// multi-call group would read predicates a preceding tool function
+		// clobbered.
+		needCapture := false
+		scratch := f.MaxRegs()
 		calls := make([]*callRequest, 0, len(i.before)+len(i.after))
 		calls = append(calls, i.before...)
 		calls = append(calls, i.after...)
@@ -55,6 +76,18 @@ func (n *NVBit) generate(fs *funcState) error {
 			}
 			if tf.numRegs > maxRegs {
 				maxRegs = tf.numRegs
+			}
+			if tf.numRegs > scratch {
+				scratch = tf.numRegs
+			}
+			if cr.guarded {
+				p := cr.guardP
+				if cr.useSite {
+					p = i.inst.Pred
+				}
+				if p != sass.PT {
+					needCapture = true
+				}
 			}
 			for _, a := range cr.args {
 				if a.kind == argRegVal && a.reg+1 > maxRegs {
@@ -84,6 +117,11 @@ func (n *NVBit) generate(fs *funcState) error {
 		if n.forceFullSave {
 			saveN = hal.RegsPerThread
 		}
+		// The capture scratch register must exist; when the function and
+		// tools together already consume the whole register file there is
+		// no dead register to borrow, and guards keep the pre-liveness
+		// behavior of reading the bank at call time.
+		capture := needCapture && scratch < sass.NumRegs
 		saveFn, restoreFn, err := n.loader.saveRestore(saveN)
 		if err != nil {
 			return err
@@ -109,13 +147,24 @@ func (n *NVBit) generate(fs *funcState) error {
 					return err
 				}
 				tr = append(tr, insts...)
+				if cr.guarded && capture {
+					// Re-materialize the site-entry predicate bank
+					// snapshot so the CAL's predicate match sees the
+					// values that held when the trampoline was
+					// entered — not values the relocated original
+					// (after groups) or an earlier tool function in
+					// this group may have written. The group's
+					// closing restore reloads the bank from the save
+					// frame, so the app never observes this write.
+					r2p := sass.NewInst(sass.OpR2P)
+					r2p.Src1 = sass.Reg(scratch)
+					tr = append(tr, r2p)
+				}
 				emitCall(int64(tf.addr))
 				if cr.guarded {
 					// Predicate matching on the call itself (Section
 					// 7 future work): non-matching lanes fall through
-					// past the CAL. Predicates still hold their
-					// original values here — nothing before the
-					// restore writes them.
+					// past the CAL.
 					cal := &tr[len(tr)-1]
 					if cr.useSite {
 						cal.Pred, cal.PredNeg = i.inst.Pred, i.inst.PredNeg
@@ -128,6 +177,15 @@ func (n *NVBit) generate(fs *funcState) error {
 			return nil
 		}
 
+		if capture {
+			// Snapshot the predicate bank at trampoline entry. The
+			// scratch register sits above everything the app, the
+			// marshalling and the tool functions write, so the snapshot
+			// survives until the last guarded CAL re-reads it.
+			p2r := sass.NewInst(sass.OpP2R)
+			p2r.Dst = sass.Reg(scratch)
+			tr = append(tr, p2r)
+		}
 		if err := emitGroup(i.before); err != nil {
 			return err
 		}
@@ -177,6 +235,17 @@ func (n *NVBit) generate(fs *funcState) error {
 			return err
 		}
 		n.stats.TrampolinesEmitted++
+		n.stats.TrampolineWords += len(tr)
+		// SavedRegs counts the registers this site must preserve (the
+		// liveness-derived requirement), not the granularity-rounded
+		// frame the HAL caches save routines by: the requirement is the
+		// quantity the paper's minimality claim is about, and rounding
+		// would mask per-site variation below one granule.
+		if n.forceFullSave {
+			n.stats.SavedRegs += hal.RegsPerThread
+		} else {
+			n.stats.SavedRegs += maxRegs
+		}
 	}
 	fs.instrumented = true
 	fs.dirty = false

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"nvbitgo/internal/driver"
 	"nvbitgo/internal/gpu"
 	"nvbitgo/internal/sass"
 )
@@ -104,5 +105,37 @@ func TestTrampolineStructure(t *testing.T) {
 		if cals < 3 {
 			t.Fatalf("word %d: trampoline has %d CALs, want save+tool+restore", idx, cals)
 		}
+	}
+}
+
+// TestLaunchNoTracingZeroAllocThroughFramework extends the gpu package's
+// zero-alloc launch contract through the attached framework: with tracing
+// off, the framework's own work per launch — tool callback, finalize check,
+// dispatch — allocates nothing once the pools are warm. The only objects
+// per run are the driver's two interposition parameters (LaunchParams and
+// CallParams in LaunchKernel), which exist with or without a tool attached.
+// This pins that the per-site liveness work happens at code-generation
+// time, never per launch. (Instrumented execution itself allocates by
+// design: SAVEPUSH builds one save frame per active lane.)
+func TestLaunchNoTracingZeroAllocThroughFramework(t *testing.T) {
+	tool := &testTool{}
+	env := setup(t, sass.Volta, tool)
+	params, err := driver.PackParams(env.fn, env.data, env.n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the warp/context pools and the decode cache.
+	for i := 0; i < 2; i++ {
+		if err := env.ctx.LaunchKernel(env.fn, gpu.D1(4), gpu.D1(64), 0, params); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := env.ctx.LaunchKernel(env.fn, gpu.D1(4), gpu.D1(64), 0, params); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("tracing-off launch through the framework allocates %v objects per run, want at most the driver's 2 callback parameters", allocs)
 	}
 }

@@ -169,16 +169,25 @@ func (n *NVBit) emitJITPhases(prof *profile.Collector, before JITStats, t0 time.
 	if f.Module != nil {
 		parent = f.Module.TraceID
 	}
+	tramps := uint64(n.stats.TrampolinesEmitted - before.TrampolinesEmitted)
+	saved := uint64(n.stats.SavedRegs - before.SavedRegs)
 	t := t0
 	for i := range cur {
 		d := cur[i] - prev[i]
-		if d <= 0 {
-			continue
-		}
-		prof.Emit(profile.Record{
+		rec := profile.Record{
 			Kind: profile.KindJITPhase, Name: names[i], Kernel: f.Name,
 			Parent: parent, Start: t, Dur: d, SM: -1,
-		})
+		}
+		if names[i] == "codegen" {
+			rec.Trampolines, rec.SavedRegs = tramps, saved
+		}
+		// Phases that did no work are skipped — except a codegen phase
+		// that emitted trampolines, whose save-set metrics must survive
+		// even when the measured duration rounds to zero.
+		if d <= 0 && !(names[i] == "codegen" && tramps > 0) {
+			continue
+		}
+		prof.Emit(rec)
 		t += d
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -60,6 +61,12 @@ const toolSrc = `
 	ld.param.u64 %rd0, [addr];
 	ld.param.u64 %rd2, [out];
 	st.global.u64 [%rd2], %rd0;
+	ret;
+}
+.toolfunc touch(.param .u32 v)
+{
+	.reg .u32 %r<2>;
+	ld.param.u32 %r0, [v];
 	ret;
 }
 `
@@ -530,25 +537,120 @@ func TestResetInstrumented(t *testing.T) {
 	}
 }
 
+// fatKernelPTX builds a kernel whose register pressure ramps from 2 live
+// registers up to ~28 and back down: a chain of definitions all consumed by
+// a final summing phase. Per-site save sets must track that ramp.
+func fatKernelPTX() string {
+	var b strings.Builder
+	b.WriteString(".visible .entry fat(.param .u64 out)\n{\n")
+	b.WriteString("\t.reg .u32 %r<26>;\n\t.reg .u64 %rd<4>;\n")
+	b.WriteString("\tld.param.u64 %rd0, [out];\n")
+	b.WriteString("\tmov.u32 %r0, %tid.x;\n")
+	b.WriteString("\tmul.wide.u32 %rd2, %r0, 4;\n")
+	b.WriteString("\tadd.u64 %rd0, %rd0, %rd2;\n")
+	for k := 1; k <= 25; k++ {
+		fmt.Fprintf(&b, "\tadd.u32 %%r%d, %%r%d, 1;\n", k, k-1)
+	}
+	for k := 1; k <= 25; k++ {
+		fmt.Fprintf(&b, "\tadd.u32 %%r0, %%r0, %%r%d;\n", k)
+	}
+	b.WriteString("\tst.global.u32 [%rd0], %r0;\n\texit;\n}\n")
+	return b.String()
+}
+
 func TestSaveSetSizing(t *testing.T) {
+	// A near-register-free tool function on a register-fat kernel, so the
+	// save sets are shaped by the per-site liveness analysis (above the
+	// tool ABI's R16+ locals floor).
+	tool := &testTool{}
+	env := setup(t, sass.Volta, tool)
+	mod, err := env.ctx.ModuleLoadPTX("fat.ptx", fatKernelPTX())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := mod.GetFunction("fat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool.onLaunch = func(n *NVBit, p *driver.CallParams) {
+		f := p.Launch.Func
+		if n.IsInstrumented(f) {
+			return
+		}
+		insts, err := n.GetInstrs(f)
+		if err != nil {
+			panic(err)
+		}
+		for _, i := range insts {
+			n.InsertCallArgs(i, "touch", IPointBefore, ArgConst32(7))
+		}
+	}
+	out, err := env.ctx.MemAlloc(4 * 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := driver.PackParams(fn, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.ctx.LaunchKernel(fn, gpu.D1(1), gpu.D1(64), 0, params); err != nil {
+		t.Fatal(err)
+	}
+	full := env.nv.hal.SaveSetSize(fn.MaxRegs())
+	if len(env.nv.loader.saves) < 2 {
+		t.Fatalf("per-site sizing should load several save-routine sizes, got %v", env.nv.loader.saves)
+	}
+	for nRegs := range env.nv.loader.saves {
+		if nRegs%env.nv.hal.SaveGranularity != 0 {
+			t.Fatalf("save set %d not a multiple of granularity", nRegs)
+		}
+		if nRegs < 1 || nRegs > full {
+			t.Fatalf("save set %d outside (0, %d]: liveness must never save more than the whole-function bound", nRegs, full)
+		}
+	}
+	js := env.nv.JITStats()
+	if js.TrampolinesEmitted == 0 || js.SavedRegs == 0 {
+		t.Fatalf("save-set metric not accumulated: %+v", js)
+	}
+	if js.AvgSavedRegs() >= float64(fn.MaxRegs()) {
+		t.Fatalf("mean save set %.1f not below the whole-function requirement %d",
+			js.AvgSavedRegs(), fn.MaxRegs())
+	}
+	// The kernel must still compute the right answer under minimal saves:
+	// each thread stores tid*26 + (1+2+...+25).
+	host := make([]byte, 4*64)
+	if err := env.ctx.MemcpyDtoH(host, out); err != nil {
+		t.Fatal(err)
+	}
+	for tid := 0; tid < 64; tid++ {
+		got := uint32(host[4*tid]) | uint32(host[4*tid+1])<<8 | uint32(host[4*tid+2])<<16 | uint32(host[4*tid+3])<<24
+		want := uint32(tid*26 + 325)
+		if got != want {
+			t.Fatalf("thread %d: got %d, want %d", tid, got, want)
+		}
+	}
+}
+
+func TestSaveSetCoversToolRequirement(t *testing.T) {
+	// A register-hungry tool function must still be fully covered: the
+	// liveness minimum can never undercut what the injected function needs.
 	tool := &testTool{}
 	env := setup(t, sass.Volta, tool)
 	var ctr uint64
 	ctr, _ = env.nv.Malloc(8)
 	tool.onLaunch = instrumentAll(ctr)
 	env.launch(t)
-	if len(env.nv.loader.saves) != 1 {
-		t.Fatalf("save routines loaded: %d, want 1", len(env.nv.loader.saves))
+	tf, err := env.nv.loader.lookup("tally")
+	if err != nil {
+		t.Fatal(err)
 	}
+	full := env.nv.hal.SaveSetSize(env.fn.MaxRegs())
 	for nRegs := range env.nv.loader.saves {
-		if nRegs%env.nv.hal.SaveGranularity != 0 {
-			t.Fatalf("save set %d not a multiple of granularity", nRegs)
+		if nRegs < tf.numRegs {
+			t.Fatalf("save set %d smaller than the tool's %d registers", nRegs, tf.numRegs)
 		}
-		if nRegs < env.fn.MaxRegs() {
-			t.Fatalf("save set %d smaller than the kernel's %d registers", nRegs, env.fn.MaxRegs())
-		}
-		if nRegs >= 2*env.nv.hal.SaveGranularity+env.fn.MaxRegs() {
-			t.Fatalf("save set %d far larger than required (%d regs)", nRegs, env.fn.MaxRegs())
+		if nRegs > full {
+			t.Fatalf("save set %d above the whole-function bound %d", nRegs, full)
 		}
 	}
 }

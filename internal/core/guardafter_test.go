@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"nvbitgo/internal/driver"
+	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/sass"
+)
+
+// selfClobberPTX sets P0 true for threads < 12, then executes an ISETP that
+// is guarded by the very predicate it writes: the executing lanes flip P0 to
+// false. A guarded IPointAfter call must still match the site-entry value
+// (12 lanes), not the clobbered one (0 lanes).
+const selfClobberPTX = `
+.visible .entry selfclobber(.param .u64 out)
+{
+	.reg .u32 %r<4>;
+	.reg .u64 %rd<4>;
+	.reg .pred %p<2>;
+	mov.u32 %r0, %tid.x;
+	setp.lt.u32 %p0, %r0, 12;
+	@%p0 setp.ge.u32 %p0, %r0, 100;
+	mov.u32 %r1, 0;
+	@%p0 add.u32 %r1, %r1, 1;
+	ld.param.u64 %rd0, [out];
+	mul.wide.u32 %rd2, %r0, 4;
+	add.u64 %rd0, %rd0, %rd2;
+	st.global.u32 [%rd0], %r1;
+	exit;
+}
+`
+
+// runSelfClobber instruments the self-clobbering ISETP (the only guarded
+// ISETP in the kernel) via arm, launches, and returns the tally count plus
+// the per-lane app results.
+func runSelfClobber(t *testing.T, arm func(n *NVBit, i *Instr, ctr uint64)) (uint64, []byte) {
+	t.Helper()
+	api, err := driver.New(gpu.DefaultConfig(sass.Volta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := &testTool{}
+	nv, err := Attach(api, tool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, _ := nv.Malloc(8)
+	tool.onLaunch = func(n *NVBit, p *driver.CallParams) {
+		f := p.Launch.Func
+		if n.IsInstrumented(f) {
+			return
+		}
+		insts, err := n.GetInstrs(f)
+		if err != nil {
+			panic(err)
+		}
+		for _, i := range insts {
+			if _, _, guarded := i.GetPredicate(); guarded && i.Op() == sass.OpISETP {
+				arm(n, i, ctr)
+			}
+		}
+	}
+	ctx, _ := api.CtxCreate()
+	mod, err := ctx.ModuleLoadPTX("app", selfClobberPTX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := mod.GetFunction("selfclobber")
+	out, _ := ctx.MemAlloc(4 * 64)
+	params, _ := driver.PackParams(f, out)
+	if err := ctx.LaunchKernel(f, gpu.D1(1), gpu.D1(64), 0, params); err != nil {
+		t.Fatal(err)
+	}
+	count, err := nv.ReadU64(ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := make([]byte, 4*64)
+	if err := ctx.MemcpyDtoH(host, out); err != nil {
+		t.Fatal(err)
+	}
+	return count, host
+}
+
+// checkClobberApp asserts the app's own behavior is untouched: after the
+// self-clobbering ISETP, P0 is false for every lane, so no lane increments.
+func checkClobberApp(t *testing.T, host []byte) {
+	t.Helper()
+	for lane := 0; lane < 64; lane++ {
+		if host[4*lane] != 0 {
+			t.Fatalf("lane %d = %d: app must observe the post-instruction predicate (all false)", lane, host[4*lane])
+		}
+	}
+}
+
+// TestGuardAfterSelfClobberingPredicate is the regression test for guarded
+// after-injections: the CAL's predicate match must use the site-entry value
+// of the guard, captured before the relocated original executes.
+func TestGuardAfterSelfClobberingPredicate(t *testing.T) {
+	count, host := runSelfClobber(t, func(n *NVBit, i *Instr, ctr uint64) {
+		n.InsertCallArgs(i, "tally", IPointAfter, ArgConst64(ctr))
+		n.GuardCallBySite(i)
+	})
+	if count != 12 {
+		t.Fatalf("guarded after-call counted %d lanes, want the 12 lanes live at site entry", count)
+	}
+	checkClobberApp(t, host)
+}
+
+// TestGuardAfterExplicitNegatedPredicate: the complementary polarity must
+// also see the entry value — 52 lanes had !P0 at the site, not all 64.
+func TestGuardAfterExplicitNegatedPredicate(t *testing.T) {
+	count, host := runSelfClobber(t, func(n *NVBit, i *Instr, ctr uint64) {
+		n.InsertCallArgs(i, "tally", IPointAfter, ArgConst64(ctr))
+		n.GuardCall(i, sass.Pred(0), true)
+	})
+	if count != 52 {
+		t.Fatalf("negated guarded after-call counted %d lanes, want 52", count)
+	}
+	checkClobberApp(t, host)
+}
+
+// TestGuardBeforeUnaffectedBySelfClobber: before-injections matched on the
+// same site see the same 12 lanes (the entry value is the current value
+// there), so the fix must not change them.
+func TestGuardBeforeUnaffectedBySelfClobber(t *testing.T) {
+	count, host := runSelfClobber(t, func(n *NVBit, i *Instr, ctr uint64) {
+		n.InsertCallArgs(i, "tally", IPointBefore, ArgConst64(ctr))
+		n.GuardCallBySite(i)
+	})
+	if count != 12 {
+		t.Fatalf("guarded before-call counted %d lanes, want 12", count)
+	}
+	checkClobberApp(t, host)
+}
+
+// TestGuardAfterToolClobberingPredicate: within one injection group, a tool
+// function that writes predicates (predtally's own setp lands in the same
+// physical bank) must not perturb a later guarded call's match — the guard
+// snapshot is taken at trampoline entry.
+func TestGuardAfterToolClobberingPredicate(t *testing.T) {
+	count, host := runSelfClobber(t, func(n *NVBit, i *Instr, ctr uint64) {
+		// First call always runs and clobbers P0 inside the group (its
+		// pred argument is 1 for every lane, so its internal setp.eq
+		// writes false into P0); the second call is predicate-matched.
+		n.InsertCallArgs(i, "predtally", IPointBefore, ArgConst32(1), ArgConst64(ctr))
+		n.InsertCallArgs(i, "tally", IPointBefore, ArgConst64(ctr))
+		n.GuardCallBySite(i)
+	})
+	// predtally counts all 64 lanes (pred argument nonzero), the matched
+	// tally counts the 12 site-entry lanes.
+	if count != 64+12 {
+		t.Fatalf("counted %d, want 76 (64 unguarded + 12 matched at entry)", count)
+	}
+	checkClobberApp(t, host)
+}

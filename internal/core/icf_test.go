@@ -168,3 +168,66 @@ func TestICFUninstrumentedBaseline(t *testing.T) {
 		}
 	}
 }
+
+// TestICFLivenessConservative: indirect control flow defeats the CFG the
+// liveness pass runs over, so LiveRegs must report the conservative
+// all-live set (clipped to the function's register requirement) and the
+// save sets must be sized from the full bound — degraded, never wrong.
+func TestICFLivenessConservative(t *testing.T) {
+	api, err := driver.New(gpu.DefaultConfig(sass.Volta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := &testTool{}
+	nv, err := Attach(api, tool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, _ := nv.Malloc(8)
+	tool.onLaunch = func(n *NVBit, p *driver.CallParams) {
+		f := p.Launch.Func
+		if n.IsInstrumented(f) {
+			return
+		}
+		insts, err := n.GetInstrs(f)
+		if err != nil {
+			panic(err)
+		}
+		full := sass.RegRange(f.MaxRegs())
+		for _, i := range insts {
+			rs, conservative := n.LiveRegs(i)
+			if !conservative {
+				t.Error("LiveRegs on an ICF function did not report the conservative fallback")
+			}
+			if rs != full {
+				t.Errorf("ICF live set %v, want the full bound %v", rs.Regs(), full.Regs())
+			}
+			n.InsertCallArgs(i, "tally", IPointBefore, ArgConst64(ctr))
+		}
+	}
+	ctx, _ := api.CtxCreate()
+	f := loadICF(t, ctx)
+	vals := runICF(t, ctx, f)
+	for lane, v := range vals {
+		want := uint32(111)
+		if lane%2 == 1 {
+			want = 222
+		}
+		if v != want {
+			t.Fatalf("lane %d = %d, want %d (BRX broken under conservative save sets)", lane, v, want)
+		}
+	}
+	// Every save set was sized from the conservative bound union the tool
+	// requirement: exactly one cached size.
+	tf, err := nv.loader.lookup("tally")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := nv.hal.SaveSetSize(max(f.MaxRegs(), tf.numRegs))
+	if len(nv.loader.saves) != 1 {
+		t.Fatalf("ICF instrumentation cached %d save sizes, want 1", len(nv.loader.saves))
+	}
+	if _, ok := nv.loader.saves[want]; !ok {
+		t.Fatalf("ICF save size not the conservative %d (cached: %v)", want, nv.loader.saves)
+	}
+}

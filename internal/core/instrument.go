@@ -200,10 +200,11 @@ func (n *NVBit) RemoveOrig(i *Instr) {
 }
 
 // ForceFullSaveSet makes the Code Generator always save the entire register
-// file instead of the minimal set derived from register-requirement
-// analysis. It exists as the ablation baseline for the paper's design choice
-// that "NVBit saves only the minimum amount of general purpose registers"
-// (Section 5.1); no real tool should enable it.
+// file instead of the per-site minimal set derived from the backward
+// register-liveness analysis (see LiveRegs). It exists as the ablation
+// baseline for the paper's design choice that "NVBit saves only the minimum
+// amount of general purpose registers" (Section 5.1); no real tool should
+// enable it.
 func (n *NVBit) ForceFullSaveSet(v bool) { n.forceFullSave = v }
 
 // hasWork reports whether the instruction carries instrumentation requests.

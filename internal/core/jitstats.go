@@ -26,7 +26,19 @@ type JITStats struct {
 	FunctionsLifted    int
 	InstrsLifted       int
 	TrampolinesEmitted int
+	TrampolineWords    int // total instruction words across emitted trampolines
+	SavedRegs          int // total save-set registers across emitted trampolines
 	SwapBytes          int
+}
+
+// AvgSavedRegs returns the mean save-set size per emitted trampoline — the
+// per-site cost the liveness pass minimizes (paper Section 5.1) — or 0 when
+// no trampolines were emitted.
+func (s JITStats) AvgSavedRegs() float64 {
+	if s.TrampolinesEmitted == 0 {
+		return 0
+	}
+	return float64(s.SavedRegs) / float64(s.TrampolinesEmitted)
 }
 
 // Total returns the summed JIT-compilation overhead.

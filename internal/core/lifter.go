@@ -43,7 +43,9 @@ type callRequest struct {
 type funcState struct {
 	f         *driver.Function
 	insts     []*Instr
-	sassText  []string // per-instruction disassembly, built at lift time
+	raw       []sass.Inst    // decoded body, input to the liveness pass
+	live      *sass.Liveness // lazily computed by liveness()
+	sassText  []string       // per-instruction disassembly, built at lift time
 	blocks    []BasicBlock
 	hasICF    bool
 	instBytes int
@@ -99,6 +101,7 @@ func (n *NVBit) state(f *driver.Function) (*funcState, error) {
 
 	// Phase 3: convert to the user-facing Instr form, including the
 	// structured operand views and the basic-block partition.
+	fs.raw = insts
 	fs.insts = make([]*Instr, len(insts))
 	backing := make([]Instr, len(insts))
 	for i, in := range insts {
@@ -151,6 +154,32 @@ func (n *NVBit) GetBasicBlocks(f *driver.Function) ([]BasicBlock, error) {
 // (nvbit_get_related_funcs).
 func (n *NVBit) GetRelatedFuncs(f *driver.Function) []*driver.Function {
 	return f.Related
+}
+
+// liveness returns the function's register-liveness analysis, computing it
+// on first use. Functions with indirect control flow get the conservative
+// all-live instance.
+func (fs *funcState) liveness() *sass.Liveness {
+	if fs.live == nil {
+		fs.live = sass.AnalyzeLiveness(fs.raw)
+	}
+	return fs.live
+}
+
+// LiveRegs returns the general-purpose registers live at the instruction's
+// site: everything live into or out of the instruction plus its own operands,
+// clipped to the function's register requirement. conservative is true when
+// the function contains indirect control flow and the analysis fell back to
+// treating every register as live (the set then covers R0..MaxRegs-1). This
+// is the per-site set the Code Generator preserves around injected calls.
+func (n *NVBit) LiveRegs(i *Instr) (regs sass.RegSet, conservative bool) {
+	live := i.fs.liveness()
+	bound := sass.RegRange(i.fs.f.MaxRegs())
+	if live.Conservative() {
+		return bound, true
+	}
+	rs, _ := live.SiteLive(i.idx)
+	return rs.Intersect(bound), false
 }
 
 // IsInstrumented reports whether the Code Generator has already produced

@@ -165,24 +165,28 @@ func (l *toolLoader) saveRestore(nRegs int) (save, restore gpu.CodeAddr, err err
 	}
 	rs = append(rs, sass.NewInst(sass.OpSAVEPOP), sass.NewInst(sass.OpRET))
 
-	dev := l.n.Device()
-	load := func(insts []sass.Inst) (gpu.CodeAddr, error) {
-		addr, err := dev.AllocCode(len(insts))
-		if err != nil {
-			return 0, err
-		}
-		raw, err := hal.Codec().EncodeAll(insts)
-		if err != nil {
-			return 0, err
-		}
-		return addr, dev.WriteCode(addr, raw)
-	}
-	s, err := load(sv)
+	// Encode both routines before touching device state, then place them
+	// with a single allocation: a codec error costs no device code space,
+	// an allocation failure leaks nothing, and the cache only ever records
+	// the save/restore addresses as a pair.
+	svRaw, err := hal.Codec().EncodeAll(sv)
 	if err != nil {
 		return 0, 0, err
 	}
-	r, err := load(rs)
+	rsRaw, err := hal.Codec().EncodeAll(rs)
 	if err != nil {
+		return 0, 0, err
+	}
+	dev := l.n.Device()
+	s, err := dev.AllocCode(len(sv) + len(rs))
+	if err != nil {
+		return 0, 0, err
+	}
+	r := s + gpu.CodeAddr(len(sv))
+	if err := dev.WriteCode(s, svRaw); err != nil {
+		return 0, 0, err
+	}
+	if err := dev.WriteCode(r, rsRaw); err != nil {
 		return 0, 0, err
 	}
 	l.saves[nRegs] = s

@@ -150,3 +150,30 @@ func TestWFFTShape(t *testing.T) {
 	}
 	_ = RenderWFFT(r)
 }
+
+func TestSaveSetShape(t *testing.T) {
+	rows, err := SaveSet(specaccel.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Trampolines == 0 {
+			t.Fatalf("%s: no trampolines", r.Benchmark)
+		}
+		// The ablation direction the paper's design choice predicts:
+		// liveness-minimal save sets never exceed the full-file baseline,
+		// and beat it on every benchmark at per-instruction coverage.
+		if r.LiveRegs >= r.FullRegs {
+			t.Fatalf("%s: liveness saves %.1f regs/site, full baseline %.1f", r.Benchmark, r.LiveRegs, r.FullRegs)
+		}
+		if r.CycleRatio <= 0 || r.CycleRatio > 1 {
+			t.Fatalf("%s: cycle ratio %.3f outside (0, 1]", r.Benchmark, r.CycleRatio)
+		}
+	}
+	if out := RenderSaveSet(rows); len(out) == 0 {
+		t.Fatal("empty rendering")
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"nvbitgo/internal/tools/instrcount"
+	"nvbitgo/internal/workloads/specaccel"
+	"nvbitgo/nvbit"
+)
+
+// SaveSetRow is one benchmark's save-set ablation: the mean registers saved
+// per trampoline with the per-site liveness analysis against the
+// full-register-file baseline, and the resulting instrumented-cycle ratio —
+// the quantitative form of Section 5.1's "saves only the minimum amount of
+// general purpose registers".
+type SaveSetRow struct {
+	Benchmark string
+	// LiveRegs and FullRegs are mean saved registers per trampoline.
+	LiveRegs float64
+	FullRegs float64
+	// Trampolines is the number of instrumentation sites generated.
+	Trampolines uint64
+	// CycleRatio is instrumented cycles with liveness-minimal save sets
+	// over cycles with full save sets (< 1 means liveness is cheaper).
+	CycleRatio float64
+}
+
+// SaveSet runs the save-set ablation over the SpecAccel suite with the
+// instruction-counting tool on every instruction.
+func SaveSet(size specaccel.Size) ([]SaveSetRow, error) {
+	run := func(b *specaccel.Benchmark, full bool) (nvbit.JITStats, uint64, error) {
+		api, err := newAPI()
+		if err != nil {
+			return nvbit.JITStats{}, 0, err
+		}
+		nv, err := nvbit.Attach(api, instrcount.New(), attachOpts()...)
+		if err != nil {
+			return nvbit.JITStats{}, 0, err
+		}
+		nv.ForceFullSaveSet(full)
+		ctx, err := api.CtxCreate()
+		if err != nil {
+			return nvbit.JITStats{}, 0, err
+		}
+		if err := b.Run(ctx, size); err != nil {
+			return nvbit.JITStats{}, 0, fmt.Errorf("saveset: %s: %w", b.Name, err)
+		}
+		return nv.JITStats(), api.Device().Stats().Cycles, nil
+	}
+	var rows []SaveSetRow
+	for _, b := range specaccel.Benchmarks() {
+		live, liveCycles, err := run(b, false)
+		if err != nil {
+			return nil, err
+		}
+		full, fullCycles, err := run(b, true)
+		if err != nil {
+			return nil, err
+		}
+		row := SaveSetRow{
+			Benchmark:   b.Name,
+			LiveRegs:    live.AvgSavedRegs(),
+			FullRegs:    full.AvgSavedRegs(),
+			Trampolines: uint64(live.TrampolinesEmitted),
+		}
+		if fullCycles > 0 {
+			row.CycleRatio = float64(liveCycles) / float64(fullCycles)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderSaveSet formats the save-set ablation table.
+func RenderSaveSet(rows []SaveSetRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Save-set ablation: mean saved registers per trampoline (liveness vs full file)\n")
+	fmt.Fprintf(&b, "%-10s %12s %10s %10s %12s\n",
+		"benchmark", "trampolines", "liveness", "full", "cycle-ratio")
+	var liveSum, fullSum float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %12d %10.1f %10.1f %12.3f\n",
+			r.Benchmark, r.Trampolines, r.LiveRegs, r.FullRegs, r.CycleRatio)
+		liveSum += r.LiveRegs
+		fullSum += r.FullRegs
+	}
+	if len(rows) > 0 {
+		fmt.Fprintf(&b, "%-10s %12s %10.1f %10.1f\n", "average", "",
+			liveSum/float64(len(rows)), fullSum/float64(len(rows)))
+	}
+	return b.String()
+}

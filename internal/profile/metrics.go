@@ -25,6 +25,22 @@ type KernelMetrics struct {
 	// Figure 8's instrumented-vs-native ratio when both versions ran.
 	WallNative       time.Duration
 	WallInstrumented time.Duration
+
+	// Code-generator shape, from the JIT codegen phase records: how many
+	// trampolines this kernel's instrumentation emitted and the summed
+	// size of their register save sets.
+	Trampolines uint64
+	SavedRegs   uint64
+}
+
+// AvgSavedRegs returns the mean save-set size per trampoline — the per-site
+// register count the liveness analysis minimizes — or 0 when the kernel was
+// never instrumented.
+func (m KernelMetrics) AvgSavedRegs() float64 {
+	if m.Trampolines == 0 {
+		return 0
+	}
+	return float64(m.SavedRegs) / float64(m.Trampolines)
 }
 
 // Slowdown returns the ratio of mean instrumented to mean native launch
@@ -62,6 +78,23 @@ func (c *Collector) aggregate(r Record) {
 	m.Cycles += r.Cycles
 }
 
+// aggregateCodegen folds one JIT codegen-phase record into the owning
+// kernel's row, so the metrics table can report the mean save-set size the
+// Code Generator chose per trampoline. Caller holds c.mu.
+func (c *Collector) aggregateCodegen(r Record) {
+	name := r.Kernel
+	if name == "" {
+		name = r.Name
+	}
+	m := c.agg[name]
+	if m == nil {
+		m = &KernelMetrics{Name: name}
+		c.agg[name] = m
+	}
+	m.Trampolines += r.Trampolines
+	m.SavedRegs += r.SavedRegs
+}
+
 // Metrics returns the per-kernel aggregate table, sorted by descending warp
 // instructions (busiest kernels first), name-ordered among ties.
 func (c *Collector) Metrics() []KernelMetrics {
@@ -83,16 +116,20 @@ func (c *Collector) Metrics() []KernelMetrics {
 // FormatMetrics renders the per-kernel metrics table as aligned text.
 func FormatMetrics(ms []KernelMetrics) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-28s %8s %6s %6s %14s %14s %12s %9s\n",
-		"kernel", "launches", "instr", "faults", "warp-instrs", "thread-instrs", "cycles", "slowdown")
+	fmt.Fprintf(&b, "%-28s %8s %6s %6s %14s %14s %12s %9s %9s\n",
+		"kernel", "launches", "instr", "faults", "warp-instrs", "thread-instrs", "cycles", "slowdown", "avg-save")
 	for _, m := range ms {
 		slow := "-"
 		if s := m.Slowdown(); s > 0 {
 			slow = fmt.Sprintf("%.2fx", s)
 		}
-		fmt.Fprintf(&b, "%-28s %8d %6d %6d %14d %14d %12d %9s\n",
+		save := "-"
+		if s := m.AvgSavedRegs(); s > 0 {
+			save = fmt.Sprintf("%.1f", s)
+		}
+		fmt.Fprintf(&b, "%-28s %8d %6d %6d %14d %14d %12d %9s %9s\n",
 			m.Name, m.Launches, m.InstrumentedLaunches, m.Faults,
-			m.WarpInstrs, m.ThreadInstrs, m.Cycles, slow)
+			m.WarpInstrs, m.ThreadInstrs, m.Cycles, slow, save)
 	}
 	return b.String()
 }

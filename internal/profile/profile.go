@@ -108,6 +108,12 @@ type Record struct {
 	Cycles       uint64 // timing-model cycles (scheduler-dependent)
 	Instrumented bool   // the instrumented code version was resident
 	Fault        string // fault kind name; empty on success
+
+	// Code-generator metrics (KindJITPhase "codegen" records): trampolines
+	// emitted during this phase and the summed size of their save sets, so
+	// the liveness pass's per-site savings are visible in the timeline.
+	Trampolines uint64
+	SavedRegs   uint64
 }
 
 // Fingerprint returns a copy of the record with the timing-derived fields
@@ -175,6 +181,9 @@ func (c *Collector) Emit(r Record) uint64 {
 	}
 	if r.Kind == KindKernel {
 		c.aggregate(r)
+	}
+	if r.Kind == KindJITPhase && r.Name == "codegen" {
+		c.aggregateCodegen(r)
 	}
 	subs := c.subs
 	c.mu.Unlock()

@@ -222,6 +222,11 @@ var (
 // Pred is a predicate register index (for GuardCall's predicate matching).
 type Pred = sass.Pred
 
+// RegSet is a dense general-purpose-register set, as returned by
+// NVBit.LiveRegs — the per-site result of the backward liveness analysis
+// that sizes the trampoline save set (Section 5.1).
+type RegSet = sass.RegSet
+
 // PT is the always-true predicate.
 const PT = sass.PT
 

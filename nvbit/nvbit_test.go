@@ -131,3 +131,67 @@ func TestToolLifecycleThroughFacade(t *testing.T) {
 		t.Fatalf("jit stats: %+v", st)
 	}
 }
+
+// liveRegsTool samples the public liveness introspection from inside the
+// launch callback.
+type liveRegsTool struct {
+	sampled int
+	exact   int
+}
+
+func (t *liveRegsTool) AtInit(n *nvbit.NVBit) {}
+func (t *liveRegsTool) AtTerm(*nvbit.NVBit)   {}
+func (t *liveRegsTool) AtCUDACall(n *nvbit.NVBit, exit bool, cbid nvbit.CBID, name string, p *nvbit.CallParams) {
+	if exit || cbid != nvbit.CBLaunchKernel {
+		return
+	}
+	f := p.Launch.Func
+	insts, err := n.GetInstrs(f)
+	if err != nil {
+		panic(err)
+	}
+	full := nvbit.RegSet{}
+	for _, i := range insts {
+		rs, conservative := n.LiveRegs(i)
+		t.sampled++
+		if !conservative {
+			t.exact++
+		}
+		if rs.Count() > f.MaxRegs() {
+			panic("live set exceeds the function's register requirement")
+		}
+		full = full.Union(rs)
+	}
+	if full.Empty() {
+		panic("no live registers anywhere")
+	}
+}
+
+// TestLiveRegsThroughFacade: the per-site liveness introspection is part of
+// the public API, and on a straight-line kernel it is exact, not the
+// conservative fallback.
+func TestLiveRegsThroughFacade(t *testing.T) {
+	api, err := gpusim.New(gpusim.Volta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := &liveRegsTool{}
+	_, err = nvbit.Attach(api, tool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _ := api.CtxCreate()
+	mod, err := ctx.ModuleLoadPTX("app", appPTX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := mod.GetFunction("twiddle")
+	buf, _ := ctx.MemAlloc(4 * 32)
+	params, _ := gpusim.PackParams(f, buf)
+	if err := ctx.LaunchKernel(f, gpusim.D1(1), gpusim.D1(32), 0, params); err != nil {
+		t.Fatal(err)
+	}
+	if tool.sampled == 0 || tool.exact != tool.sampled {
+		t.Fatalf("sampled %d sites, %d exact — straight-line code must not hit the conservative fallback", tool.sampled, tool.exact)
+	}
+}
