@@ -224,6 +224,79 @@ func BenchmarkCodegen(b *testing.B) {
 	b.ReportMetric(float64(st.CodeGen.Nanoseconds())/float64(st.TrampolinesEmitted), "codegen-ns/tramp")
 }
 
+// BenchmarkJITCache prices the instrumentation cache (docs/jitcache.md):
+// one full attach→first-launch cycle of the bench kernel per iteration,
+// cold (a fresh cache every iteration, so every object is generated and
+// stored) vs warm (fresh attaches sharing one pre-populated cache, so
+// lift and codegen are skipped entirely). The gap is what a cache hit
+// saves; allocs/op shows the hit path's footprint.
+func BenchmarkJITCache(b *testing.B) {
+	iter := func(b *testing.B, cache *nvbit.JITCache) *nvbit.NVBit {
+		api, err := gpusim.New(gpusim.Volta)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nv, err := nvbit.Attach(api, instrcount.New(), nvbit.WithJITCache(cache))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx, _ := api.CtxCreate()
+		mod, err := ctx.ModuleLoadPTX("m", benchKernelPTX)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, _ := mod.GetFunction("bench")
+		data, _ := ctx.MemAlloc(4 * 256)
+		params, _ := driver.PackParams(f, data, uint32(256))
+		if err := ctx.LaunchKernel(f, gpusim.D1(1), gpusim.D1(256), 0, params); err != nil {
+			b.Fatal(err)
+		}
+		return nv
+	}
+	newCache := func(b *testing.B) *nvbit.JITCache {
+		c, err := nvbit.NewJITCache("", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	report := func(b *testing.B, hits, lookups, jitNs float64) {
+		if lookups > 0 {
+			b.ReportMetric(100*hits/lookups, "hit-%")
+		}
+		b.ReportMetric(jitNs/float64(b.N), "jit-ns/op")
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		var hits, lookups, jitNs float64
+		for i := 0; i < b.N; i++ {
+			js := iter(b, newCache(b)).JITStats()
+			hits += float64(js.CacheHits)
+			lookups += float64(js.CacheLookups)
+			jitNs += float64(js.Total().Nanoseconds())
+		}
+		report(b, hits, lookups, jitNs)
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache := newCache(b)
+		iter(b, cache) // populate
+		b.ReportAllocs()
+		b.ResetTimer()
+		var hits, lookups, jitNs float64
+		for i := 0; i < b.N; i++ {
+			js := iter(b, cache).JITStats()
+			hits += float64(js.CacheHits)
+			lookups += float64(js.CacheLookups)
+			jitNs += float64(js.Total().Nanoseconds())
+		}
+		b.StopTimer()
+		report(b, hits, lookups, jitNs)
+		if lookups > 0 && hits != lookups {
+			b.Fatalf("warm iterations hit %v/%v lookups, want all", hits, lookups)
+		}
+	})
+}
+
 // BenchmarkSwap measures phase 6: the enable/disable code swap, whose cost
 // the paper equates to a code-sized cudaMemcpy.
 func BenchmarkSwap(b *testing.B) {

@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, lib, wfft, saveset, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, lib, wfft, saveset, jitcache, all")
 	sizeName := flag.String("size", "", "problem size: small, medium, large (default: per-figure paper size)")
 	schedName := flag.String("scheduler", "sequential", "CTA scheduler: sequential (reference, used for published figures) or parallel")
 	flag.Parse()
@@ -114,6 +114,19 @@ func main() {
 		fmt.Print(experiments.RenderWFFT(r))
 		return nil
 	}
+	runJITCache := func() error {
+		dir, err := os.MkdirTemp("", "nvbit-jitcache-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		rows, err := experiments.JITCache(dir, size(specaccel.Medium))
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderJITCache(rows))
+		return nil
+	}
 
 	switch *fig {
 	case "5":
@@ -128,6 +141,8 @@ func main() {
 		section("wfft", runWFFT)
 	case "saveset":
 		section("saveset", runSaveSet)
+	case "jitcache":
+		section("jitcache", runJITCache)
 	case "all":
 		section("fig5", runFig5)
 		section("lib", runLib)
@@ -135,6 +150,7 @@ func main() {
 		section("fig789", runFig789)
 		section("wfft", runWFFT)
 		section("saveset", runSaveSet)
+		section("jitcache", runJITCache)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)

@@ -60,6 +60,7 @@ func main() {
 	traceOut := fs.String("trace-out", "", "itrace: write the collected warp trace to this file")
 	traceJSON := fs.String("trace", "", "write a chrome://tracing activity timeline (JSON) to this file")
 	metrics := fs.Bool("metrics", false, "print the per-kernel metrics table after the run")
+	jitCacheDir := fs.String("jit-cache", os.Getenv("NVBIT_JIT_CACHE"), "persist instrumented code to this directory and reuse it across runs (env NVBIT_JIT_CACHE)")
 	workload := fs.String("workload", "specaccel:ostencil", "workload: specaccel:<name> or ml:<Network>")
 	sizeName := fs.String("size", "medium", "specaccel size: small, medium, large")
 	familyName := fs.String("family", "volta", "device family")
@@ -234,11 +235,20 @@ exit codes:
 	default:
 		usage(fmt.Errorf("unknown tool %q", *toolName))
 	}
+	var jc *nvbit.JITCache
+	if *jitCacheDir != "" {
+		if jc, err = nvbit.NewJITCache(*jitCacheDir, 0); err != nil {
+			fail(err)
+		}
+	}
 	var nv *nvbit.NVBit
 	if tool != nil {
 		opts := []nvbit.Option{nvbit.WithScheduler(sched)}
 		if tracing {
 			opts = append(opts, nvbit.WithTracing(0))
+		}
+		if jc != nil {
+			opts = append(opts, nvbit.WithJITCache(jc))
 		}
 		if nv, err = nvbit.Attach(api, tool, opts...); err != nil {
 			fail(err)
@@ -307,6 +317,11 @@ exit codes:
 		js := nv.JITStats()
 		fmt.Printf("jit: lifted %d funcs / %d instrs, %d trampolines (%.1f saved regs each), %v total (%v disasm)\n",
 			js.FunctionsLifted, js.InstrsLifted, js.TrampolinesEmitted, js.AvgSavedRegs(), js.Total().Round(time.Microsecond), js.Disassemble.Round(time.Microsecond))
+		if jc != nil {
+			fmt.Printf("jit-cache: %d lookups, %d hits, %d misses (%.1f%% hit ratio), %d bytes in, %d bytes out, %d trampolines from cache\n",
+				js.CacheLookups, js.CacheHits, js.CacheMisses, 100*js.CacheHitRatio(),
+				js.CacheBytesRead, js.CacheBytesWritten, js.TrampolinesFromCache)
+		}
 	}
 	if prof := api.Device().Profiler(); prof != nil {
 		if *metrics {

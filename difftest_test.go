@@ -100,15 +100,16 @@ func diffBenchmark(t *testing.T) *specaccel.Benchmark {
 
 // diffRun executes the workload under one tool/save-mode/scheduler triple
 // and returns the tool's report output plus the mean saved registers per
-// trampoline.
-func diffRun(t *testing.T, toolName string, fullSave bool, sched gpusim.SchedulerKind) (string, float64) {
+// trampoline. Extra attach options (e.g. WithJITCache) apply on top.
+func diffRun(t *testing.T, toolName string, fullSave bool, sched gpusim.SchedulerKind, extra ...nvbit.Option) (string, float64) {
 	t.Helper()
 	api, err := gpusim.New(gpusim.Volta)
 	if err != nil {
 		t.Fatal(err)
 	}
 	tool, report := diffTools[toolName]()
-	nv, err := nvbit.Attach(api, tool, nvbit.WithScheduler(sched))
+	opts := append([]nvbit.Option{nvbit.WithScheduler(sched)}, extra...)
+	nv, err := nvbit.Attach(api, tool, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}

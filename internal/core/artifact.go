@@ -1,0 +1,321 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"nvbitgo/internal/sass"
+)
+
+// This file defines the device-independent instrumentation artifacts the
+// jitcache stores, and their binary codec.
+//
+// A code artifact is everything the Code Generator produces for one function
+// minus the device addresses: per-site trampoline bodies with relocation
+// records where the original generator baked in absolute targets. Save and
+// restore routines are referenced by frame size, tool functions by name, and
+// the return jump / relocated relative branches by site position — all
+// quantities a later attach (with its own trampoline allocator and its own
+// tool-function load addresses) can resolve during materialization. The
+// immediates of ArgConst arguments *are* baked into the body; that is safe
+// because the cache key covers the full instrumentation plan, so an artifact
+// is only ever served to an attach whose plan carries the same immediates.
+//
+// A lift artifact is the expensive output of the Instruction Lifter's
+// disassembly phase: the per-instruction SASS text (the nvdisasm-equivalent
+// run the paper's Figure 5 shows dominating JIT overhead) and the
+// basic-block partition. The cheap bit-level decode re-runs on every attach.
+//
+// Both codecs are versioned; decode is fully bounds-checked and returns an
+// error on any malformed input, which the cache layer treats as a
+// codec-version skew: evict and regenerate.
+
+// artifactVersion invalidates serialized artifacts when the codec layout
+// changes. It is also folded into the cache keys, so a bump makes old
+// entries unreachable rather than merely undecodable.
+const artifactVersion = 1
+
+// relocKind says how one trampoline instruction's immediate is resolved at
+// materialization time.
+type relocKind uint8
+
+const (
+	// relocSaveFn: Imm = address of the save routine for frame size aux.
+	relocSaveFn relocKind = iota
+	// relocRestoreFn: Imm = address of the restore routine for frame size aux.
+	relocRestoreFn
+	// relocToolFn: Imm = load address of tool function toolNames[aux].
+	relocToolFn
+	// relocRetJump: Imm = f.Addr + site.idx + 1 (return to the instrumented
+	// code at the next program counter).
+	relocRetJump
+	// relocRelBranch: the relocated original instruction is a relative
+	// branch; aux holds its original immediate and the new immediate is
+	// origTarget − (trampoline base + slot + 1).
+	relocRelBranch
+)
+
+// reloc is one deferred immediate fix-up within a site's trampoline body.
+type reloc struct {
+	kind relocKind
+	slot int   // index into siteArtifact.insts
+	aux  int64 // kind-specific operand (frame size, name index, branch imm)
+}
+
+// siteArtifact is the generated trampoline for one instrumented instruction.
+type siteArtifact struct {
+	idx     int  // word index of the instrumented instruction
+	nopOnly bool // removal without calls: in-place NOP, no trampoline
+	saveN   int  // granularity-rounded save-frame size
+	// savedRegs is the site's contribution to JITStats.SavedRegs — the
+	// liveness-derived requirement before granularity rounding.
+	savedRegs int
+	insts     []sass.Inst
+	relocs    []reloc
+}
+
+// codeArtifact is one function's complete device-independent codegen result.
+type codeArtifact struct {
+	toolNames []string
+	sites     []siteArtifact
+}
+
+// liftArtifact is the cacheable output of the disassembly/convert phases.
+type liftArtifact struct {
+	sassText []string
+	hasICF   bool
+	blocks   []sass.BlockRange
+}
+
+// --- binary writer/reader ---------------------------------------------------
+
+type artWriter struct{ b []byte }
+
+func (w *artWriter) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *artWriter) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *artWriter) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *artWriter) i64(v int64)  { w.u64(uint64(v)) }
+func (w *artWriter) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *artWriter) str(s string) {
+	w.u32(uint32(len(s)))
+	w.b = append(w.b, s...)
+}
+func (w *artWriter) inst(in sass.Inst) {
+	w.u8(uint8(in.Op))
+	w.u8(uint8(in.Pred))
+	w.bool(in.PredNeg)
+	w.u8(uint8(in.Dst))
+	w.u8(uint8(in.Src1))
+	w.u8(uint8(in.Src2))
+	w.u8(uint8(in.Src3))
+	w.u8(uint8(in.Mods))
+	w.i64(in.Imm)
+}
+
+var errArtifactTruncated = fmt.Errorf("nvbit: artifact truncated")
+
+type artReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *artReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) || r.off+n < r.off {
+		r.err = errArtifactTruncated
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+func (r *artReader) u8() uint8 {
+	s := r.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+func (r *artReader) u32() uint32 {
+	s := r.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+func (r *artReader) u64() uint64 {
+	s := r.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+func (r *artReader) i64() int64 { return int64(r.u64()) }
+func (r *artReader) bool() bool { return r.u8() != 0 }
+func (r *artReader) str() string {
+	n := r.u32()
+	return string(r.take(int(n)))
+}
+
+// count reads a length field and sanity-bounds it against the bytes left, so
+// a corrupt count cannot drive a huge allocation before take() would fail.
+func (r *artReader) count(elemMin int) int {
+	n := int(r.u32())
+	if r.err != nil {
+		return 0
+	}
+	if elemMin < 1 {
+		elemMin = 1
+	}
+	if n < 0 || n > (len(r.b)-r.off)/elemMin {
+		r.err = errArtifactTruncated
+		return 0
+	}
+	return n
+}
+
+func (r *artReader) inst() sass.Inst {
+	var in sass.Inst
+	in.Op = sass.Opcode(r.u8())
+	in.Pred = sass.Pred(r.u8())
+	in.PredNeg = r.bool()
+	in.Dst = sass.Reg(r.u8())
+	in.Src1 = sass.Reg(r.u8())
+	in.Src2 = sass.Reg(r.u8())
+	in.Src3 = sass.Reg(r.u8())
+	in.Mods = sass.Mods(r.u8())
+	in.Imm = r.i64()
+	return in
+}
+
+// instBinBytes is one serialized instruction's width (8 one-byte fields +
+// the 64-bit immediate).
+const instBinBytes = 16
+
+// --- code artifact codec ----------------------------------------------------
+
+func encodeCodeArtifact(a *codeArtifact) []byte {
+	var w artWriter
+	w.u32(artifactVersion)
+	w.u32(uint32(len(a.toolNames)))
+	for _, name := range a.toolNames {
+		w.str(name)
+	}
+	w.u32(uint32(len(a.sites)))
+	for i := range a.sites {
+		s := &a.sites[i]
+		w.u32(uint32(s.idx))
+		w.bool(s.nopOnly)
+		w.u32(uint32(s.saveN))
+		w.u32(uint32(s.savedRegs))
+		w.u32(uint32(len(s.insts)))
+		for _, in := range s.insts {
+			w.inst(in)
+		}
+		w.u32(uint32(len(s.relocs)))
+		for _, rl := range s.relocs {
+			w.u8(uint8(rl.kind))
+			w.u32(uint32(rl.slot))
+			w.i64(rl.aux)
+		}
+	}
+	return w.b
+}
+
+func decodeCodeArtifact(b []byte) (*codeArtifact, error) {
+	r := &artReader{b: b}
+	if v := r.u32(); r.err == nil && v != artifactVersion {
+		return nil, fmt.Errorf("nvbit: code artifact version %d, want %d", v, artifactVersion)
+	}
+	a := &codeArtifact{}
+	nNames := r.count(5)
+	for i := 0; i < nNames && r.err == nil; i++ {
+		a.toolNames = append(a.toolNames, r.str())
+	}
+	nSites := r.count(17)
+	for i := 0; i < nSites && r.err == nil; i++ {
+		var s siteArtifact
+		s.idx = int(r.u32())
+		s.nopOnly = r.bool()
+		s.saveN = int(r.u32())
+		s.savedRegs = int(r.u32())
+		nInsts := r.count(instBinBytes)
+		for k := 0; k < nInsts && r.err == nil; k++ {
+			s.insts = append(s.insts, r.inst())
+		}
+		nRelocs := r.count(13)
+		for k := 0; k < nRelocs && r.err == nil; k++ {
+			rl := reloc{kind: relocKind(r.u8()), slot: int(r.u32()), aux: r.i64()}
+			if r.err == nil && (rl.slot < 0 || rl.slot >= len(s.insts)) {
+				return nil, fmt.Errorf("nvbit: artifact reloc slot %d out of range", rl.slot)
+			}
+			if r.err == nil && rl.kind == relocToolFn && (rl.aux < 0 || rl.aux >= int64(len(a.toolNames))) {
+				return nil, fmt.Errorf("nvbit: artifact reloc tool index %d out of range", rl.aux)
+			}
+			s.relocs = append(s.relocs, rl)
+		}
+		a.sites = append(a.sites, s)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("nvbit: %d trailing bytes after code artifact", len(b)-r.off)
+	}
+	return a, nil
+}
+
+// --- lift artifact codec ----------------------------------------------------
+
+func encodeLiftArtifact(a *liftArtifact) []byte {
+	var w artWriter
+	w.u32(artifactVersion)
+	w.u32(uint32(len(a.sassText)))
+	for _, s := range a.sassText {
+		w.str(s)
+	}
+	w.bool(a.hasICF)
+	w.u32(uint32(len(a.blocks)))
+	for _, blk := range a.blocks {
+		w.u32(uint32(blk.Start))
+		w.u32(uint32(blk.End))
+	}
+	return w.b
+}
+
+func decodeLiftArtifact(b []byte) (*liftArtifact, error) {
+	r := &artReader{b: b}
+	if v := r.u32(); r.err == nil && v != artifactVersion {
+		return nil, fmt.Errorf("nvbit: lift artifact version %d, want %d", v, artifactVersion)
+	}
+	a := &liftArtifact{}
+	nText := r.count(4)
+	if nText > 0 {
+		a.sassText = make([]string, 0, nText)
+	}
+	for i := 0; i < nText && r.err == nil; i++ {
+		a.sassText = append(a.sassText, r.str())
+	}
+	a.hasICF = r.bool()
+	nBlocks := r.count(8)
+	for i := 0; i < nBlocks && r.err == nil; i++ {
+		blk := sass.BlockRange{Start: int(r.u32()), End: int(r.u32())}
+		a.blocks = append(a.blocks, blk)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("nvbit: %d trailing bytes after lift artifact", len(b)-r.off)
+	}
+	return a, nil
+}

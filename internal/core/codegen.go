@@ -8,33 +8,50 @@ import (
 )
 
 // generate runs the Code Generator (paper Section 5.1, Figure 4) for one
-// function: it copies the original code into system memory, builds one
-// trampoline per instrumented instruction, substitutes each instrumented
-// instruction with a jump to its trampoline, and leaves the instrumented
-// copy ready for the Code Loader to swap in. Inserting trampolines preserves
-// the instruction layout — instrumented and original code have the exact
-// same size and occupy the same location in GPU memory, so absolute jumps
-// keep working regardless of which version is resident.
+// function: it builds the device-independent artifact and immediately
+// materializes it on this attach's device. This is the uncached JIT path;
+// the cache-aware entry point is instrument (cache.go), which stores and
+// reuses the artifact across functions with identical content and plan.
 func (n *NVBit) generate(fs *funcState) error {
 	start := time.Now()
 	defer func() { n.stats.CodeGen += time.Since(start) }()
-
-	hal := n.hal
-	ib := hal.InstBytes
-	if fs.instrCode == nil {
-		fs.instrCode = append([]byte(nil), fs.origCode...)
+	art, err := n.buildArtifact(fs)
+	if err != nil {
+		return err
 	}
+	return n.materializeArtifact(fs, art, false)
+}
+
+// buildArtifact runs the device-independent half of the Code Generator: it
+// sizes each site's save set from the liveness analysis, builds one
+// trampoline body per instrumented instruction, and records relocations for
+// every immediate that depends on device placement (save/restore routines,
+// tool-function load addresses, the return jump, relocated relative
+// branches). It performs no device writes and no trampoline allocation, so
+// its output is a pure function of (function bytes, plan, tool sources,
+// family, MaxRegs, forceFullSave) — exactly the inputs the cache key covers,
+// which is what makes artifacts shareable across attaches.
+func (n *NVBit) buildArtifact(fs *funcState) (*codeArtifact, error) {
+	hal := n.hal
 	f := fs.f
+	art := &codeArtifact{}
+	toolIdx := make(map[string]int)
+	internName := func(name string) int64 {
+		if k, ok := toolIdx[name]; ok {
+			return int64(k)
+		}
+		k := len(art.toolNames)
+		toolIdx[name] = k
+		art.toolNames = append(art.toolNames, name)
+		return int64(k)
+	}
 	for _, i := range fs.insts {
 		if !i.hasWork() {
 			continue
 		}
 		// Removal without injected calls degenerates to an in-place NOP.
 		if i.removeOrig && len(i.before) == 0 && len(i.after) == 0 {
-			nop := sass.NewInst(sass.OpNOP)
-			if err := hal.Codec().Encode(nop, fs.instrCode[i.idx*ib:]); err != nil {
-				return err
-			}
+			art.sites = append(art.sites, siteArtifact{idx: i.idx, nopOnly: true})
 			continue
 		}
 
@@ -69,10 +86,10 @@ func (n *NVBit) generate(fs *funcState) error {
 		for _, cr := range calls {
 			tf, err := n.loader.lookup(cr.funcName)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if err := validateArgs(tf, cr.args); err != nil {
-				return err
+				return nil, err
 			}
 			if tf.numRegs > maxRegs {
 				maxRegs = tf.numRegs
@@ -99,7 +116,7 @@ func (n *NVBit) generate(fs *funcState) error {
 				if a.kind == argMRefAddr {
 					mref, ok := i.inst.MemOperand()
 					if !ok {
-						return fmt.Errorf("nvbit: ArgMRefAddr on %s word %d: instruction has no memory operand", f.Name, i.idx)
+						return nil, fmt.Errorf("nvbit: ArgMRefAddr on %s word %d: instruction has no memory operand", f.Name, i.idx)
 					}
 					if mref.Base != sass.RZ {
 						width := 1
@@ -122,31 +139,27 @@ func (n *NVBit) generate(fs *funcState) error {
 		// no dead register to borrow, and guards keep the pre-liveness
 		// behavior of reading the bank at call time.
 		capture := needCapture && scratch < sass.NumRegs
-		saveFn, restoreFn, err := n.loader.saveRestore(saveN)
-		if err != nil {
-			return err
-		}
 
-		// Build the trampoline body with trampoline-relative positions;
-		// relative-branch fixups happen once the base address is known.
-		var tr []sass.Inst
-		emitCall := func(target int64) {
-			c := sass.NewInst(sass.OpCAL)
-			c.Imm = target
-			tr = append(tr, c)
+		// Build the trampoline body with trampoline-relative positions and
+		// relocation records for every placement-dependent immediate.
+		site := siteArtifact{idx: i.idx, saveN: saveN}
+		tr := &site.insts
+		emitCall := func(kind relocKind, aux int64) {
+			site.relocs = append(site.relocs, reloc{kind: kind, slot: len(*tr), aux: aux})
+			*tr = append(*tr, sass.NewInst(sass.OpCAL))
 		}
 		emitGroup := func(group []*callRequest) error {
 			if len(group) == 0 {
 				return nil
 			}
-			emitCall(int64(saveFn))
+			emitCall(relocSaveFn, int64(saveN))
 			for _, cr := range group {
 				tf, _ := n.loader.lookup(cr.funcName)
 				insts, err := n.marshalArgs(tf, cr.args, i)
 				if err != nil {
 					return err
 				}
-				tr = append(tr, insts...)
+				*tr = append(*tr, insts...)
 				if cr.guarded && capture {
 					// Re-materialize the site-entry predicate bank
 					// snapshot so the CAL's predicate match sees the
@@ -158,14 +171,14 @@ func (n *NVBit) generate(fs *funcState) error {
 					// frame, so the app never observes this write.
 					r2p := sass.NewInst(sass.OpR2P)
 					r2p.Src1 = sass.Reg(scratch)
-					tr = append(tr, r2p)
+					*tr = append(*tr, r2p)
 				}
-				emitCall(int64(tf.addr))
+				emitCall(relocToolFn, internName(cr.funcName))
 				if cr.guarded {
 					// Predicate matching on the call itself (Section
 					// 7 future work): non-matching lanes fall through
 					// past the CAL.
-					cal := &tr[len(tr)-1]
+					cal := &(*tr)[len(*tr)-1]
 					if cr.useSite {
 						cal.Pred, cal.PredNeg = i.inst.Pred, i.inst.PredNeg
 					} else {
@@ -173,7 +186,7 @@ func (n *NVBit) generate(fs *funcState) error {
 					}
 				}
 			}
-			emitCall(int64(restoreFn))
+			emitCall(relocRestoreFn, int64(saveN))
 			return nil
 		}
 
@@ -184,44 +197,122 @@ func (n *NVBit) generate(fs *funcState) error {
 			// survives until the last guarded CAL re-reads it.
 			p2r := sass.NewInst(sass.OpP2R)
 			p2r.Dst = sass.Reg(scratch)
-			tr = append(tr, p2r)
+			*tr = append(*tr, p2r)
 		}
 		if err := emitGroup(i.before); err != nil {
-			return err
+			return nil, err
 		}
 		// The relocated original instruction (step 5 of Figure 4), or a
-		// NOP when nvbit_remove_orig was requested.
-		relocSlot := len(tr)
+		// NOP when nvbit_remove_orig was requested. A relocated relative
+		// control-flow instruction must have its offset adjusted for its
+		// new position (Section 5.1), which depends on the trampoline
+		// base; the original immediate rides along in the reloc.
+		relocSlot := len(*tr)
 		if i.removeOrig {
-			tr = append(tr, sass.NewInst(sass.OpNOP))
+			*tr = append(*tr, sass.NewInst(sass.OpNOP))
 		} else {
-			tr = append(tr, i.inst)
+			*tr = append(*tr, i.inst)
+			if i.inst.Op.IsRelativeBranch() {
+				site.relocs = append(site.relocs, reloc{kind: relocRelBranch, slot: relocSlot, aux: i.inst.Imm})
+			}
 		}
 		if err := emitGroup(i.after); err != nil {
-			return err
+			return nil, err
 		}
 		// Return to the instrumented code at the next program counter.
-		back := sass.NewInst(sass.OpJMP)
-		back.Imm = int64(f.Addr) + int64(i.idx) + 1
-		tr = append(tr, back)
+		site.relocs = append(site.relocs, reloc{kind: relocRetJump, slot: len(*tr)})
+		*tr = append(*tr, sass.NewInst(sass.OpJMP))
 
+		// SavedRegs counts the registers this site must preserve (the
+		// liveness-derived requirement), not the granularity-rounded
+		// frame the HAL caches save routines by: the requirement is the
+		// quantity the paper's minimality claim is about, and rounding
+		// would mask per-site variation below one granule.
+		if n.forceFullSave {
+			site.savedRegs = hal.RegsPerThread
+		} else {
+			site.savedRegs = maxRegs
+		}
+		art.sites = append(art.sites, site)
+	}
+	return art, nil
+}
+
+// materializeArtifact is the device-side half of the Code Generator: it
+// copies the original code into system memory, allocates trampoline space,
+// resolves each site's relocations against this attach's save/restore and
+// tool-function load addresses, writes the trampolines to the device, and
+// substitutes each instrumented instruction with a jump to its trampoline.
+// Inserting trampolines preserves the instruction layout — instrumented and
+// original code have the exact same size and occupy the same location in GPU
+// memory, so absolute jumps keep working regardless of which version is
+// resident. fromCache routes the per-site stats to the cache-hit counters so
+// the profile's codegen/cache_hit records split correctly.
+func (n *NVBit) materializeArtifact(fs *funcState, art *codeArtifact, fromCache bool) error {
+	hal := n.hal
+	ib := hal.InstBytes
+	if fs.instrCode == nil {
+		fs.instrCode = append([]byte(nil), fs.origCode...)
+	}
+	f := fs.f
+	for si := range art.sites {
+		site := &art.sites[si]
+		if site.idx < 0 || (site.idx+1)*ib > len(fs.instrCode) {
+			return fmt.Errorf("nvbit: artifact site index %d out of range for %s", site.idx, f.Name)
+		}
+		if site.nopOnly {
+			nop := sass.NewInst(sass.OpNOP)
+			if err := hal.Codec().Encode(nop, fs.instrCode[site.idx*ib:]); err != nil {
+				return err
+			}
+			continue
+		}
+		// The artifact may be shared with concurrent attaches; resolve
+		// relocations on a private copy.
+		tr := append([]sass.Inst(nil), site.insts...)
+		// Device-placement-independent relocations first (save/restore and
+		// tool functions load on demand, before trampoline space is carved,
+		// preserving the pre-artifact device allocation order).
+		for _, rl := range site.relocs {
+			switch rl.kind {
+			case relocSaveFn, relocRestoreFn:
+				save, restore, err := n.loader.saveRestore(int(rl.aux))
+				if err != nil {
+					return err
+				}
+				if rl.kind == relocSaveFn {
+					tr[rl.slot].Imm = int64(save)
+				} else {
+					tr[rl.slot].Imm = int64(restore)
+				}
+			case relocToolFn:
+				tf, err := n.loader.lookup(art.toolNames[rl.aux])
+				if err != nil {
+					return err
+				}
+				tr[rl.slot].Imm = int64(tf.addr)
+			case relocRetJump:
+				tr[rl.slot].Imm = int64(f.Addr) + int64(site.idx) + 1
+			}
+		}
 		base, err := n.loader.allocTramp(len(tr))
 		if err != nil {
 			return err
 		}
-		// Critically, a relocated relative control-flow instruction must
-		// have its offset adjusted for its new position (Section 5.1).
-		if !i.removeOrig && i.inst.Op.IsRelativeBranch() {
-			origTarget := int64(f.Addr) + int64(i.idx) + 1 + i.inst.Imm
-			newImm := origTarget - (int64(base) + int64(relocSlot) + 1)
-			if !hal.ImmFits(sass.OpBRA, newImm) {
-				return fmt.Errorf("nvbit: relocated branch in %s at word %d cannot reach its target (offset %d)", f.Name, i.idx, newImm)
+		for _, rl := range site.relocs {
+			if rl.kind != relocRelBranch {
+				continue
 			}
-			tr[relocSlot].Imm = newImm
+			origTarget := int64(f.Addr) + int64(site.idx) + 1 + rl.aux
+			newImm := origTarget - (int64(base) + int64(rl.slot) + 1)
+			if !hal.ImmFits(sass.OpBRA, newImm) {
+				return fmt.Errorf("nvbit: relocated branch in %s at word %d cannot reach its target (offset %d)", f.Name, site.idx, newImm)
+			}
+			tr[rl.slot].Imm = newImm
 		}
 		raw, err := hal.Codec().EncodeAll(tr)
 		if err != nil {
-			return fmt.Errorf("nvbit: encoding trampoline for %s word %d: %w", f.Name, i.idx, err)
+			return fmt.Errorf("nvbit: encoding trampoline for %s word %d: %w", f.Name, site.idx, err)
 		}
 		if err := n.Device().WriteCode(base, raw); err != nil {
 			return err
@@ -231,20 +322,15 @@ func (n *NVBit) generate(fs *funcState) error {
 		// predicate travels as an argument when the tool asked for it.
 		jmp := sass.NewInst(sass.OpJMP)
 		jmp.Imm = int64(base)
-		if err := hal.Codec().Encode(jmp, fs.instrCode[i.idx*ib:]); err != nil {
+		if err := hal.Codec().Encode(jmp, fs.instrCode[site.idx*ib:]); err != nil {
 			return err
 		}
 		n.stats.TrampolinesEmitted++
 		n.stats.TrampolineWords += len(tr)
-		// SavedRegs counts the registers this site must preserve (the
-		// liveness-derived requirement), not the granularity-rounded
-		// frame the HAL caches save routines by: the requirement is the
-		// quantity the paper's minimality claim is about, and rounding
-		// would mask per-site variation below one granule.
-		if n.forceFullSave {
-			n.stats.SavedRegs += hal.RegsPerThread
-		} else {
-			n.stats.SavedRegs += maxRegs
+		n.stats.SavedRegs += site.savedRegs
+		if fromCache {
+			n.stats.TrampolinesFromCache++
+			n.stats.SavedRegsFromCache += site.savedRegs
 		}
 	}
 	fs.instrumented = true

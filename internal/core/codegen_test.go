@@ -5,6 +5,7 @@ import (
 
 	"nvbitgo/internal/driver"
 	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/jitcache"
 	"nvbitgo/internal/sass"
 )
 
@@ -118,24 +119,37 @@ func TestTrampolineStructure(t *testing.T) {
 // time, never per launch. (Instrumented execution itself allocates by
 // design: SAVEPUSH builds one save frame per active lane.)
 func TestLaunchNoTracingZeroAllocThroughFramework(t *testing.T) {
-	tool := &testTool{}
-	env := setup(t, sass.Volta, tool)
-	params, err := driver.PackParams(env.fn, env.data, env.n)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Warm the warp/context pools and the decode cache.
-	for i := 0; i < 2; i++ {
-		if err := env.ctx.LaunchKernel(env.fn, gpu.D1(4), gpu.D1(64), 0, params); err != nil {
+	run := func(t *testing.T, opts ...Option) {
+		tool := &testTool{}
+		env := setup(t, sass.Volta, tool, opts...)
+		params, err := driver.PackParams(env.fn, env.data, env.n)
+		if err != nil {
 			t.Fatal(err)
 		}
+		// Warm the warp/context pools and the decode cache.
+		for i := 0; i < 2; i++ {
+			if err := env.ctx.LaunchKernel(env.fn, gpu.D1(4), gpu.D1(64), 0, params); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if err := env.ctx.LaunchKernel(env.fn, gpu.D1(4), gpu.D1(64), 0, params); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > 2 {
+			t.Fatalf("tracing-off launch through the framework allocates %v objects per run, want at most the driver's 2 callback parameters", allocs)
+		}
 	}
-	allocs := testing.AllocsPerRun(10, func() {
-		if err := env.ctx.LaunchKernel(env.fn, gpu.D1(4), gpu.D1(64), 0, params); err != nil {
+	t.Run("no-cache", func(t *testing.T) { run(t) })
+	// The instrumentation cache is consulted only at finalize time (first
+	// launch of a dirty function); the steady-state launch path must not
+	// touch it — same allocation budget with a cache attached.
+	t.Run("jit-cache", func(t *testing.T) {
+		cache, err := jitcache.New("", 0)
+		if err != nil {
 			t.Fatal(err)
 		}
+		run(t, WithJITCache(cache))
 	})
-	if allocs > 2 {
-		t.Fatalf("tracing-off launch through the framework allocates %v objects per run, want at most the driver's 2 callback parameters", allocs)
-	}
 }

@@ -26,6 +26,7 @@ import (
 
 	"nvbitgo/internal/driver"
 	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/jitcache"
 	"nvbitgo/internal/profile"
 )
 
@@ -57,6 +58,9 @@ type NVBit struct {
 	inUserCallback bool
 	// forceFullSave disables minimal save-set sizing (ablation only).
 	forceFullSave bool
+	// cache is the content-addressed instrumentation cache (WithJITCache);
+	// nil keeps the uncached JIT pipeline.
+	cache *jitcache.Cache
 }
 
 // Attach injects the tool into the driver as its interposer library and
@@ -77,6 +81,7 @@ func Attach(api *driver.API, tool Tool, opts ...Option) (*NVBit, error) {
 		o(&cfg)
 	}
 	cfg.apply(api.Device())
+	n.cache = cfg.cache
 	if err := api.SetHook((*hook)(n)); err != nil {
 		return nil, err
 	}
@@ -169,8 +174,15 @@ func (n *NVBit) emitJITPhases(prof *profile.Collector, before JITStats, t0 time.
 	if f.Module != nil {
 		parent = f.Module.TraceID
 	}
+	// Trampolines materialized from cached artifacts ride on the cache_hit
+	// record; freshly generated ones stay on codegen. The two partitions
+	// sum to the launch's totals, so metrics aggregation never
+	// double-counts a mixed hit/miss finalize.
 	tramps := uint64(n.stats.TrampolinesEmitted - before.TrampolinesEmitted)
 	saved := uint64(n.stats.SavedRegs - before.SavedRegs)
+	cachedTramps := uint64(n.stats.TrampolinesFromCache - before.TrampolinesFromCache)
+	cachedSaved := uint64(n.stats.SavedRegsFromCache - before.SavedRegsFromCache)
+	genTramps, genSaved := tramps-cachedTramps, saved-cachedSaved
 	t := t0
 	for i := range cur {
 		d := cur[i] - prev[i]
@@ -178,13 +190,19 @@ func (n *NVBit) emitJITPhases(prof *profile.Collector, before JITStats, t0 time.
 			Kind: profile.KindJITPhase, Name: names[i], Kernel: f.Name,
 			Parent: parent, Start: t, Dur: d, SM: -1,
 		}
-		if names[i] == "codegen" {
-			rec.Trampolines, rec.SavedRegs = tramps, saved
+		withTramps := uint64(0)
+		switch names[i] {
+		case "codegen":
+			rec.Trampolines, rec.SavedRegs = genTramps, genSaved
+			withTramps = genTramps
+		case "cache_hit":
+			rec.Trampolines, rec.SavedRegs = cachedTramps, cachedSaved
+			withTramps = cachedTramps
 		}
-		// Phases that did no work are skipped — except a codegen phase
+		// Phases that did no work are skipped — except a carrier phase
 		// that emitted trampolines, whose save-set metrics must survive
 		// even when the measured duration rounds to zero.
-		if d <= 0 && !(names[i] == "codegen" && tramps > 0) {
+		if d <= 0 && withTramps == 0 {
 			continue
 		}
 		prof.Emit(rec)

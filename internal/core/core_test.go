@@ -140,13 +140,13 @@ type testEnv struct {
 	n    uint32
 }
 
-func setup(t *testing.T, fam sass.Family, tool Tool) *testEnv {
+func setup(t *testing.T, fam sass.Family, tool Tool, opts ...Option) *testEnv {
 	t.Helper()
 	api, err := driver.New(gpu.DefaultConfig(fam))
 	if err != nil {
 		t.Fatal(err)
 	}
-	nv, err := Attach(api, tool)
+	nv, err := Attach(api, tool, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -690,10 +690,15 @@ func TestJITStatsPopulated(t *testing.T) {
 		t.Fatal("no JIT time recorded")
 	}
 	comps, labels := st.Components()
-	if len(labels) != 6 {
-		t.Fatal("want six components")
+	if len(labels) != 8 {
+		t.Fatal("want eight components")
 	}
-	_ = comps
+	if labels[6] != "cache_lookup" || labels[7] != "cache_hit" {
+		t.Fatalf("cache phase labels = %q, %q", labels[6], labels[7])
+	}
+	if comps[6] != 0 || comps[7] != 0 {
+		t.Fatalf("cache phases nonzero without a cache: %v", comps)
+	}
 	env.nv.ResetJITStats()
 	if env.nv.JITStats().Total() != 0 {
 		t.Fatal("reset did not zero stats")

@@ -2,8 +2,8 @@ package core
 
 import "time"
 
-// JITStats is the six-component breakdown of JIT-compilation overhead from
-// the paper's Section 5.2:
+// JITStats is the breakdown of JIT-compilation overhead. Components 1–6 are
+// the paper's Section 5.2 phases:
 //
 //  1. retrieving the original GPU code,
 //  2. disassembling the GPU program,
@@ -14,7 +14,14 @@ import "time"
 //  6. swapping the original code with the instrumented code.
 //
 // Components 1–3 and 6 depend on the application's code size; 4 and 5 on how
-// much of it is instrumented.
+// much of it is instrumented. With an instrumentation cache attached
+// (WithJITCache) two more components appear:
+//
+//  7. cache_lookup — deriving content fingerprints and probing the cache
+//     (paid on every launch-time JIT, hit or miss),
+//  8. cache_hit — decoding cached artifacts and materializing them on the
+//     device; on a fully warm run this replaces phases 2, 3 and 5, which
+//     drop to (near) zero.
 type JITStats struct {
 	Retrieve    time.Duration // (1)
 	Disassemble time.Duration // (2)
@@ -22,6 +29,8 @@ type JITStats struct {
 	UserCode    time.Duration // (4)
 	CodeGen     time.Duration // (5)
 	Swap        time.Duration // (6)
+	CacheLookup time.Duration // (7) zero without a cache
+	CacheHit    time.Duration // (8) zero without a cache
 
 	FunctionsLifted    int
 	InstrsLifted       int
@@ -29,6 +38,20 @@ type JITStats struct {
 	TrampolineWords    int // total instruction words across emitted trampolines
 	SavedRegs          int // total save-set registers across emitted trampolines
 	SwapBytes          int
+
+	// Instrumentation-cache counters (all zero without WithJITCache). One
+	// lookup covers one cached object — a function has a lift object and a
+	// code object, so a fully warm function counts two lookups/hits.
+	CacheLookups      int
+	CacheHits         int
+	CacheMisses       int
+	CacheBytesRead    int // artifact bytes served from the cache
+	CacheBytesWritten int // artifact bytes stored into the cache
+	// TrampolinesFromCache / SavedRegsFromCache are the subset of
+	// TrampolinesEmitted / SavedRegs materialized from cached artifacts
+	// rather than fresh code generation.
+	TrampolinesFromCache int
+	SavedRegsFromCache   int
 }
 
 // AvgSavedRegs returns the mean save-set size per emitted trampoline — the
@@ -41,15 +64,26 @@ func (s JITStats) AvgSavedRegs() float64 {
 	return float64(s.SavedRegs) / float64(s.TrampolinesEmitted)
 }
 
-// Total returns the summed JIT-compilation overhead.
-func (s JITStats) Total() time.Duration {
-	return s.Retrieve + s.Disassemble + s.Convert + s.UserCode + s.CodeGen + s.Swap
+// CacheHitRatio returns CacheHits/CacheLookups, or 0 before the first
+// lookup.
+func (s JITStats) CacheHitRatio() float64 {
+	if s.CacheLookups == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.CacheLookups)
 }
 
-// Components returns the six durations in paper order with their labels.
-func (s JITStats) Components() ([6]time.Duration, [6]string) {
-	return [6]time.Duration{s.Retrieve, s.Disassemble, s.Convert, s.UserCode, s.CodeGen, s.Swap},
-		[6]string{"retrieve", "disassemble", "convert", "user-code", "codegen", "swap"}
+// Total returns the summed JIT-compilation overhead.
+func (s JITStats) Total() time.Duration {
+	return s.Retrieve + s.Disassemble + s.Convert + s.UserCode + s.CodeGen + s.Swap +
+		s.CacheLookup + s.CacheHit
+}
+
+// Components returns the eight durations in execution order with their
+// labels.
+func (s JITStats) Components() ([8]time.Duration, [8]string) {
+	return [8]time.Duration{s.Retrieve, s.Disassemble, s.Convert, s.UserCode, s.CodeGen, s.Swap, s.CacheLookup, s.CacheHit},
+		[8]string{"retrieve", "disassemble", "convert", "user-code", "codegen", "swap", "cache_lookup", "cache_hit"}
 }
 
 // JITStats returns the accumulated JIT-compilation overhead breakdown.

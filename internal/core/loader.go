@@ -93,7 +93,7 @@ func (n *NVBit) finalize(f *driver.Function) error {
 			}
 		}
 		if hadWork {
-			if err := n.generate(fs); err != nil {
+			if err := n.instrument(fs); err != nil {
 				return err
 			}
 			// Freshly instrumented functions default to enabled unless

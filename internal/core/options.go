@@ -2,6 +2,7 @@ package core
 
 import (
 	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/jitcache"
 	"nvbitgo/internal/profile"
 )
 
@@ -19,6 +20,8 @@ type attachConfig struct {
 
 	tracing     bool
 	traceBuffer int
+
+	cache *jitcache.Cache
 }
 
 // WithScheduler selects the CTA-to-SM execution backend (see
@@ -41,6 +44,16 @@ func WithWatchdogInterval(v int64) Option {
 // path stays allocation-free.
 func WithTracing(bufferRecords int) Option {
 	return func(c *attachConfig) { c.tracing = true; c.traceBuffer = bufferRecords }
+}
+
+// WithJITCache attaches a content-addressed instrumentation cache (see
+// internal/jitcache and docs/jitcache.md) to this attachment: JIT results —
+// disassembly and generated trampolines — are stored under fingerprints of
+// their inputs and reused across functions, attaches and (with a disk-backed
+// cache) processes. The same Cache may be shared by concurrent attaches; the
+// cache coalesces racing generations so each unique function is JITted once.
+func WithJITCache(c *jitcache.Cache) Option {
+	return func(cfg *attachConfig) { cfg.cache = c }
 }
 
 // apply mutates the device per the collected options.

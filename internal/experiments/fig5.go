@@ -52,9 +52,11 @@ func attachOpts() []nvbit.Option {
 // percentage of the native application run time (paper Figure 5).
 type Fig5Row struct {
 	Benchmark string
-	// Pct holds the six components in paper order: retrieve, disassemble,
-	// convert, user-code, codegen, swap.
-	Pct      [6]float64
+	// Pct holds the eight components in execution order: the paper's six
+	// (retrieve, disassemble, convert, user-code, codegen, swap) plus the
+	// instrumentation-cache phases (cache_lookup, cache_hit), which stay
+	// zero in the cacheless Figure 5 runs.
+	Pct      [8]float64
 	TotalPct float64
 	// Dominant is the label of the largest component.
 	Dominant string

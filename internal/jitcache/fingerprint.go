@@ -1,0 +1,72 @@
+package jitcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+)
+
+// Key is a 256-bit content address.
+type Key [sha256.Size]byte
+
+// String returns the key in lowercase hex (the on-disk object name).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Hasher derives a Key from a sequence of typed fields. Every variable-
+// length field is length-prefixed and every fixed-width field has a fixed
+// encoding, so distinct field sequences can never collide by concatenation
+// ("ab","c" vs "a","bc"). The domain string separates key namespaces (e.g.
+// lift objects vs code objects) and doubles as the schema version: bumping
+// it invalidates every existing entry without touching the store.
+type Hasher struct {
+	h   hash.Hash
+	buf [binary.MaxVarintLen64]byte
+}
+
+// NewHasher starts a fingerprint in the given domain.
+func NewHasher(domain string) *Hasher {
+	h := &Hasher{h: sha256.New()}
+	h.String(domain)
+	return h
+}
+
+// Uint64 appends a fixed-width unsigned field.
+func (h *Hasher) Uint64(v uint64) {
+	binary.LittleEndian.PutUint64(h.buf[:8], v)
+	h.h.Write(h.buf[:8])
+}
+
+// Int64 appends a fixed-width signed field.
+func (h *Hasher) Int64(v int64) { h.Uint64(uint64(v)) }
+
+// Int appends a fixed-width signed field.
+func (h *Hasher) Int(v int) { h.Uint64(uint64(int64(v))) }
+
+// Bool appends a boolean field.
+func (h *Hasher) Bool(v bool) {
+	if v {
+		h.Uint64(1)
+	} else {
+		h.Uint64(0)
+	}
+}
+
+// Bytes appends a length-prefixed variable-length field.
+func (h *Hasher) Bytes(b []byte) {
+	h.Uint64(uint64(len(b)))
+	h.h.Write(b)
+}
+
+// String appends a length-prefixed string field.
+func (h *Hasher) String(s string) {
+	h.Uint64(uint64(len(s)))
+	h.h.Write([]byte(s))
+}
+
+// Sum finalizes the fingerprint. The Hasher must not be reused after Sum.
+func (h *Hasher) Sum() Key {
+	var k Key
+	h.h.Sum(k[:0])
+	return k
+}

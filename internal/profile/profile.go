@@ -182,7 +182,10 @@ func (c *Collector) Emit(r Record) uint64 {
 	if r.Kind == KindKernel {
 		c.aggregate(r)
 	}
-	if r.Kind == KindJITPhase && r.Name == "codegen" {
+	// Trampoline/save-set metrics ride on the codegen record for freshly
+	// generated code and on the cache_hit record for code materialized from
+	// cached artifacts; the two partition a launch's totals.
+	if r.Kind == KindJITPhase && (r.Name == "codegen" || r.Name == "cache_hit") {
 		c.aggregateCodegen(r)
 	}
 	subs := c.subs

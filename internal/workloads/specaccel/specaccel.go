@@ -95,8 +95,9 @@ func header(name string) string {
 	return fmt.Sprintf(".visible .entry %s(.param .u64 data, .param .u32 n)\n{\n", name)
 }
 
-// stencilKernel: out[i] = c0*in[i-1] + c1*in[i] + c2*in[i+1]; in at word 0,
-// out at word n (grid-dimension-dependent control flow only).
+// stencilKernel: out[i] = sum of taps over in[i..i+taps); in at word 0, out
+// past the halo at word n+1024 so the tap reads of high-index threads stay
+// clear of concurrent writes (grid-dimension-dependent control flow only).
 func stencilKernel(name string, taps int) string {
 	var b strings.Builder
 	b.WriteString(header(name))
@@ -115,27 +116,37 @@ func stencilKernel(name string, taps int) string {
 	ld.param.u32 %r5, [n];
 	mul.wide.u32 %rd6, %r5, 4;
 	add.u64 %rd8, %rd4, %rd6;
-	st.global.f32 [%rd8], %f0;
+	st.global.f32 [%rd8+4096], %f0;  // out partition at word n+1024, past the halo
 	exit;
 }
 `)
 	return b.String()
 }
 
-// triadKernel: a[i] = b[i] + s*c[i] over quarter partitions of the buffer.
+// triadKernel: out[i] = b[i] + s*c[i], where b and c are quarter-offset
+// views of the input partition (wrap-masked so all reads stay inside it —
+// sizes are powers of two) and out is the partition past the halo. Reads
+// and same-launch writes are disjoint by construction.
 func triadKernel(name string, scaleBits string) string {
 	return header(name) + prologue + fmt.Sprintf(`
 	shr.b32 %%r5, %%r4, 2;          // q = n/4
-	mul.wide.u32 %%rd2, %%r3, 4;
-	mul.wide.u32 %%rd4, %%r5, 4;    // q bytes
-	add.u64 %%rd6, %%rd0, %%rd2;    // a + i
-	add.u64 %%rd8, %%rd6, %%rd4;    // b + i
+	sub.u32 %%r6, %%r4, 1;          // wrap mask n-1
+	add.u32 %%r7, %%r3, %%r5;
+	and.b32 %%r7, %%r7, %%r6;       // (i+q) mod n
+	mul.wide.u32 %%rd2, %%r7, 4;
+	add.u64 %%rd8, %%rd0, %%rd2;
 	ld.global.f32 %%f0, [%%rd8];    // b[i]
-	add.u64 %%rd8, %%rd8, %%rd4;    // c + i
+	add.u32 %%r7, %%r7, %%r5;
+	and.b32 %%r7, %%r7, %%r6;       // (i+2q) mod n
+	mul.wide.u32 %%rd2, %%r7, 4;
+	add.u64 %%rd8, %%rd0, %%rd2;
 	ld.global.f32 %%f1, [%%rd8];    // c[i]
 	mov.u32 %%f2, %s;
 	fma.rn.f32 %%f3, %%f1, %%f2, %%f0;
-	st.global.f32 [%%rd6], %%f3;
+	add.u32 %%r7, %%r3, %%r4;       // n + i
+	mul.wide.u32 %%rd2, %%r7, 4;
+	add.u64 %%rd6, %%rd0, %%rd2;
+	st.global.f32 [%%rd6+4096], %%f3;  // out partition at word n+1024, past the halo
 	exit;
 }
 `, scaleBits)
@@ -190,8 +201,8 @@ func streamKernel(name string, strideLog int) string {
 	mul.wide.u32 %%rd6, %%r3, 4;
 	add.u64 %%rd8, %%rd0, %%rd6;
 	mul.wide.u32 %%rd6, %%r4, 4;
-	add.u64 %%rd8, %%rd8, %%rd6;    // out partition at word n
-	st.global.f32 [%%rd8], %%f0;
+	add.u64 %%rd8, %%rd8, %%rd6;
+	st.global.f32 [%%rd8+4096], %%f0;  // out partition at word n+1024, past the halo
 	exit;
 }
 `, strideLog)
@@ -239,7 +250,7 @@ RSKIP:
 	add.u64 %rd8, %rd0, %rd6;
 	mul.wide.u32 %rd6, %r0, 4;
 	add.u64 %rd8, %rd8, %rd6;
-	st.global.f32 [%rd8], %f3;
+	st.global.f32 [%rd8+4096], %f3;  // out partition at word n+1024, past the halo
 	exit;
 }
 `
@@ -292,7 +303,7 @@ func spmvKernel(name string) string {
 	ld.param.u32 %r5, [n];
 	mul.wide.u32 %rd6, %r5, 4;
 	add.u64 %rd8, %rd4, %rd6;
-	st.global.f32 [%rd8], %f0;
+	st.global.f32 [%rd8+4096], %f0;  // out partition at word n+1024, past the halo
 	exit;
 }
 `)
@@ -392,8 +403,14 @@ func (b *Benchmark) Run(ctx *driver.Context, size Size) error {
 		return fmt.Errorf("specaccel: %s: %w", b.Name, err)
 	}
 	n := size.elems()
-	// Buffer layout: input partition [0,n), output partition [n,2n),
-	// plus halo for multi-tap stencils and banded loads.
+	// Buffer layout: input partition [0,n), then a 1024-word halo for
+	// multi-tap stencils and banded loads, then the output partition
+	// [n+1024, 2n+1024). The halo sits *between* input and output so a
+	// kernel's reads (at most input+halo) can never overlap another
+	// thread's same-launch writes — the parallel scheduler runs CTAs on
+	// concurrent goroutines, so an in-launch read/write overlap would be
+	// a real data race, not just nondeterminism. Kernels that update in
+	// place (compute, decay) touch only their own thread's word.
 	words := 2*n + 1024
 	data, err := ctx.MemAlloc(uint64(4 * words))
 	if err != nil {

@@ -17,6 +17,7 @@ import (
 	"nvbitgo/internal/core"
 	"nvbitgo/internal/driver"
 	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/jitcache"
 	"nvbitgo/internal/profile"
 	"nvbitgo/internal/sass"
 )
@@ -35,7 +36,9 @@ type (
 	CallArg = core.CallArg
 	// IPoint selects before/after injection.
 	IPoint = core.IPoint
-	// JITStats is the six-component JIT overhead breakdown (Section 5.2).
+	// JITStats is the JIT overhead breakdown: the paper's six Section 5.2
+	// phases plus the instrumentation-cache phases (cache_lookup,
+	// cache_hit) and hit/miss/byte counters.
 	JITStats = core.JITStats
 	// HAL is the hardware abstraction layer view.
 	HAL = core.HAL
@@ -109,6 +112,25 @@ const (
 	ChannelBlock = channel.Block
 )
 
+// Content-addressed instrumentation cache (docs/jitcache.md): disassembly
+// and generated trampolines are fingerprinted by everything that determines
+// them and reused across functions, attaches and — with a disk directory —
+// processes. Share one JITCache between concurrent attaches to coalesce
+// racing JITs of the same function into a single generation.
+type (
+	// JITCache is a two-tier (memory LRU + optional disk) artifact store.
+	JITCache = jitcache.Cache
+	// JITCacheStats is a snapshot of a JITCache's counters.
+	JITCacheStats = jitcache.Stats
+)
+
+// NewJITCache opens an instrumentation cache. dir is the disk tier root (""
+// for memory-only); maxMemBytes bounds the in-memory tier (<= 0 selects the
+// default).
+func NewJITCache(dir string, maxMemBytes int64) (*JITCache, error) {
+	return jitcache.New(dir, maxMemBytes)
+}
+
 // Attach options.
 var (
 	// WithScheduler selects the CTA-to-SM execution backend.
@@ -117,6 +139,8 @@ var (
 	WithWatchdogInterval = core.WithWatchdogInterval
 	// WithTracing attaches an activity collector (0 = default capacity).
 	WithTracing = core.WithTracing
+	// WithJITCache attaches a content-addressed instrumentation cache.
+	WithJITCache = core.WithJITCache
 )
 
 // Trace export helpers.
