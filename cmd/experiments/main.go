@@ -21,7 +21,9 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, lib, wfft, saveset, jitcache, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9, lib, wfft, saveset, jitcache, faultinject, all")
+	fiRuns := flag.Int("fi-runs", 250, "faultinject: injection runs per victim")
+	fiSeed := flag.Uint64("fi-seed", 1, "faultinject: campaign manifest seed")
 	sizeName := flag.String("size", "", "problem size: small, medium, large (default: per-figure paper size)")
 	schedName := flag.String("scheduler", "sequential", "CTA scheduler: sequential (reference, used for published figures) or parallel")
 	flag.Parse()
@@ -128,6 +130,15 @@ func main() {
 		return nil
 	}
 
+	runFaultInject := func() error {
+		rows, err := experiments.FaultInject(*fiRuns, *fiSeed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFaultInject(rows))
+		return nil
+	}
+
 	switch *fig {
 	case "5":
 		section("fig5", runFig5)
@@ -143,6 +154,8 @@ func main() {
 		section("saveset", runSaveSet)
 	case "jitcache":
 		section("jitcache", runJITCache)
+	case "faultinject":
+		section("faultinject", runFaultInject)
 	case "all":
 		section("fig5", runFig5)
 		section("lib", runLib)
@@ -151,6 +164,7 @@ func main() {
 		section("wfft", runWFFT)
 		section("saveset", runSaveSet)
 		section("jitcache", runJITCache)
+		section("faultinject", runFaultInject)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)

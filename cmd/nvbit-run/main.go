@@ -25,11 +25,13 @@ import (
 	"strings"
 	"time"
 
+	"nvbitgo/internal/campaign"
 	"nvbitgo/internal/driver"
 	"nvbitgo/internal/gpu"
 	"nvbitgo/internal/profile"
 	"nvbitgo/internal/sass"
 	"nvbitgo/internal/tools/cachesim"
+	"nvbitgo/internal/tools/faultinject"
 	"nvbitgo/internal/tools/instrcount"
 	"nvbitgo/internal/tools/itrace"
 	"nvbitgo/internal/tools/memcheck"
@@ -54,7 +56,7 @@ func main() {
 	// with status 2 on a bad flag, which would collide with the
 	// tool-violation code; usage errors exit 64 instead (EX_USAGE).
 	fs := flag.NewFlagSet("nvbit-run", flag.ContinueOnError)
-	toolName := fs.String("tool", os.Getenv("NVBIT_TOOL"), "tool: none, instrcount, instrcount-bb, memdiv, ophisto, opcode_hist, ophisto-sampled, cachesim, itrace, memtrace, memcheck")
+	toolName := fs.String("tool", os.Getenv("NVBIT_TOOL"), "tool: none, instrcount, instrcount-bb, memdiv, ophisto, opcode_hist, ophisto-sampled, cachesim, itrace, memtrace, memcheck, faultinject")
 	outPath := fs.String("out", "", "write tool reports to this file instead of stdout")
 	backpressure := fs.String("backpressure", "drop", "channel tools (cachesim, itrace, memtrace): drop or block when buffers fill")
 	traceOut := fs.String("trace-out", "", "itrace: write the collected warp trace to this file")
@@ -62,6 +64,16 @@ func main() {
 	metrics := fs.Bool("metrics", false, "print the per-kernel metrics table after the run")
 	jitCacheDir := fs.String("jit-cache", os.Getenv("NVBIT_JIT_CACHE"), "persist instrumented code to this directory and reuse it across runs (env NVBIT_JIT_CACHE)")
 	workload := fs.String("workload", "specaccel:ostencil", "workload: specaccel:<name> or ml:<Network>")
+	fiGroup := fs.String("fi-group", "gpr", "faultinject: instruction group (gpr, fp32, fp64, ld, all)")
+	fiModel := fs.String("fi-model", "flip", "faultinject: injection model (flip, flip2, rand, zero; campaigns also accept mix)")
+	fiTarget := fs.Uint64("fi-target", 0, "faultinject: dynamic thread-instruction index to corrupt")
+	fiBit := fs.Uint("fi-bit", 0, "faultinject: bit position for flip/flip2 models")
+	fiValue := fs.Uint("fi-value", 0, "faultinject: replacement value for the rand model")
+	campaignDir := fs.String("campaign", "", "fault-injection campaign directory: plan a campaign there if absent, resume it otherwise")
+	campaignRuns := fs.Int("campaign-runs", 1000, "campaign: planned number of injection runs")
+	campaignMax := fs.Int("campaign-max-runs", 0, "campaign: stop this invocation after N runs (0 = finish the campaign)")
+	seed := fs.Uint64("seed", 1, "campaign: manifest RNG seed")
+	workers := fs.Int("workers", 4, "campaign: parallel simulator instances")
 	sizeName := fs.String("size", "medium", "specaccel size: small, medium, large")
 	familyName := fs.String("family", "volta", "device family")
 	schedName := fs.String("scheduler", "sequential", "CTA scheduler: sequential or parallel (one worker per SM)")
@@ -112,6 +124,37 @@ exit codes:
 	sched, err := gpu.ParseScheduler(*schedName)
 	if err != nil {
 		usage(err)
+	}
+
+	// Campaign mode: no single workload run, no tool injection here — the
+	// campaign engine executes the victim once per planned injection in its
+	// own simulator instances (Volta, sequential scheduler, watchdog).
+	if *campaignDir != "" {
+		kind, name, _ := strings.Cut(*workload, ":")
+		if kind != "specaccel" {
+			usage(fmt.Errorf("campaigns run specaccel victims, got workload %q", *workload))
+		}
+		cfg := campaign.Config{
+			Benchmark: name,
+			Size:      *sizeName,
+			Group:     *fiGroup,
+			Model:     *fiModel,
+			Runs:      *campaignRuns,
+			Seed:      *seed,
+		}
+		c, err := campaign.Open(*campaignDir, cfg)
+		if err != nil {
+			fail(err)
+		}
+		start := time.Now()
+		done, err := c.Run(*workers, *campaignMax)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("campaign %s: %d runs this invocation (%.2fs wall, %d workers)\n",
+			*campaignDir, done, time.Since(start).Seconds(), *workers)
+		fmt.Print(c.Report())
+		os.Exit(exitOK)
 	}
 	policy, ok := map[string]nvbit.ChannelPolicy{
 		"drop": nvbit.ChannelDrop, "block": nvbit.ChannelBlock,
@@ -222,6 +265,27 @@ exit codes:
 			if t.TotalViolations > 0 {
 				violations = true
 			}
+		}
+	case "faultinject":
+		group, err := faultinject.ParseGroup(*fiGroup)
+		if err != nil {
+			usage(err)
+		}
+		model, err := faultinject.ParseModel(*fiModel)
+		if err != nil {
+			usage(err)
+		}
+		t := faultinject.New(faultinject.Injection{
+			Group: group, Target: *fiTarget, Model: model,
+			Bit: *fiBit, Value: uint32(*fiValue),
+		})
+		tool = t
+		report = func(w io.Writer, nv *nvbit.NVBit) {
+			r, err := t.Result()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(w, "faultinject: %s\n", r)
 		}
 	case "ophisto", "opcode_hist", "ophisto-sampled":
 		t := ophisto.New(*toolName == "ophisto-sampled")

@@ -1,13 +1,17 @@
-// Fault-injection campaign — the SASSIFI-style resilience study the paper
-// cites as an NVBit use case. For every eligible static instruction of a
-// small kernel, a single-bit transient fault is injected into its
-// destination register (in one lane, after the instruction executes, through
-// the NVBit device API) and the run's outcome is classified the way
-// resilience studies do:
+// Fault-injection sweep — the SASSIFI/NVBitFI-style resilience study the
+// paper cites as an NVBit use case. The victim kernel is first profiled to
+// count its dynamic thread-instruction population; then every dynamic
+// instruction is injected with a single-bit flip in its destination register
+// (after the instruction executes, through the NVBit device API) and the
+// run's outcome is classified the way resilience studies do:
 //
 //	masked  — output identical to the golden run (the fault was benign)
 //	SDC     — silent data corruption (wrong output, no error)
 //	DUE     — detected unrecoverable error (the launch trapped)
+//
+// The statistical version of this sweep — seeded sampling over a large
+// space, worker pools, resumable state — lives in internal/campaign; this
+// example shows the per-injection machinery on an exhaustively small victim.
 //
 //	go run ./examples/faultinjection
 package main
@@ -22,8 +26,9 @@ import (
 	"nvbitgo/nvbit"
 )
 
-// The victim kernel: a tiny dot-product-like computation whose address
-// arithmetic, data values and predicates are all fault targets.
+// The victim kernel: a tiny computation whose address arithmetic, data
+// values and predicates are all fault targets. One warp keeps the dynamic
+// instruction space small enough to sweep exhaustively.
 const victimPTX = `
 .visible .entry victim(.param .u64 data, .param .u64 out)
 {
@@ -44,13 +49,16 @@ const victimPTX = `
 }
 `
 
-func run(site *faultinject.Site) (out []uint32, err error) {
+// run executes the victim in a fresh simulator with tool attached (nil for
+// the bare golden run) and returns the output, or the launch error (a DUE).
+func run(tool nvbit.Tool) (out []uint32, err error) {
 	api, e := gpusim.New(gpusim.Volta)
 	if e != nil {
 		log.Fatal(e)
 	}
-	if site != nil {
-		if _, e := nvbit.Attach(api, faultinject.New(*site)); e != nil {
+	if tool != nil {
+		if _, e := nvbit.Attach(api, tool,
+			nvbit.WithScheduler(nvbit.SchedulerSequential)); e != nil {
 			log.Fatal(e)
 		}
 	}
@@ -104,27 +112,40 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Count the campaign space once.
-	api, _ := gpusim.New(gpusim.Volta)
-	probe := faultinject.New(faultinject.Site{InstIdx: 1 << 30})
-	nv, _ := nvbit.Attach(api, probe)
-	ctx, _ := api.CtxCreate()
-	mod, err := ctx.ModuleLoadPTX("victim", victimPTX)
+	// Profile pass: count the dynamic thread-instruction population.
+	prof := faultinject.NewProfiler()
+	if _, err := run(prof); err != nil {
+		log.Fatal(err)
+	}
+	counts, err := prof.Counts()
 	if err != nil {
 		log.Fatal(err)
 	}
-	f, _ := mod.GetFunction("victim")
-	sites, err := faultinject.EligibleSites(nv, f)
-	if err != nil {
-		log.Fatal(err)
+	var space uint64
+	for _, kc := range counts {
+		space += kc.Counts[faultinject.GroupAll]
 	}
 
+	// The kernel is one warp, so with the sequential scheduler the dynamic
+	// order is 32 lanes per eligible instruction: target site*32+5 hits
+	// lane 5 of each static site. Sweeping one lane per site keeps the
+	// exhaustive table readable; the full space would be 3x32 larger.
+	const lane = 5
+	sites := space / 32
 	var masked, sdc, due int
-	fmt.Printf("campaign: %d eligible sites x 3 bits x lane 5\n\n", sites)
-	fmt.Printf("%-5s %-4s %-8s\n", "site", "bit", "outcome")
-	for site := 0; site < sites; site++ {
+	fmt.Printf("sweep: %d eligible sites (of %d dynamic instructions) x 3 bits, lane %d\n\n",
+		sites, space, lane)
+	fmt.Printf("%-7s %-5s %-4s %-8s %s\n", "target", "site", "bit", "outcome", "corruption")
+	for site := uint64(0); site < sites; site++ {
+		target := site*32 + lane
 		for _, bit := range []uint{0, 15, 31} {
-			faulty, err := run(&faultinject.Site{InstIdx: site, Lane: 5, Bit: bit})
+			tool := faultinject.New(faultinject.Injection{
+				Group:  faultinject.GroupAll,
+				Target: target,
+				Model:  faultinject.ModelFlip,
+				Bit:    bit,
+			})
+			faulty, err := run(tool)
 			var outcome string
 			switch {
 			case err != nil:
@@ -137,7 +158,13 @@ func main() {
 				outcome = "SDC"
 				sdc++
 			}
-			fmt.Printf("%-5d %-4d %-8s\n", site, bit, outcome)
+			detail := ""
+			if r, rerr := tool.Result(); rerr == nil && r.Fired {
+				detail = fmt.Sprintf("%#08x -> %#08x", r.Old, r.New)
+				fmt.Printf("%-7d %-5d %-4d %-8s %s\n", target, r.Site, bit, outcome, detail)
+			} else {
+				fmt.Printf("%-7d %-5s %-4d %-8s\n", target, "?", bit, outcome)
+			}
 		}
 	}
 	total := masked + sdc + due

@@ -1,0 +1,385 @@
+// Package campaign is the NVBitFI-style fault-injection campaign engine: the
+// scale layer over internal/tools/faultinject that turns one-injection-per-run
+// experiments into statistically meaningful error-resilience numbers
+// (ROADMAP item 3; the SASSIFI use case of paper Sections 1 and 6.3).
+//
+// A campaign lives in a directory:
+//
+//	<dir>/plan.json     written once by Plan: config, the profiled
+//	                    dynamic-instruction space, the golden output hash and
+//	                    the full run manifest drawn from a seeded RNG
+//	<dir>/results.json  rewritten atomically after every completed run
+//
+// The lifecycle is profile → plan → run → report. Profiling executes the
+// victim once under a counting tool to measure the dynamic
+// thread-instruction population per kernel per instruction group; the
+// planner draws each run's target uniformly from that space, so the manifest
+// is reproducible from (plan, seed) alone. Each run then executes the victim
+// in a fresh simulator instance with exactly one injection armed and
+// classifies the outcome:
+//
+//	masked  the run completed and its output matches the golden hash
+//	sdc     the run completed with corrupted output (silent data corruption)
+//	due     the run failed detectably: a device fault, the launch watchdog,
+//	        or an instrumentation/tool error (detectable unrecoverable error)
+//
+// Because results.json is persisted after every run with the jitcache
+// write-then-rename idiom, killing the runner at any instant loses at most
+// the in-flight runs; resuming re-derives the missing run IDs from the
+// manifest and finishes exactly the planned set — no run is lost or executed
+// twice.
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"nvbitgo/gpusim"
+	"nvbitgo/internal/tools/faultinject"
+	"nvbitgo/internal/workloads/specaccel"
+	"nvbitgo/nvbit"
+)
+
+// Config identifies what a campaign injects into and how much.
+type Config struct {
+	// Benchmark is the specaccel victim name (e.g. "ostencil").
+	Benchmark string `json:"benchmark"`
+	// Size is the problem scale: small, medium or large.
+	Size string `json:"size"`
+	// Group is the instruction-group filter: gpr, fp32, fp64, ld or all.
+	Group string `json:"group"`
+	// Model is the injection model: flip, flip2, rand, zero, or "mix" to
+	// draw a model per run.
+	Model string `json:"model"`
+	// Runs is the planned number of injection runs.
+	Runs int `json:"runs"`
+	// Seed seeds the manifest RNG; same (plan, seed) => same manifest.
+	Seed uint64 `json:"seed"`
+	// Watchdog bounds each CTA to this many warp-instructions so corrupted
+	// loop bounds surface as DUE timeouts rather than hangs. 0 selects
+	// DefaultWatchdog.
+	Watchdog int64 `json:"watchdog,omitempty"`
+}
+
+// DefaultWatchdog is the per-CTA warp-instruction budget campaigns run
+// under: roughly 100x the heaviest small-size victim CTA, and small enough
+// that an injected infinite loop turns around in well under a second.
+const DefaultWatchdog = int64(1) << 22
+
+func (cfg *Config) watchdog() int64 {
+	if cfg.Watchdog == 0 {
+		return DefaultWatchdog
+	}
+	return cfg.Watchdog
+}
+
+// RunSpec is one planned run: an ID and the injection it arms.
+type RunSpec struct {
+	ID        int                   `json:"id"`
+	Injection faultinject.Injection `json:"injection"`
+}
+
+// planFile is the on-disk plan.json. Everything is slices and scalars (no
+// maps), so encoding is deterministic and two same-seed plans are
+// byte-identical.
+type planFile struct {
+	Version  int                        `json:"version"`
+	Config   Config                     `json:"config"`
+	Profile  []faultinject.KernelCounts `json:"profile"`
+	Space    uint64                     `json:"space"`
+	Golden   string                     `json:"golden_sha256"`
+	Manifest []RunSpec                  `json:"manifest"`
+}
+
+const planVersion = 1
+
+// Campaign is one on-disk campaign: a plan plus the completed results.
+type Campaign struct {
+	dir  string
+	plan planFile
+
+	bench *specaccel.Benchmark
+	size  specaccel.Size
+	group faultinject.Group
+
+	mu      sync.Mutex
+	results map[int]RunResult
+}
+
+// resolve validates the config against the workload registry.
+func resolve(cfg Config) (*specaccel.Benchmark, specaccel.Size, faultinject.Group, error) {
+	var bench *specaccel.Benchmark
+	for _, b := range specaccel.Benchmarks() {
+		if b.Name == cfg.Benchmark {
+			bench = b
+			break
+		}
+	}
+	if bench == nil {
+		return nil, 0, 0, fmt.Errorf("campaign: unknown benchmark %q", cfg.Benchmark)
+	}
+	size, err := specaccel.ParseSize(cfg.Size)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("campaign: %w", err)
+	}
+	group, err := faultinject.ParseGroup(cfg.Group)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("campaign: %w", err)
+	}
+	if cfg.Model != "mix" {
+		if _, err := faultinject.ParseModel(cfg.Model); err != nil {
+			return nil, 0, 0, fmt.Errorf("campaign: %w", err)
+		}
+	}
+	if cfg.Runs <= 0 {
+		return nil, 0, 0, fmt.Errorf("campaign: runs must be positive, got %d", cfg.Runs)
+	}
+	return bench, size, group, nil
+}
+
+// Plan profiles the victim, draws the run manifest and writes plan.json.
+// The directory must not already hold a campaign.
+func Plan(dir string, cfg Config) (*Campaign, error) {
+	bench, size, group, err := resolve(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := os.Stat(filepath.Join(dir, planName)); err == nil {
+		return nil, fmt.Errorf("campaign: %s already holds a plan (use Load/Open to resume)", dir)
+	}
+
+	// Golden pass: the victim under the injection tool instrumented but
+	// disarmed, so the reference output comes from exactly the binary the
+	// injection runs execute.
+	golden, _, err := executeVictim(bench, size, group, disarmedInjection(group), cfg.watchdog())
+	if err != nil {
+		return nil, fmt.Errorf("campaign: golden run failed: %w", err)
+	}
+
+	// Profile pass: count the dynamic thread-instruction population.
+	profile, err := profileVictim(bench, size, cfg.watchdog())
+	if err != nil {
+		return nil, fmt.Errorf("campaign: profile run failed: %w", err)
+	}
+	var space uint64
+	for _, kc := range profile {
+		space += kc.Counts[group]
+	}
+	if space == 0 {
+		return nil, fmt.Errorf("campaign: %s/%s has no dynamic instructions in group %s",
+			cfg.Benchmark, cfg.Size, cfg.Group)
+	}
+
+	c := &Campaign{
+		dir: dir,
+		plan: planFile{
+			Version: planVersion,
+			Config:  cfg,
+			Profile: profile,
+			Space:   space,
+			Golden:  hashOutput(golden),
+		},
+		bench:   bench,
+		size:    size,
+		group:   group,
+		results: make(map[int]RunResult),
+	}
+	c.plan.Manifest = drawManifest(cfg, group, space)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := writeFileAtomic(filepath.Join(dir, planName), &c.plan); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// drawManifest draws cfg.Runs injections from the dynamic-instruction space
+// with a splitmix64 stream seeded by cfg.Seed. The draw sequence is fixed:
+// target, then model (under "mix"), then the model's parameters — so the
+// manifest is a pure function of (space, cfg).
+func drawManifest(cfg Config, group faultinject.Group, space uint64) []RunSpec {
+	rng := newRNG(cfg.Seed)
+	fixed := faultinject.Model(-1)
+	if cfg.Model != "mix" {
+		fixed, _ = faultinject.ParseModel(cfg.Model)
+	}
+	manifest := make([]RunSpec, cfg.Runs)
+	for i := range manifest {
+		inj := faultinject.Injection{Group: group, Target: rng.below(space)}
+		if fixed >= 0 {
+			inj.Model = fixed
+		} else {
+			inj.Model = faultinject.Model(rng.below(uint64(faultinject.NumModels)))
+		}
+		switch inj.Model {
+		case faultinject.ModelFlip:
+			inj.Bit = uint(rng.below(faultinject.MaxFlipBit + 1))
+		case faultinject.ModelFlip2:
+			inj.Bit = uint(rng.below(faultinject.MaxFlip2Bit + 1))
+		case faultinject.ModelRand:
+			inj.Value = uint32(rng.next())
+		}
+		manifest[i] = RunSpec{ID: i, Injection: inj}
+	}
+	return manifest
+}
+
+// Load opens an existing campaign directory.
+func Load(dir string) (*Campaign, error) {
+	var plan planFile
+	if err := readFile(filepath.Join(dir, planName), &plan); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	if plan.Version != planVersion {
+		return nil, fmt.Errorf("campaign: plan version %d, want %d", plan.Version, planVersion)
+	}
+	bench, size, group, err := resolve(plan.Config)
+	if err != nil {
+		return nil, err
+	}
+	if len(plan.Manifest) != plan.Config.Runs {
+		return nil, fmt.Errorf("campaign: manifest holds %d runs, config plans %d",
+			len(plan.Manifest), plan.Config.Runs)
+	}
+	c := &Campaign{
+		dir:     dir,
+		plan:    plan,
+		bench:   bench,
+		size:    size,
+		group:   group,
+		results: make(map[int]RunResult),
+	}
+	if err := c.loadResults(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Open loads the campaign in dir if one exists (verifying it was planned
+// with the same config) and plans a fresh one otherwise.
+func Open(dir string, cfg Config) (*Campaign, error) {
+	if _, err := os.Stat(filepath.Join(dir, planName)); err != nil {
+		return Plan(dir, cfg)
+	}
+	c, err := Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	if c.plan.Config != cfg {
+		return nil, fmt.Errorf("campaign: %s was planned with %+v, asked to run %+v",
+			dir, c.plan.Config, cfg)
+	}
+	return c, nil
+}
+
+// Config returns the campaign's planned configuration.
+func (c *Campaign) Config() Config { return c.plan.Config }
+
+// Space returns the profiled dynamic thread-instruction population of the
+// campaign's instruction group.
+func (c *Campaign) Space() uint64 { return c.plan.Space }
+
+// Profile returns the per-kernel per-group dynamic-instruction counts.
+func (c *Campaign) Profile() []faultinject.KernelCounts { return c.plan.Profile }
+
+// Manifest returns the planned runs.
+func (c *Campaign) Manifest() []RunSpec { return append([]RunSpec(nil), c.plan.Manifest...) }
+
+// Completed returns how many planned runs have results.
+func (c *Campaign) Completed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.results)
+}
+
+// Missing returns the planned runs that do not have a result yet, in ID
+// order.
+func (c *Campaign) Missing() []RunSpec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var missing []RunSpec
+	for _, spec := range c.plan.Manifest {
+		if _, done := c.results[spec.ID]; !done {
+			missing = append(missing, spec)
+		}
+	}
+	return missing
+}
+
+// Results returns the completed run results in ID order.
+func (c *Campaign) Results() []RunResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]RunResult, 0, len(c.results))
+	for _, r := range c.results {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func hashOutput(out []byte) string {
+	sum := sha256.Sum256(out)
+	return hex.EncodeToString(sum[:])
+}
+
+// disarmedInjection is an injection that never fires: the golden-run arming.
+func disarmedInjection(group faultinject.Group) faultinject.Injection {
+	return faultinject.Injection{Group: group, Target: faultinject.NoTarget}
+}
+
+// executeVictim runs the benchmark in a fresh simulator with the injection
+// tool armed as specified and returns the captured output and the tool.
+// Every campaign execution — golden, and each injection run — goes through
+// here, so they share scheduler (sequential: the dynamic-instruction order
+// the targets index must be deterministic) and watchdog configuration.
+func executeVictim(bench *specaccel.Benchmark, size specaccel.Size, group faultinject.Group,
+	inj faultinject.Injection, watchdog int64) ([]byte, *faultinject.Tool, error) {
+	api, err := gpusim.New(gpusim.Volta)
+	if err != nil {
+		return nil, nil, err
+	}
+	tool := faultinject.New(inj)
+	if _, err := nvbit.Attach(api, tool,
+		nvbit.WithScheduler(nvbit.SchedulerSequential),
+		nvbit.WithWatchdogInterval(watchdog)); err != nil {
+		return nil, nil, err
+	}
+	ctx, err := api.CtxCreate()
+	if err != nil {
+		return nil, tool, err
+	}
+	out, err := bench.RunCapture(ctx, size)
+	if err != nil {
+		return nil, tool, err
+	}
+	return out, tool, nil
+}
+
+// profileVictim runs the benchmark once under the counting tool.
+func profileVictim(bench *specaccel.Benchmark, size specaccel.Size, watchdog int64) ([]faultinject.KernelCounts, error) {
+	api, err := gpusim.New(gpusim.Volta)
+	if err != nil {
+		return nil, err
+	}
+	prof := faultinject.NewProfiler()
+	if _, err := nvbit.Attach(api, prof,
+		nvbit.WithScheduler(nvbit.SchedulerSequential),
+		nvbit.WithWatchdogInterval(watchdog)); err != nil {
+		return nil, err
+	}
+	ctx, err := api.CtxCreate()
+	if err != nil {
+		return nil, err
+	}
+	if err := bench.Run(ctx, size); err != nil {
+		return nil, err
+	}
+	return prof.Counts()
+}

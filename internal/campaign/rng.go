@@ -1,0 +1,30 @@
+package campaign
+
+// rng is a splitmix64 stream. The standard library's generators do not
+// promise a stable sequence across Go releases, and a campaign manifest must
+// be reproducible from its seed forever — so the generator is pinned here
+// (Steele, Lea & Flood's SplitMix64, the same choice nvbitfi-style harnesses
+// make for run planning).
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// below returns a uniform draw from [0, n) without modulo bias, by
+// rejection from the largest multiple of n below 2^64. n must be nonzero.
+func (r *rng) below(n uint64) uint64 {
+	limit := -n % n // (2^64 - n) mod n: values below this are rejected
+	for {
+		v := r.next()
+		if v >= limit {
+			return v % n
+		}
+	}
+}

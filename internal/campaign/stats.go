@@ -1,0 +1,113 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ClassStats summarizes one outcome class over the completed runs.
+type ClassStats struct {
+	Count int `json:"count"`
+	// Fraction is Count over completed runs; Lo and Hi bound it with a
+	// Wilson score 95% confidence interval.
+	Fraction float64 `json:"fraction"`
+	Lo       float64 `json:"lo"`
+	Hi       float64 `json:"hi"`
+}
+
+// Report is the campaign's outcome distribution in NVBitFI shape: the three
+// top-level classes plus a DUE breakdown by detail.
+type Report struct {
+	Planned   int `json:"planned"`
+	Completed int `json:"completed"`
+
+	Masked ClassStats `json:"masked"`
+	SDC    ClassStats `json:"sdc"`
+	DUE    ClassStats `json:"due"`
+
+	// DUEDetail counts DUE runs by subclass (timeout, tool-callback,
+	// fault:<kind>, ...).
+	DUEDetail map[string]int `json:"due_detail,omitempty"`
+}
+
+// wilson returns the Wilson score interval for k successes in n trials at
+// 95% confidence. Unlike the normal approximation it stays inside [0,1] and
+// behaves at k=0 and k=n, which small campaigns hit routinely.
+func wilson(k, n int) (lo, hi float64) {
+	if n == 0 {
+		return 0, 0
+	}
+	const z = 1.959963984540054 // Phi^-1(0.975)
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := p + z2/(2*nf)
+	margin := z * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = (center - margin) / denom
+	hi = (center + margin) / denom
+	return math.Max(0, lo), math.Min(1, hi)
+}
+
+func classStats(k, n int) ClassStats {
+	s := ClassStats{Count: k}
+	if n > 0 {
+		s.Fraction = float64(k) / float64(n)
+	}
+	s.Lo, s.Hi = wilson(k, n)
+	return s
+}
+
+// Report computes the outcome distribution over the completed runs.
+func (c *Campaign) Report() Report {
+	results := c.Results()
+	rep := Report{
+		Planned:   len(c.plan.Manifest),
+		Completed: len(results),
+		DUEDetail: make(map[string]int),
+	}
+	var masked, sdc, due int
+	for _, r := range results {
+		switch r.Outcome {
+		case OutcomeMasked:
+			masked++
+		case OutcomeSDC:
+			sdc++
+		case OutcomeDUE:
+			due++
+			rep.DUEDetail[r.Detail]++
+		}
+	}
+	n := len(results)
+	rep.Masked = classStats(masked, n)
+	rep.SDC = classStats(sdc, n)
+	rep.DUE = classStats(due, n)
+	return rep
+}
+
+// String renders the report as the NVBitFI-style outcome table.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign: %d/%d runs completed\n", r.Completed, r.Planned)
+	fmt.Fprintf(&b, "%-8s %6s %9s %19s\n", "outcome", "runs", "fraction", "95% CI")
+	row := func(name string, s ClassStats) {
+		fmt.Fprintf(&b, "%-8s %6d %8.1f%% [%6.1f%%, %6.1f%%]\n",
+			name, s.Count, 100*s.Fraction, 100*s.Lo, 100*s.Hi)
+	}
+	row(OutcomeMasked, r.Masked)
+	row(OutcomeSDC, r.SDC)
+	row(OutcomeDUE, r.DUE)
+	if len(r.DUEDetail) > 0 {
+		details := make([]string, 0, len(r.DUEDetail))
+		for d := range r.DUEDetail {
+			details = append(details, d)
+		}
+		sort.Strings(details)
+		for _, d := range details {
+			fmt.Fprintf(&b, "  due/%-20s %6d\n", d, r.DUEDetail[d])
+		}
+	}
+	return b.String()
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"testing"
 
+	"nvbitgo/internal/campaign"
 	"nvbitgo/internal/workloads/specaccel"
 )
 
@@ -174,6 +175,36 @@ func TestSaveSetShape(t *testing.T) {
 		}
 	}
 	if out := RenderSaveSet(rows); len(out) == 0 {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestFaultInjectShape(t *testing.T) {
+	rows, err := FaultInject(24, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(FaultInjectVictims) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(FaultInjectVictims))
+	}
+	for _, r := range rows {
+		if r.Runs != 24 {
+			t.Fatalf("%s: completed %d of 24 runs", r.Benchmark, r.Runs)
+		}
+		if r.Space == 0 {
+			t.Fatalf("%s: empty injection space", r.Benchmark)
+		}
+		total := r.Masked.Count + r.SDC.Count + r.DUE.Count
+		if total != r.Runs {
+			t.Fatalf("%s: outcome counts %d do not cover %d runs", r.Benchmark, total, r.Runs)
+		}
+		for _, s := range []campaign.ClassStats{r.Masked, r.SDC, r.DUE} {
+			if s.Lo > s.Fraction || s.Hi < s.Fraction {
+				t.Fatalf("%s: CI [%v,%v] excludes fraction %v", r.Benchmark, s.Lo, s.Hi, s.Fraction)
+			}
+		}
+	}
+	if out := RenderFaultInject(rows); len(out) == 0 {
 		t.Fatal("empty rendering")
 	}
 }

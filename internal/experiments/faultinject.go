@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"nvbitgo/internal/campaign"
+)
+
+// FaultInjectRow is one victim's fault-injection campaign in NVBitFI's
+// outcome-distribution shape: masked / SDC / DUE fractions with Wilson 95%
+// confidence intervals over the planned injections.
+type FaultInjectRow struct {
+	Benchmark string
+	Runs      int
+	// Space is the profiled dynamic thread-instruction population the
+	// injection targets were drawn from.
+	Space  uint64
+	Masked campaign.ClassStats
+	SDC    campaign.ClassStats
+	DUE    campaign.ClassStats
+	// DUEDetail breaks DUE down by subclass (timeout, fault kinds, ...).
+	DUEDetail map[string]int
+}
+
+// FaultInjectVictims is the victim subset the experiment campaigns against:
+// a single-kernel stencil, a multi-kernel pipeline, and a long compute
+// kernel — three points along the SpecAccel control-flow spectrum.
+var FaultInjectVictims = []string{"ostencil", "olbm", "md"}
+
+// FaultInject runs one single-bit-flip campaign per victim (GPR-write
+// group, model mix, Small scale) and reports the outcome distribution.
+func FaultInject(runs int, seed uint64) ([]FaultInjectRow, error) {
+	var rows []FaultInjectRow
+	for _, victim := range FaultInjectVictims {
+		dir, err := os.MkdirTemp("", "nvbit-campaign-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		cfg := campaign.Config{
+			Benchmark: victim,
+			Size:      "small",
+			Group:     "gpr",
+			Model:     "mix",
+			Runs:      runs,
+			Seed:      seed,
+		}
+		c, err := campaign.Plan(dir, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: %s: %w", victim, err)
+		}
+		if _, err := c.Run(4, 0); err != nil {
+			return nil, fmt.Errorf("faultinject: %s: %w", victim, err)
+		}
+		rep := c.Report()
+		rows = append(rows, FaultInjectRow{
+			Benchmark: victim,
+			Runs:      rep.Completed,
+			Space:     c.Space(),
+			Masked:    rep.Masked,
+			SDC:       rep.SDC,
+			DUE:       rep.DUE,
+			DUEDetail: rep.DUEDetail,
+		})
+	}
+	return rows, nil
+}
+
+// RenderFaultInject formats the campaign outcome table.
+func RenderFaultInject(rows []FaultInjectRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fault-injection campaigns: outcome distribution per victim (gpr group, model mix)\n")
+	fmt.Fprintf(&b, "%-10s %6s %10s %18s %18s %18s\n",
+		"benchmark", "runs", "space", "masked [95% CI]", "sdc [95% CI]", "due [95% CI]")
+	cell := func(s campaign.ClassStats) string {
+		return fmt.Sprintf("%5.1f%% [%4.1f,%4.1f]", 100*s.Fraction, 100*s.Lo, 100*s.Hi)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %6d %10d %18s %18s %18s\n",
+			r.Benchmark, r.Runs, r.Space, cell(r.Masked), cell(r.SDC), cell(r.DUE))
+	}
+	return b.String()
+}

@@ -498,3 +498,64 @@ func TestGuardNegation(t *testing.T) {
 		t.Fatal("negated guard lost")
 	}
 }
+
+func TestShr64HighWordExtraction(t *testing.T) {
+	// shr.b64 with an immediate shift in [32,63] is the high-word
+	// extraction idiom (low = hi >> (imm-32), high = 0) that device code
+	// uses to compare 64-bit values with the 32-bit setp.
+	src := `
+.visible .entry hi64(.param .u64 in, .param .u64 out)
+{
+	.reg .u32 %r<4>;
+	.reg .u64 %rd<8>;
+	ld.param.u64 %rd0, [in];
+	ld.global.u64 %rd2, [%rd0];
+	shr.b64 %rd4, %rd2, 32;
+	cvt.u32.u64 %r0, %rd4;
+	shr.u64 %rd6, %rd2, 44;
+	cvt.u32.u64 %r1, %rd6;
+	ld.param.u64 %rd0, [out];
+	st.global.u32 [%rd0], %r0;
+	st.global.u32 [%rd0+4], %r1;
+	exit;
+}
+`
+	m := mustCompile(t, src, sass.Volta)
+	d := newDev(t, sass.Volta)
+	addrs := loadModule(t, d, m)
+	in, _ := d.Malloc(8)
+	out, _ := d.Malloc(8)
+	const v = uint64(0xfedcba9812345678)
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, v)
+	if err := d.Write(in, buf); err != nil {
+		t.Fatal(err)
+	}
+	params := make([]byte, 16)
+	binary.LittleEndian.PutUint64(params[0:], in)
+	binary.LittleEndian.PutUint64(params[8:], out)
+	run(t, d, addrs["hi64"], gpu.D1(1), gpu.D1(1), params, 0)
+	got := make([]byte, 8)
+	if err := d.Read(out, got); err != nil {
+		t.Fatal(err)
+	}
+	if w0 := binary.LittleEndian.Uint32(got[0:]); w0 != uint32(v>>32) {
+		t.Fatalf("v>>32 = %#x, want %#x", w0, uint32(v>>32))
+	}
+	if w1 := binary.LittleEndian.Uint32(got[4:]); w1 != uint32(v>>44) {
+		t.Fatalf("v>>44 = %#x, want %#x", w1, uint32(v>>44))
+	}
+
+	// Unsupported 64-bit shift shapes must be rejected, not miscompiled.
+	for _, bad := range []string{
+		"shl.b64 %rd4, %rd2, 32;",
+		"shr.b64 %rd4, %rd2, 8;",
+		"shr.b64 %rd4, %rd2, 64;",
+		"shr.b64 %rd4, %rd2, %r0;",
+	} {
+		src := strings.Replace(src, "shr.b64 %rd4, %rd2, 32;", bad, 1)
+		if _, err := Compile("bad", src, sass.Volta); err == nil {
+			t.Fatalf("%s: compiled, want error", bad)
+		}
+	}
+}

@@ -735,6 +735,33 @@ func (c *compiler) lowerShift(op string, sub []string, a []string) error {
 	if len(a) != 3 {
 		return fmt.Errorf("%s: want 3 operands", op)
 	}
+	if len(sub) == 1 && (sub[0] == "b64" || sub[0] == "u64" || sub[0] == "s64") {
+		// 64-bit right shift by an immediate in [32,63]: the high-word
+		// extraction idiom (low = hi >> (imm-32), high = 0). General
+		// 64-bit funnel shifts are not part of the dialect.
+		if op != "shr" {
+			return fmt.Errorf("shl.%s unsupported (only shr with shift 32..63)", sub[0])
+		}
+		d, err := c.pair(a[0])
+		if err != nil {
+			return err
+		}
+		s, err := c.pair(a[1])
+		if err != nil {
+			return err
+		}
+		imm, ok := immValue(a[2])
+		if !ok || imm < 32 || imm > 63 {
+			return fmt.Errorf("shr.%s: shift must be an immediate in 32..63, got %q", sub[0], a[2])
+		}
+		lo := sass.NewInst(sass.OpSHR)
+		lo.Dst, lo.Src1, lo.Src2, lo.Imm = d, s+1, sass.RZ, imm-32
+		c.emit(lo)
+		hi := sass.NewInst(sass.OpMOVI)
+		hi.Dst, hi.Imm = d+1, 0
+		c.emit(hi)
+		return nil
+	}
 	d, err := c.gpr(a[0])
 	if err != nil {
 		return err

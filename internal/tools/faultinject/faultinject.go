@@ -1,132 +1,598 @@
-// Package faultinject is a transient-fault injection tool — the SASSIFI-
-// style use case the paper cites (Section 1 and Section 6.3's "prior art has
-// used similar functionality to study fault injection"). It flips a chosen
-// bit in the destination register of a chosen static instruction, in a
-// chosen lane, *after* the instruction executes: the injected device
-// function reads the just-produced value through the NVBit device API,
-// XORs the fault mask in, and writes it back to the saved register image so
-// the corruption survives the restore and propagates through the program —
-// exactly how architectural error-resilience studies perturb state.
+// Package faultinject is a transient-fault injection tool in the NVBitFI
+// mold — the SASSIFI-style use case the paper cites (Section 1 and Section
+// 6.3's "prior art has used similar functionality to study fault injection").
+//
+// The unit of targeting is one *dynamic thread-instruction*: every executing
+// lane of every eligible instruction increments a device-side counter, and
+// the lane whose pre-increment count equals the armed target corrupts its
+// just-produced destination register *after* the instruction executes. The
+// corruption is applied through the NVBit device API (rdreg/wrreg against the
+// saved register image) so it survives the trampoline restore and propagates
+// through the program — exactly how architectural error-resilience studies
+// perturb state. All four NVBitFI injection models reduce to one update rule,
+//
+//	new = (old AND andmask) XOR xormask
+//
+// so the device function never branches on the model.
+//
+// Two tools share the instrumentation: Tool injects (one Tool arming = one
+// injection; Reset re-arms it for the next run), and Profiler only counts,
+// producing the per-kernel per-group dynamic-instruction populations a
+// campaign planner draws targets from (internal/campaign).
 package faultinject
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 
 	"nvbitgo/internal/sass"
 	"nvbitgo/nvbit"
 )
 
+// Group is an NVBitFI-style instruction-group filter: which static
+// instructions are eligible injection sites.
+type Group int
+
+const (
+	// GroupGPR: instructions writing a single 32-bit general-purpose
+	// destination register (nvbitfi's G_GP).
+	GroupGPR Group = iota
+	// GroupFP32: FP32-pipe instructions (FADD/FMUL/FFMA/MUFU and the
+	// int<->float converts), nvbitfi's G_FP32.
+	GroupFP32
+	// GroupFP64: instructions producing a 64-bit register-pair result. The
+	// simulated ISA has no FP64 unit, so wide integer/address producers
+	// stand in for nvbitfi's G_FP64 double-precision group.
+	GroupFP64
+	// GroupLD: memory loads with a register destination (including ATOM's
+	// returned old value), nvbitfi's G_LD.
+	GroupLD
+	// GroupAll: every instruction writing a non-RZ GPR destination.
+	GroupAll
+	// NumGroups is the number of instruction groups.
+	NumGroups
+)
+
+var groupNames = [NumGroups]string{"gpr", "fp32", "fp64", "ld", "all"}
+
+func (g Group) String() string {
+	if g >= 0 && g < NumGroups {
+		return groupNames[g]
+	}
+	return fmt.Sprintf("Group(%d)", int(g))
+}
+
+// ParseGroup resolves a group name (as accepted by nvbit-run -fi-group).
+func ParseGroup(s string) (Group, error) {
+	for g, n := range groupNames {
+		if s == n {
+			return Group(g), nil
+		}
+	}
+	return 0, fmt.Errorf("faultinject: unknown instruction group %q (have %s)",
+		s, strings.Join(groupNames[:], ", "))
+}
+
+// Model is an NVBitFI bit-flip model: how the targeted register value is
+// corrupted.
+type Model int
+
+const (
+	// ModelFlip flips one bit (nvbitfi FLIP_SINGLE_BIT).
+	ModelFlip Model = iota
+	// ModelFlip2 flips two adjacent bits (nvbitfi FLIP_TWO_BITS).
+	ModelFlip2
+	// ModelRand replaces the value with a random word (nvbitfi RANDOM_VALUE).
+	ModelRand
+	// ModelZero replaces the value with zero (nvbitfi ZERO_VALUE).
+	ModelZero
+	// NumModels is the number of injection models.
+	NumModels
+)
+
+var modelNames = [NumModels]string{"flip", "flip2", "rand", "zero"}
+
+func (m Model) String() string {
+	if m >= 0 && m < NumModels {
+		return modelNames[m]
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// ParseModel resolves a model name (as accepted by nvbit-run -fi-model).
+func ParseModel(s string) (Model, error) {
+	for m, n := range modelNames {
+		if s == n {
+			return Model(m), nil
+		}
+	}
+	return 0, fmt.Errorf("faultinject: unknown injection model %q (have %s)",
+		s, strings.Join(modelNames[:], ", "))
+}
+
+// Injection specifies one fault: which dynamic thread-instruction of which
+// group fires, and how the destination value is corrupted.
+type Injection struct {
+	Group  Group  `json:"group"`
+	Target uint64 `json:"target"` // 0-based dynamic thread-instruction index within the group
+	Model  Model  `json:"model"`
+	Bit    uint   `json:"bit"`   // ModelFlip: 0..31; ModelFlip2: 0..30
+	Value  uint32 `json:"value"` // ModelRand replacement word
+}
+
+// masks folds the injection model into the device update rule
+// new = (old AND and) XOR xor.
+func (inj Injection) masks() (and, xor uint32) {
+	switch inj.Model {
+	case ModelFlip:
+		return ^uint32(0), 1 << (inj.Bit & 31)
+	case ModelFlip2:
+		// Adjacent pair; at bit 31 the upper flip falls off the register,
+		// so the planner draws Bit from 0..30.
+		return ^uint32(0), 3 << (inj.Bit & 31)
+	case ModelRand:
+		return 0, inj.Value
+	default: // ModelZero
+		return 0, 0
+	}
+}
+
+func (inj Injection) String() string {
+	s := fmt.Sprintf("%s[%d] %s", inj.Group, inj.Target, inj.Model)
+	switch inj.Model {
+	case ModelFlip:
+		s += fmt.Sprintf(" bit %d", inj.Bit)
+	case ModelFlip2:
+		s += fmt.Sprintf(" bits %d-%d", inj.Bit, inj.Bit+1)
+	case ModelRand:
+		s += fmt.Sprintf(" value %#08x", inj.Value)
+	}
+	return s
+}
+
+// Device state block layout (one per Tool, stBytes long):
+//
+//	offset  type  field
+//	0       u64   counter: dynamic thread-instructions executed so far
+//	8       u64   target: counter value that fires the injection
+//	16      u32   andmask
+//	20      u32   xormask
+//	24      u32   fired (0/1)
+//	28      u32   firing lane id
+//	32      u32   old register value
+//	36      u32   new (corrupted) register value
+//	40      u32   static site: instruction word index within its function
+//	44      u32   kernel id (instrumentation order)
+//
+// Arming with target = NoTarget (2^64-1) turns the tool into a pure counter:
+// a workload would need ~10^19 dynamic instructions to fire it.
+const (
+	stBytes  = 48
+	NoTarget = ^uint64(0)
+
+	// MaxFlipBit is the highest ModelFlip bit position.
+	MaxFlipBit = 31
+	// MaxFlip2Bit is the highest ModelFlip2 low bit position (the pair must
+	// stay inside the 32-bit word).
+	MaxFlip2Bit = 30
+)
+
+// The injected device functions. fi_count only counts (Profiler; one counter
+// per instruction group). fi_inject counts and, on the firing dynamic
+// thread-instruction, corrupts the destination register.
+//
+// Both take the site predicate as their first argument (ArgSitePred) and
+// return immediately for lanes where the original instruction's guard was
+// false: a predicated-off lane executes nothing, so it neither counts toward
+// the dynamic-instruction space nor hosts an injection.
+//
+// The 64-bit equality check has no direct dialect form (setp is 32-bit), so
+// it is computed half by half: XOR the low words, XOR the high words
+// (extracted with shr.b64), OR the two — zero iff the values are equal.
 const toolPTX = `
-.toolfunc flip_bit(.param .u32 lane, .param .u32 reg, .param .u32 mask)
+.toolfunc fi_count(.param .u32 pred, .param .u64 ctr)
 {
-	.reg .u32 %r<6>;
+	.reg .u32 %r<2>;
+	.reg .u64 %rd<4>;
 	.reg .pred %p<2>;
-	mov.u32 %r0, %laneid;
-	ld.param.u32 %r1, [lane];
-	setp.ne.u32 %p0, %r0, %r1;
+	ld.param.u32 %r0, [pred];
+	setp.eq.u32 %p0, %r0, 0;
 	@%p0 ret;
-	ld.param.u32 %r2, [reg];
-	ld.param.u32 %r3, [mask];
-	rdreg.b32 %r4, %r2;
-	xor.b32 %r4, %r4, %r3;
-	wrreg.b32 %r2, %r4;
+	ld.param.u64 %rd0, [ctr];
+	mov.u64 %rd2, 1;
+	red.global.add.u64 [%rd0], %rd2;
+	ret;
+}
+
+.toolfunc fi_inject(.param .u32 pred, .param .u32 reg, .param .u32 site, .param .u32 kid, .param .u64 st)
+{
+	.reg .u32 %r<12>;
+	.reg .u64 %rd<10>;
+	.reg .pred %p<3>;
+	// Lanes whose site guard was false did not execute the instruction.
+	ld.param.u32 %r0, [pred];
+	setp.eq.u32 %p0, %r0, 0;
+	@%p0 ret;
+	// idx = counter++, per executing lane: the dynamic thread-instruction index.
+	ld.param.u64 %rd0, [st];
+	mov.u64 %rd2, 1;
+	atom.global.add.u64 %rd4, [%rd0], %rd2;
+	// Fire iff idx == target, compared as two 32-bit halves (setp is
+	// 32-bit only): XOR each half, OR the results, fire on zero.
+	ld.global.u64 %rd6, [%rd0+8];
+	cvt.u32.u64 %r1, %rd4;
+	cvt.u32.u64 %r2, %rd6;
+	xor.b32 %r1, %r1, %r2;
+	shr.b64 %rd4, %rd4, 32;
+	shr.b64 %rd6, %rd6, 32;
+	cvt.u32.u64 %r2, %rd4;
+	cvt.u32.u64 %r3, %rd6;
+	xor.b32 %r2, %r2, %r3;
+	or.b32 %r1, %r1, %r2;
+	setp.ne.u32 %p1, %r1, 0;
+	@%p1 ret;
+	// Corrupt the saved register image: new = (old AND and) XOR xor.
+	ld.param.u32 %r3, [reg];
+	rdreg.b32 %r4, %r3;
+	ld.global.u32 %r5, [%rd0+16];
+	ld.global.u32 %r6, [%rd0+20];
+	and.b32 %r7, %r4, %r5;
+	xor.b32 %r7, %r7, %r6;
+	wrreg.b32 %r3, %r7;
+	// Exactly one dynamic thread-instruction reaches this point per run, so
+	// plain stores of the injection record are race-free.
+	mov.u32 %r8, 1;
+	st.global.u32 [%rd0+24], %r8;
+	mov.u32 %r9, %laneid;
+	st.global.u32 [%rd0+28], %r9;
+	st.global.u32 [%rd0+32], %r4;
+	st.global.u32 [%rd0+36], %r7;
+	ld.param.u32 %r10, [site];
+	st.global.u32 [%rd0+40], %r10;
+	ld.param.u32 %r11, [kid];
+	st.global.u32 [%rd0+44], %r11;
 	ret;
 }
 `
 
-// Site selects where the fault lands.
-type Site struct {
-	Kernel  string // kernel name ("" = any kernel)
-	InstIdx int    // index among the kernel's eligible instructions
-	Lane    int    // warp lane whose register is corrupted
-	Bit     uint   // bit position to flip (0..31)
+// eligible classifies one static instruction as an injection site: it must
+// write a non-RZ general-purpose destination register and not redirect the
+// PC. Stores and compares fall out naturally (their first operand is a
+// memory reference or a predicate), writes to RZ are architecturally
+// discarded so corrupting them is meaningless, and control flow is excluded
+// because corrupting a branch's (nonexistent) destination register is not in
+// the NVBitFI model — that failure mode arrives via corrupted *inputs* to
+// later control flow. ATOM is eligible: it returns the old memory value into
+// a GPR, making it a load for grouping purposes.
+func eligible(i *nvbit.Instr) (reg sass.Reg, groups [NumGroups]bool, ok bool) {
+	return classify(i.Raw())
 }
 
-// Tool injects one single-bit transient fault.
+// classify is eligible over the raw instruction encoding; split out so tests
+// can probe edge cases (RZ destinations, wide pairs, predication) without a
+// lifted function in hand.
+func classify(in sass.Inst) (reg sass.Reg, groups [NumGroups]bool, ok bool) {
+	if in.Op.IsControlFlow() {
+		return sass.RZ, groups, false
+	}
+	ops := in.Operands()
+	if len(ops) == 0 {
+		return sass.RZ, groups, false
+	}
+	op := ops[0]
+	if op.Kind != sass.OpdReg || !op.Dst || op.Reg == sass.RZ {
+		return sass.RZ, groups, false
+	}
+	groups[GroupAll] = true
+	groups[GroupGPR] = !op.Wide
+	groups[GroupFP64] = op.Wide
+	switch in.Op {
+	case sass.OpFADD, sass.OpFMUL, sass.OpFFMA, sass.OpMUFU, sass.OpI2F, sass.OpF2I:
+		groups[GroupFP32] = true
+	}
+	if in.Op.IsLoad() {
+		groups[GroupLD] = true
+	}
+	return op.Reg, groups, true
+}
+
+// Result is the device-side record of what one armed injection did.
+type Result struct {
+	Executed uint64 // dynamic thread-instructions counted in the group
+	Fired    bool   // the target index was reached
+	Lane     uint32 // firing warp lane
+	Old      uint32 // value the instruction produced
+	New      uint32 // value written back
+	Site     uint32 // static instruction word index within its kernel
+	Kernel   string // firing kernel name
+}
+
+func (r Result) String() string {
+	if !r.Fired {
+		return fmt.Sprintf("no injection (target beyond %d executed)", r.Executed)
+	}
+	return fmt.Sprintf("injected %s word %d lane %d: %#08x -> %#08x",
+		r.Kernel, r.Site, r.Lane, r.Old, r.New)
+}
+
+// Tool arms one fault injection. One arming corrupts at most one dynamic
+// thread-instruction; Reset re-arms the same Tool for the next run without
+// re-instrumenting (the instrumentation is armed-state-independent: only the
+// state block changes). The instruction-group filter is baked into the
+// instrumentation at first launch and cannot change across Reset.
 type Tool struct {
-	Site Site
-	// Injected reports whether an eligible site was found and armed, and
-	// describes it.
-	Injected    bool
-	Description string
+	mu      sync.Mutex
+	inj     Injection
+	st      uint64   // device state block
+	sites   int      // instrumented static sites
+	kernels []string // kernel id -> name, instrumentation order
+	nv      *nvbit.NVBit
 }
 
-// New returns a fault injector for the site.
-func New(site Site) *Tool { return &Tool{Site: site} }
+// New returns a fault injector armed with inj.
+func New(inj Injection) *Tool { return &Tool{inj: inj} }
 
-// AtInit registers the corruption device function.
+// AtInit registers the device functions and arms the state block.
 func (t *Tool) AtInit(n *nvbit.NVBit) {
 	if err := n.RegisterToolPTX(toolPTX); err != nil {
 		panic(err)
 	}
+	st, err := n.Malloc(stBytes)
+	if err != nil {
+		panic(err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nv = n
+	t.st = st
+	if err := t.arm(t.inj); err != nil {
+		panic(err)
+	}
+}
+
+// arm writes the full state block for inj. Caller holds t.mu.
+func (t *Tool) arm(inj Injection) error {
+	and, xor := inj.masks()
+	if err := t.nv.WriteU64(t.st, 0); err != nil { // counter
+		return err
+	}
+	if err := t.nv.WriteU64(t.st+8, inj.Target); err != nil {
+		return err
+	}
+	words := [...]uint32{and, xor, 0, 0, 0, 0, 0, 0} // offsets 16..44
+	for k, v := range words {
+		if err := t.nv.WriteU32(t.st+16+4*uint64(k), v); err != nil {
+			return err
+		}
+	}
+	t.inj = inj
+	return nil
+}
+
+// Reset re-arms the tool for another run in the same process: the counter
+// and firing record are cleared and the new target/model take effect at the
+// next launch. The group must match the group the tool was constructed with,
+// because group membership selected which static sites were instrumented.
+func (t *Tool) Reset(inj Injection) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.nv == nil {
+		return fmt.Errorf("faultinject: Reset before AtInit")
+	}
+	if inj.Group != t.inj.Group {
+		return fmt.Errorf("faultinject: cannot re-arm group %s on a tool instrumented for group %s",
+			inj.Group, t.inj.Group)
+	}
+	return t.arm(inj)
+}
+
+// Disarm re-arms the tool as a pure dynamic-instruction counter (no target
+// ever fires), preserving the group filter.
+func (t *Tool) Disarm() error {
+	t.mu.Lock()
+	inj := t.inj
+	t.mu.Unlock()
+	inj.Target = NoTarget
+	return t.Reset(inj)
+}
+
+// Result reads back the device-side injection record.
+func (t *Tool) Result() (Result, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.nv == nil {
+		return Result{}, fmt.Errorf("faultinject: Result before AtInit")
+	}
+	var r Result
+	var err error
+	if r.Executed, err = t.nv.ReadU64(t.st); err != nil {
+		return Result{}, err
+	}
+	read := func(off uint64) uint32 {
+		if err != nil {
+			return 0
+		}
+		var v uint32
+		v, err = t.nv.ReadU32(t.st + off)
+		return v
+	}
+	fired := read(24)
+	r.Lane = read(28)
+	r.Old = read(32)
+	r.New = read(36)
+	r.Site = read(40)
+	kid := read(44)
+	if err != nil {
+		return Result{}, err
+	}
+	r.Fired = fired != 0
+	if r.Fired && int(kid) < len(t.kernels) {
+		r.Kernel = t.kernels[kid]
+	}
+	return r, nil
+}
+
+// Injection returns the currently armed injection.
+func (t *Tool) Injection() Injection {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.inj
+}
+
+// Sites returns the instrumented static site count and the kernels seen, for
+// reporting.
+func (t *Tool) Sites() (int, []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sites, append([]string(nil), t.kernels...)
 }
 
 // AtTerm implements the Tool interface.
 func (t *Tool) AtTerm(n *nvbit.NVBit) {}
 
-// eligible reports whether an instruction produces a register result worth
-// corrupting (a general-purpose destination that is not RZ).
-func eligible(i *nvbit.Instr) (sass.Reg, bool) {
-	if i.IsControlFlow() || i.IsStore() {
-		return sass.RZ, false
-	}
-	op, ok := i.GetOperand(0)
-	if !ok || op.Kind != sass.OpdReg || !op.Dst || op.Reg == sass.RZ {
-		return sass.RZ, false
-	}
-	return op.Reg, true
-}
-
-// AtCUDACall arms the fault at first launch of the target kernel.
+// AtCUDACall instruments every eligible site of every kernel at its first
+// launch.
 func (t *Tool) AtCUDACall(n *nvbit.NVBit, exit bool, cbid nvbit.CBID, name string, p *nvbit.CallParams) {
-	if exit || cbid != nvbit.CBLaunchKernel || t.Injected {
+	if exit || cbid != nvbit.CBLaunchKernel {
 		return
 	}
 	f := p.Launch.Func
-	if t.Site.Kernel != "" && f.Name != t.Site.Kernel {
-		return
-	}
 	if n.IsInstrumented(f) {
 		return
 	}
 	insts, err := n.GetInstrs(f)
 	if err != nil {
-		panic(fmt.Sprintf("faultinject: %v", err))
+		// Deliberately routed through the tool-callback recovery path: the
+		// driver converts this panic into a launch failure wrapping
+		// ErrToolCallback, which a campaign classifies as a DUE instead of
+		// losing the worker process.
+		panic(fmt.Errorf("faultinject: lifting %s: %w", f.Name, err))
 	}
-	k := 0
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kid := len(t.kernels)
+	t.kernels = append(t.kernels, f.Name)
 	for _, i := range insts {
-		reg, ok := eligible(i)
-		if !ok {
+		reg, groups, ok := eligible(i)
+		if !ok || !groups[t.inj.Group] {
 			continue
 		}
-		if k == t.Site.InstIdx {
-			n.InsertCallArgs(i, "flip_bit", nvbit.IPointAfter,
-				nvbit.ArgConst32(uint32(t.Site.Lane)),
-				nvbit.ArgConst32(uint32(reg)),
-				nvbit.ArgConst32(uint32(1)<<t.Site.Bit))
-			t.Injected = true
-			t.Description = fmt.Sprintf("%s word %d (%s): flip bit %d of %v in lane %d",
-				f.Name, i.Idx(), i.GetOpcode(), t.Site.Bit, reg, t.Site.Lane)
-			return
-		}
-		k++
+		n.InsertCallArgs(i, "fi_inject", nvbit.IPointAfter,
+			nvbit.ArgSitePred(),
+			nvbit.ArgConst32(uint32(reg)),
+			nvbit.ArgConst32(uint32(i.Idx())),
+			nvbit.ArgConst32(uint32(kid)),
+			nvbit.ArgConst64(t.st))
+		t.sites++
 	}
-}
-
-// EligibleSites counts the injectable static sites of a function, so a
-// campaign driver can sweep InstIdx over the full space.
-func EligibleSites(n *nvbit.NVBit, f *nvbit.Function) (int, error) {
-	insts, err := n.GetInstrs(f)
-	if err != nil {
-		return 0, err
-	}
-	k := 0
-	for _, i := range insts {
-		if _, ok := eligible(i); ok {
-			k++
-		}
-	}
-	return k, nil
 }
 
 var _ nvbit.Tool = (*Tool)(nil)
+
+// KernelCounts is one kernel's dynamic thread-instruction population, per
+// instruction group — the sampling space a campaign planner draws targets
+// from.
+type KernelCounts struct {
+	Kernel string            `json:"kernel"`
+	Counts [NumGroups]uint64 `json:"counts"`
+}
+
+// Profiler counts eligible dynamic thread-instructions per kernel per group
+// without injecting anything: the campaign profiling pass.
+type Profiler struct {
+	mu     sync.Mutex
+	nv     *nvbit.NVBit
+	order  []string          // kernel names, instrumentation order
+	blocks map[string]uint64 // kernel name -> base of NumGroups u64 counters
+}
+
+// NewProfiler returns a profiling-only tool.
+func NewProfiler() *Profiler { return &Profiler{blocks: make(map[string]uint64)} }
+
+// AtInit registers the counting device function.
+func (p *Profiler) AtInit(n *nvbit.NVBit) {
+	if err := n.RegisterToolPTX(toolPTX); err != nil {
+		panic(err)
+	}
+	p.mu.Lock()
+	p.nv = n
+	p.mu.Unlock()
+}
+
+// AtTerm implements the Tool interface.
+func (p *Profiler) AtTerm(n *nvbit.NVBit) {}
+
+// AtCUDACall instruments each kernel's eligible sites with per-group
+// counters at first launch.
+func (p *Profiler) AtCUDACall(n *nvbit.NVBit, exit bool, cbid nvbit.CBID, name string, cp *nvbit.CallParams) {
+	if exit || cbid != nvbit.CBLaunchKernel {
+		return
+	}
+	f := cp.Launch.Func
+	if n.IsInstrumented(f) {
+		return
+	}
+	insts, err := n.GetInstrs(f)
+	if err != nil {
+		// Same ErrToolCallback routing as Tool.AtCUDACall.
+		panic(fmt.Errorf("faultinject: lifting %s: %w", f.Name, err))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	base, seen := p.blocks[f.Name]
+	if !seen {
+		b, err := n.Malloc(8 * uint64(NumGroups))
+		if err != nil {
+			panic(fmt.Errorf("faultinject: profiler counters: %w", err))
+		}
+		for g := Group(0); g < NumGroups; g++ {
+			if err := n.WriteU64(b+8*uint64(g), 0); err != nil {
+				panic(fmt.Errorf("faultinject: profiler counters: %w", err))
+			}
+		}
+		p.blocks[f.Name] = b
+		p.order = append(p.order, f.Name)
+		base = b
+	}
+	for _, i := range insts {
+		_, groups, ok := eligible(i)
+		if !ok {
+			continue
+		}
+		for g := Group(0); g < NumGroups; g++ {
+			if groups[g] {
+				n.InsertCallArgs(i, "fi_count", nvbit.IPointAfter,
+					nvbit.ArgSitePred(),
+					nvbit.ArgConst64(base+8*uint64(g)))
+			}
+		}
+	}
+}
+
+// Counts returns the per-kernel per-group dynamic thread-instruction
+// populations, in kernel instrumentation order. Kernels sharing a name
+// (across modules) share counters.
+func (p *Profiler) Counts() ([]KernelCounts, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.nv == nil {
+		return nil, fmt.Errorf("faultinject: Counts before AtInit")
+	}
+	out := make([]KernelCounts, 0, len(p.order))
+	for _, name := range p.order {
+		kc := KernelCounts{Kernel: name}
+		base := p.blocks[name]
+		for g := Group(0); g < NumGroups; g++ {
+			v, err := p.nv.ReadU64(base + 8*uint64(g))
+			if err != nil {
+				return nil, err
+			}
+			kc.Counts[g] = v
+		}
+		out = append(out, kc)
+	}
+	return out, nil
+}
+
+var _ nvbit.Tool = (*Profiler)(nil)

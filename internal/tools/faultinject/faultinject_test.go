@@ -2,38 +2,87 @@ package faultinject
 
 import (
 	"encoding/binary"
+	"errors"
+	"math"
+	"strings"
 	"testing"
 
 	"nvbitgo/gpusim"
+	"nvbitgo/internal/sass"
 	"nvbitgo/nvbit"
 )
 
-// writeLane: each lane computes v = laneid*3 + 5 and stores it.
+// addone: out[gid] = in[gid] + 1.0f. Exactly one FP32-group instruction per
+// thread (the add.f32), so with GroupFP32 the dynamic thread-instruction
+// index space is exactly the thread count.
 const appPTX = `
-.visible .entry writelane(.param .u64 out)
+.visible .entry addone(.param .u64 out, .param .u64 in)
 {
-	.reg .u32 %r<6>;
-	.reg .u64 %rd<4>;
-	mov.u32 %r0, %laneid;
-	mov.u32 %r1, 3;
-	mul.lo.u32 %r2, %r0, %r1;
-	add.u32 %r2, %r2, 5;
-	ld.param.u64 %rd0, [out];
-	mul.wide.u32 %rd2, %r0, 4;
-	add.u64 %rd0, %rd0, %rd2;
-	st.global.u32 [%rd0], %r2;
+	.reg .u32 %r<4>;
+	.reg .u64 %rd<8>;
+	.reg .f32 %f<4>;
+	mov.u32 %r0, %ctaid.x;
+	mov.u32 %r1, %ntid.x;
+	mov.u32 %r2, %tid.x;
+	mad.lo.u32 %r3, %r0, %r1, %r2;
+	ld.param.u64 %rd0, [in];
+	ld.param.u64 %rd2, [out];
+	mul.wide.u32 %rd4, %r3, 4;
+	add.u64 %rd0, %rd0, %rd4;
+	add.u64 %rd2, %rd2, %rd4;
+	ld.global.f32 %f0, [%rd0];
+	mov.u32 %f1, 1.0;
+	add.f32 %f0, %f0, %f1;
+	st.global.f32 [%rd2], %f0;
 	exit;
 }
 `
 
-func run(t *testing.T, tool nvbit.Tool) []uint32 {
+// predhalf: lanes with laneid < 16 run the add.f32, the rest are predicated
+// off — the guarded lanes must not count toward the dynamic-instruction
+// space.
+const predPTX = `
+.visible .entry predhalf(.param .u64 out, .param .u64 in)
+{
+	.reg .u32 %r<4>;
+	.reg .u64 %rd<8>;
+	.reg .f32 %f<4>;
+	.reg .pred %p<2>;
+	mov.u32 %r0, %laneid;
+	ld.param.u64 %rd0, [in];
+	ld.param.u64 %rd2, [out];
+	mul.wide.u32 %rd4, %r0, 4;
+	add.u64 %rd0, %rd0, %rd4;
+	add.u64 %rd2, %rd2, %rd4;
+	ld.global.f32 %f0, [%rd0];
+	mov.u32 %f1, 1.0;
+	setp.lt.u32 %p0, %r0, 16;
+	@%p0 add.f32 %f0, %f0, %f1;
+	st.global.f32 [%rd2], %f0;
+	exit;
+}
+`
+
+type runEnv struct {
+	api *gpusim.API
+	ctx *gpusim.Context
+	f   *gpusim.Function
+	in  uint64
+	out uint64
+	n   int
+}
+
+// setup compiles kernel from src and prepares in[i] = float32(i), a zeroed
+// out buffer and a launch of nthreads (multiples of 32 become whole warps in
+// CTAs of 32).
+func setup(t *testing.T, tool nvbit.Tool, src, kernel string, nthreads int, opts ...nvbit.Option) *runEnv {
 	t.Helper()
 	api, err := gpusim.New(gpusim.Volta)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if tool != nil {
-		if _, err := nvbit.Attach(api, tool); err != nil {
+		if _, err := nvbit.Attach(api, tool, opts...); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -41,113 +90,508 @@ func run(t *testing.T, tool nvbit.Tool) []uint32 {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mod, err := ctx.ModuleLoadPTX("app", appPTX)
+	mod, err := ctx.ModuleLoadPTX("app", src)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f, err := mod.GetFunction("writelane")
+	f, err := mod.GetFunction(kernel)
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := ctx.MemAlloc(4 * 32)
+	env := &runEnv{api: api, ctx: ctx, f: f, n: nthreads}
+	if env.in, err = ctx.MemAlloc(uint64(4 * nthreads)); err != nil {
+		t.Fatal(err)
+	}
+	if env.out, err = ctx.MemAlloc(uint64(4 * nthreads)); err != nil {
+		t.Fatal(err)
+	}
+	host := make([]byte, 4*nthreads)
+	for i := 0; i < nthreads; i++ {
+		binary.LittleEndian.PutUint32(host[4*i:], math.Float32bits(float32(i)))
+	}
+	if err := ctx.MemcpyHtoD(env.in, host); err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// launch runs the kernel once and returns out[] as raw float32 bit patterns.
+func (e *runEnv) launch(t *testing.T) []uint32 {
+	t.Helper()
+	vals, err := e.launchErr()
 	if err != nil {
 		t.Fatal(err)
-	}
-	params, err := gpusim.PackParams(f, out)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := ctx.LaunchKernel(f, gpusim.D1(1), gpusim.D1(32), 0, params); err != nil {
-		t.Fatal(err)
-	}
-	host := make([]byte, 4*32)
-	if err := ctx.MemcpyDtoH(host, out); err != nil {
-		t.Fatal(err)
-	}
-	vals := make([]uint32, 32)
-	for i := range vals {
-		vals[i] = binary.LittleEndian.Uint32(host[4*i:])
 	}
 	return vals
 }
 
+func (e *runEnv) launchErr() ([]uint32, error) {
+	params, err := gpusim.PackParams(e.f, e.out, e.in)
+	if err != nil {
+		return nil, err
+	}
+	block := 32
+	if err := e.ctx.LaunchKernel(e.f, gpusim.D1(e.n/block), gpusim.D1(block), 0, params); err != nil {
+		return nil, err
+	}
+	host := make([]byte, 4*e.n)
+	if err := e.ctx.MemcpyDtoH(host, e.out); err != nil {
+		return nil, err
+	}
+	vals := make([]uint32, e.n)
+	for i := range vals {
+		vals[i] = binary.LittleEndian.Uint32(host[4*i:])
+	}
+	return vals, nil
+}
+
+func golden(n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = math.Float32bits(float32(i) + 1)
+	}
+	return out
+}
+
+// diffOne asserts exactly one element differs from want and returns its index.
+func diffOne(t *testing.T, want, got []uint32) int {
+	t.Helper()
+	idx := -1
+	for i := range want {
+		if want[i] != got[i] {
+			if idx >= 0 {
+				t.Fatalf("elements %d and %d both corrupted", idx, i)
+			}
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no element corrupted")
+	}
+	return idx
+}
+
 func TestSingleBitFlipPropagates(t *testing.T) {
-	golden := run(t, nil)
-	for i, v := range golden {
-		if v != uint32(i)*3+5 {
-			t.Fatalf("golden[%d] = %d", i, v)
-		}
-	}
+	tool := New(Injection{Group: GroupFP32, Target: 7, Model: ModelFlip, Bit: 4})
+	env := setup(t, tool, appPTX, "addone", 32)
+	out := env.launch(t)
 
-	// Corrupt the final add (the last eligible producer before the store)
-	// in lane 7, bit 4.
-	api, _ := gpusim.New(gpusim.Volta)
-	tool := New(Site{InstIdx: 3, Lane: 7, Bit: 4})
-	_ = api
-	faulty := run(t, tool)
-	if !tool.Injected {
-		t.Fatal("fault not armed")
+	want := golden(32)
+	idx := diffOne(t, want, out)
+	if out[idx]^want[idx] != 1<<4 {
+		t.Fatalf("corruption %#x, want single bit-4 flip", out[idx]^want[idx])
 	}
-	diff := 0
-	for i := range golden {
-		if golden[i] != faulty[i] {
-			diff++
-			if i != 7 {
-				t.Fatalf("fault leaked into lane %d", i)
-			}
-			if golden[i]^faulty[i] != 1<<4 {
-				t.Fatalf("lane 7 corruption = %#x, want single bit 4 flip", golden[i]^faulty[i])
-			}
-		}
+	res, err := tool.Result()
+	if err != nil {
+		t.Fatal(err)
 	}
-	if diff != 1 {
-		t.Fatalf("%d lanes corrupted, want exactly 1", diff)
+	if !res.Fired {
+		t.Fatal("injection did not fire")
 	}
-	t.Log(tool.Description)
+	if res.Executed != 32 {
+		t.Fatalf("executed = %d dynamic thread-instructions, want 32", res.Executed)
+	}
+	if res.Old != want[idx] || res.New != out[idx] {
+		t.Fatalf("device record old/new = %#x/%#x, output says %#x/%#x",
+			res.Old, res.New, want[idx], out[idx])
+	}
+	if res.Kernel != "addone" {
+		t.Fatalf("firing kernel = %q", res.Kernel)
+	}
+	if sites, kernels := tool.Sites(); sites != 1 || len(kernels) != 1 {
+		t.Fatalf("sites=%d kernels=%v, want exactly the add.f32", sites, kernels)
+	}
+	t.Log(res)
 }
 
-func TestFaultMasking(t *testing.T) {
-	// A fault in an early instruction whose value is later overwritten
-	// may still propagate (our site 0 feeds the computation); sweep a few
-	// sites and check injection always arms and at most one lane changes.
-	golden := run(t, nil)
-	for site := 0; site < 4; site++ {
-		tool := New(Site{InstIdx: site, Lane: 3, Bit: 0})
-		faulty := run(t, tool)
-		if !tool.Injected {
-			t.Fatalf("site %d: not armed", site)
+func TestTargetBeyondSpaceIsMasked(t *testing.T) {
+	tool := New(Injection{Group: GroupFP32, Target: 1 << 40, Model: ModelFlip, Bit: 31})
+	env := setup(t, tool, appPTX, "addone", 32)
+	out := env.launch(t)
+	want := golden(32)
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d] corrupted with an unreachable target", i)
 		}
-		for i := range golden {
-			if i != 3 && golden[i] != faulty[i] {
-				t.Fatalf("site %d: corrupted lane %d", site, i)
+	}
+	res, err := tool.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fired {
+		t.Fatal("fired with target beyond the dynamic-instruction space")
+	}
+	if res.Executed != 32 {
+		t.Fatalf("executed = %d, want 32", res.Executed)
+	}
+}
+
+func TestInjectionModels(t *testing.T) {
+	cases := []struct {
+		inj  Injection
+		want func(old uint32) uint32
+	}{
+		{Injection{Group: GroupFP32, Target: 3, Model: ModelFlip, Bit: 0}, func(o uint32) uint32 { return o ^ 1 }},
+		{Injection{Group: GroupFP32, Target: 3, Model: ModelFlip2, Bit: 22}, func(o uint32) uint32 { return o ^ (3 << 22) }},
+		{Injection{Group: GroupFP32, Target: 3, Model: ModelRand, Value: 0xDEADBEEF}, func(uint32) uint32 { return 0xDEADBEEF }},
+		{Injection{Group: GroupFP32, Target: 3, Model: ModelZero}, func(uint32) uint32 { return 0 }},
+	}
+	want := golden(32)
+	for _, tc := range cases {
+		t.Run(tc.inj.Model.String(), func(t *testing.T) {
+			tool := New(tc.inj)
+			env := setup(t, tool, appPTX, "addone", 32)
+			out := env.launch(t)
+			idx := diffOne(t, want, out)
+			if out[idx] != tc.want(want[idx]) {
+				t.Fatalf("corrupted value %#x, want %#x", out[idx], tc.want(want[idx]))
 			}
+		})
+	}
+}
+
+// TestModelMasks pins the (and, xor) encoding of each model.
+func TestModelMasks(t *testing.T) {
+	cases := []struct {
+		inj      Injection
+		and, xor uint32
+	}{
+		{Injection{Model: ModelFlip, Bit: 0}, ^uint32(0), 1},
+		{Injection{Model: ModelFlip, Bit: 31}, ^uint32(0), 1 << 31},
+		{Injection{Model: ModelFlip2, Bit: 5}, ^uint32(0), 3 << 5},
+		{Injection{Model: ModelFlip2, Bit: 30}, ^uint32(0), 3 << 30},
+		{Injection{Model: ModelRand, Value: 0x1234}, 0, 0x1234},
+		{Injection{Model: ModelZero}, 0, 0},
+	}
+	for _, tc := range cases {
+		and, xor := tc.inj.masks()
+		if and != tc.and || xor != tc.xor {
+			t.Errorf("%v masks = %#x/%#x, want %#x/%#x", tc.inj, and, xor, tc.and, tc.xor)
 		}
 	}
 }
 
-func TestEligibleSitesCount(t *testing.T) {
-	api, err := gpusim.New(gpusim.Volta)
+func TestReArmAcrossLaunches(t *testing.T) {
+	tool := New(Injection{Group: GroupFP32, Target: 2, Model: ModelFlip, Bit: 8})
+	env := setup(t, tool, appPTX, "addone", 32)
+	want := golden(32)
+
+	for run, target := range []uint64{2, 19, 31} {
+		if run > 0 {
+			if err := tool.Reset(Injection{Group: GroupFP32, Target: target, Model: ModelFlip, Bit: 8}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out := env.launch(t)
+		idx := diffOne(t, want, out)
+		if out[idx]^want[idx] != 1<<8 {
+			t.Fatalf("run %d: corruption %#x", run, out[idx]^want[idx])
+		}
+		res, err := tool.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Fired {
+			t.Fatalf("run %d: did not fire", run)
+		}
+		if res.Executed != 32 {
+			t.Fatalf("run %d: executed = %d, want 32 (counter not reset?)", run, res.Executed)
+		}
+	}
+
+	// The group filter is baked into the instrumentation: re-arming a
+	// different group must be refused.
+	if err := tool.Reset(Injection{Group: GroupLD, Target: 0}); err == nil {
+		t.Fatal("Reset with a different group succeeded")
+	}
+
+	// Disarm turns the tool into a pure counter.
+	if err := tool.Disarm(); err != nil {
+		t.Fatal(err)
+	}
+	out := env.launch(t)
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("disarmed run corrupted element %d", i)
+		}
+	}
+}
+
+// TestParallelSchedulerRace exercises the device-side counter atomics and the
+// host-side Tool locking under the parallel scheduler (run with -race): many
+// CTAs execute fi_inject concurrently while the host polls Result.
+func TestParallelSchedulerRace(t *testing.T) {
+	const n = 32 * 64 // 64 warps across the SM pool
+	tool := New(Injection{Group: GroupFP32, Target: n / 2, Model: ModelFlip, Bit: 3})
+	env := setup(t, tool, appPTX, "addone", n, nvbit.WithScheduler(nvbit.SchedulerParallelSM))
+
+	// Poll the host-side tool state while the kernel runs. (Reading the
+	// device state block mid-launch is not synchronized — same as a host
+	// read during kernel execution on real hardware — so Result() waits
+	// for the launch.)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = tool.Injection()
+			_, _ = tool.Sites()
+		}
+	}()
+	out := env.launch(t)
+	<-done
+
+	want := golden(n)
+	idx := diffOne(t, want, out)
+	if out[idx]^want[idx] != 1<<3 {
+		t.Fatalf("corruption %#x", out[idx]^want[idx])
+	}
+	res, err := tool.Result()
 	if err != nil {
 		t.Fatal(err)
 	}
-	tool := New(Site{InstIdx: 1 << 30}) // never fires
-	nv, err := nvbit.Attach(api, tool)
+	if !res.Fired || res.Executed != n {
+		t.Fatalf("fired=%v executed=%d, want fired with %d counted", res.Fired, res.Executed, n)
+	}
+
+	// Re-arm and run again on the parallel scheduler.
+	if err := tool.Reset(Injection{Group: GroupFP32, Target: 5, Model: ModelZero}); err != nil {
+		t.Fatal(err)
+	}
+	out = env.launch(t)
+	idx = diffOne(t, want, out)
+	if out[idx] != 0 {
+		t.Fatalf("zero model wrote %#x", out[idx])
+	}
+}
+
+// TestGetInstrsErrorBecomesToolCallback is the campaign-robustness contract:
+// a victim function the lifter rejects must fail the *launch* with
+// ErrToolCallback (a classifiable DUE), not kill the process.
+func TestGetInstrsErrorBecomesToolCallback(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tool nvbit.Tool
+	}{
+		{"injector", New(Injection{Group: GroupAll, Target: 0, Model: ModelFlip})},
+		{"profiler", NewProfiler()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			env := setup(t, tc.tool, appPTX, "addone", 32)
+			// Corrupt the function's device-resident code before its first
+			// launch: 0xFF is not a valid opcode byte, so the lifter's
+			// decode inside GetInstrs fails when the tool callback runs.
+			dev := env.api.Device()
+			raw, err := dev.ReadCode(env.f.Addr, env.f.NumWords)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[0] = 0xFF
+			if err := dev.WriteCode(env.f.Addr, raw); err != nil {
+				t.Fatal(err)
+			}
+			_, err = env.launchErr()
+			if err == nil {
+				t.Fatal("launch of a corrupt function succeeded")
+			}
+			if !errors.Is(err, nvbit.ErrToolCallback) {
+				t.Fatalf("error is not ErrToolCallback: %v", err)
+			}
+			if !strings.Contains(err.Error(), "faultinject: lifting") {
+				t.Fatalf("error does not carry the tool's context: %v", err)
+			}
+		})
+	}
+}
+
+func TestProfilerCounts(t *testing.T) {
+	prof := NewProfiler()
+	env := setup(t, prof, appPTX, "addone", 64)
+	env.launch(t)
+
+	counts, err := prof.Counts()
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctx, _ := api.CtxCreate()
-	mod, err := ctx.ModuleLoadPTX("app", appPTX)
+	if len(counts) != 1 || counts[0].Kernel != "addone" {
+		t.Fatalf("counts = %+v", counts)
+	}
+	c := counts[0].Counts
+	if c[GroupFP32] != 64 {
+		t.Fatalf("fp32 count = %d, want 64 (one add.f32 per thread)", c[GroupFP32])
+	}
+	// Every thread loads in[gid] (LDG) plus the two 64-bit param loads.
+	if c[GroupLD] < 64 {
+		t.Fatalf("ld count = %d, want >= 64", c[GroupLD])
+	}
+	// A destination is either a single GPR or a wide pair, never both.
+	if c[GroupGPR]+c[GroupFP64] != c[GroupAll] {
+		t.Fatalf("gpr %d + fp64 %d != all %d", c[GroupGPR], c[GroupFP64], c[GroupAll])
+	}
+	if c[GroupFP64] < 64 {
+		t.Fatalf("fp64 (wide) count = %d, want >= 64 (address arithmetic)", c[GroupFP64])
+	}
+}
+
+// TestProfilerPredication: predicated-off lanes execute nothing, so they must
+// not count (the Listing 8 site-predicate idiom).
+func TestProfilerPredication(t *testing.T) {
+	prof := NewProfiler()
+	env := setup(t, prof, predPTX, "predhalf", 32)
+	env.launch(t)
+
+	counts, err := prof.Counts()
 	if err != nil {
 		t.Fatal(err)
 	}
-	f, _ := mod.GetFunction("writelane")
-	sites, err := EligibleSites(nv, f)
+	if c := counts[0].Counts[GroupFP32]; c != 16 {
+		t.Fatalf("fp32 count = %d, want 16 (half the warp predicated off)", c)
+	}
+}
+
+// TestProfileMatchesInjectionSpace: the profiler's count for a group is
+// exactly the number of targets an injection can hit — arm the injector as a
+// pure counter and compare.
+func TestProfileMatchesInjectionSpace(t *testing.T) {
+	prof := NewProfiler()
+	penv := setup(t, prof, predPTX, "predhalf", 32)
+	penv.launch(t)
+	counts, err := prof.Counts()
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Producers: S2R, MOVI(3), IMUL, IADD+5, LDC.W(pair counts once),
-	// IMAD.W, IADD.W — stores/exit excluded.
-	if sites < 5 || sites > 10 {
-		t.Fatalf("eligible sites = %d, want a handful", sites)
+
+	tool := New(Injection{Group: GroupFP32, Target: NoTarget})
+	ienv := setup(t, tool, predPTX, "predhalf", 32)
+	ienv.launch(t)
+	res, err := tool.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fired {
+		t.Fatal("disarmed tool fired")
+	}
+	if res.Executed != counts[0].Counts[GroupFP32] {
+		t.Fatalf("injector counted %d, profiler counted %d",
+			res.Executed, counts[0].Counts[GroupFP32])
+	}
+}
+
+// TestDeterministicTargeting: the same injection corrupts the same element
+// across independent simulator instances — the property campaign manifests
+// rely on.
+func TestDeterministicTargeting(t *testing.T) {
+	want := golden(64)
+	pick := func() int {
+		tool := New(Injection{Group: GroupAll, Target: 100, Model: ModelFlip, Bit: 1})
+		env := setup(t, tool, appPTX, "addone", 64)
+		out := env.launch(t)
+		for i := range want {
+			if out[i] != want[i] {
+				return i
+			}
+		}
+		return -1
+	}
+	a, b := pick(), pick()
+	if a != b {
+		t.Fatalf("same injection corrupted element %d then %d", a, b)
+	}
+}
+
+func wideInst(op sass.Opcode, dst sass.Reg) sass.Inst {
+	in := sass.NewInst(op)
+	in.Dst = dst
+	in.Mods = sass.MakeMods(0, true, false, sass.PT)
+	return in
+}
+
+// TestEligibleEdgeCases probes classify() over hand-built encodings.
+func TestEligibleEdgeCases(t *testing.T) {
+	mkInst := func(op sass.Opcode, dst sass.Reg) sass.Inst {
+		in := sass.NewInst(op)
+		in.Dst = dst
+		return in
+	}
+	type wantGroups map[Group]bool
+	cases := []struct {
+		name string
+		in   sass.Inst
+		ok   bool
+		reg  sass.Reg
+		grps wantGroups
+	}{
+		{"iadd", mkInst(sass.OpIADD, 4), true, 4, wantGroups{GroupGPR: true, GroupAll: true}},
+		{"iadd-wide", wideInst(sass.OpIADD, 4), true, 4, wantGroups{GroupFP64: true, GroupAll: true}},
+		{"fadd", mkInst(sass.OpFADD, 7), true, 7, wantGroups{GroupGPR: true, GroupFP32: true, GroupAll: true}},
+		{"i2f", mkInst(sass.OpI2F, 3), true, 3, wantGroups{GroupGPR: true, GroupFP32: true, GroupAll: true}},
+		{"ldg", mkInst(sass.OpLDG, 5), true, 5, wantGroups{GroupGPR: true, GroupLD: true, GroupAll: true}},
+		{"ldg-wide", wideInst(sass.OpLDG, 6), true, 6, wantGroups{GroupFP64: true, GroupLD: true, GroupAll: true}},
+		{"ldc", mkInst(sass.OpLDC, 2), true, 2, wantGroups{GroupGPR: true, GroupLD: true, GroupAll: true}},
+		// ATOM returns the old memory value into its destination register:
+		// eligible, and a load for grouping.
+		{"atom", mkInst(sass.OpATOM, 8), true, 8, wantGroups{GroupGPR: true, GroupLD: true, GroupAll: true}},
+		// Writes to RZ are architecturally discarded.
+		{"mov-rz", mkInst(sass.OpMOV, sass.RZ), false, sass.RZ, nil},
+		{"iadd-rz", mkInst(sass.OpIADD, sass.RZ), false, sass.RZ, nil},
+		// Stores have no register destination (operand 0 is the MREF).
+		{"stg", mkInst(sass.OpSTG, sass.RZ), false, sass.RZ, nil},
+		{"red", mkInst(sass.OpRED, sass.RZ), false, sass.RZ, nil},
+		// Compares write predicates, not GPRs.
+		{"isetp", mkInst(sass.OpISETP, sass.RZ), false, sass.RZ, nil},
+		// Control flow is excluded outright.
+		{"bra", mkInst(sass.OpBRA, 4), false, sass.RZ, nil},
+		{"ret", mkInst(sass.OpRET, 4), false, sass.RZ, nil},
+		{"exit", mkInst(sass.OpEXIT, 4), false, sass.RZ, nil},
+		// No operands at all.
+		{"nop", mkInst(sass.OpNOP, 4), false, sass.RZ, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg, groups, ok := classify(tc.in)
+			if ok != tc.ok {
+				t.Fatalf("ok = %v, want %v", ok, tc.ok)
+			}
+			if !ok {
+				return
+			}
+			if reg != tc.reg {
+				t.Fatalf("reg = %v, want %v", reg, tc.reg)
+			}
+			for g := Group(0); g < NumGroups; g++ {
+				if groups[g] != tc.grps[g] {
+					t.Errorf("group %s = %v, want %v", g, groups[g], tc.grps[g])
+				}
+			}
+		})
+	}
+
+	// A guarded write is still an eligible *site*: whether a lane counts is
+	// decided dynamically by the site predicate, not statically.
+	guarded := sass.NewInst(sass.OpIADD)
+	guarded.Dst = 9
+	guarded.Pred = 0 // P0
+	if _, _, ok := classify(guarded); !ok {
+		t.Fatal("predicated destination write should be an eligible site")
+	}
+}
+
+func TestParseNames(t *testing.T) {
+	for g := Group(0); g < NumGroups; g++ {
+		got, err := ParseGroup(g.String())
+		if err != nil || got != g {
+			t.Fatalf("ParseGroup(%q) = %v, %v", g.String(), got, err)
+		}
+	}
+	for m := Model(0); m < NumModels; m++ {
+		got, err := ParseModel(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseModel(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseGroup("bogus"); err == nil {
+		t.Fatal("ParseGroup accepted bogus")
+	}
+	if _, err := ParseModel("bogus"); err == nil {
+		t.Fatal("ParseModel accepted bogus")
 	}
 }

@@ -31,6 +31,16 @@ const (
 
 func (s Size) String() string { return [...]string{"small", "medium", "large"}[s] }
 
+// ParseSize resolves a size name.
+func ParseSize(name string) (Size, error) {
+	for s := Small; s <= Large; s++ {
+		if name == s.String() {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("specaccel: unknown size %q (want small, medium or large)", name)
+}
+
 // elems returns the per-size element count (powers of two; the synthetic
 // SASS has no integer division).
 func (s Size) elems() int {
@@ -394,13 +404,35 @@ func Benchmarks() []*Benchmark {
 // benchmark's kernels as one JIT-compiled module (the OpenACC path), seeds
 // the data buffer, and performs every kernel launch.
 func (b *Benchmark) Run(ctx *driver.Context, size Size) error {
+	_, _, err := b.run(ctx, size)
+	return err
+}
+
+// RunCapture executes like Run and returns the final contents of the data
+// buffer — the benchmark's observable output. Byte-for-byte comparison
+// against a fault-free capture is how a fault-injection campaign tells a
+// silent data corruption from a masked fault (the buffer covers input,
+// halo and output partitions, so any surviving corruption is visible).
+func (b *Benchmark) RunCapture(ctx *driver.Context, size Size) ([]byte, error) {
+	data, words, err := b.run(ctx, size)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 4*words)
+	if err := ctx.MemcpyDtoH(out, data); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (b *Benchmark) run(ctx *driver.Context, size Size) (data uint64, words int, err error) {
 	var src strings.Builder
 	for _, k := range b.kernels {
 		src.WriteString(k.ptx)
 	}
 	mod, err := ctx.ModuleLoadPTX(b.Name+".ptx", src.String())
 	if err != nil {
-		return fmt.Errorf("specaccel: %s: %w", b.Name, err)
+		return 0, 0, fmt.Errorf("specaccel: %s: %w", b.Name, err)
 	}
 	n := size.elems()
 	// Buffer layout: input partition [0,n), then a 1024-word halo for
@@ -411,10 +443,10 @@ func (b *Benchmark) Run(ctx *driver.Context, size Size) error {
 	// concurrent goroutines, so an in-launch read/write overlap would be
 	// a real data race, not just nondeterminism. Kernels that update in
 	// place (compute, decay) touch only their own thread's word.
-	words := 2*n + 1024
-	data, err := ctx.MemAlloc(uint64(4 * words))
+	words = 2*n + 1024
+	data, err = ctx.MemAlloc(uint64(4 * words))
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	seed := make([]byte, 4*words)
 	for i := 0; i < words; i++ {
@@ -424,12 +456,12 @@ func (b *Benchmark) Run(ctx *driver.Context, size Size) error {
 		seed[4*i] = byte(i%5 + 2)
 	}
 	if err := ctx.MemcpyHtoD(data, seed); err != nil {
-		return err
+		return 0, 0, err
 	}
 	for _, k := range b.kernels {
 		fn, err := mod.GetFunction(k.name)
 		if err != nil {
-			return err
+			return 0, 0, err
 		}
 		kn := n
 		if k.shortK {
@@ -437,7 +469,7 @@ func (b *Benchmark) Run(ctx *driver.Context, size Size) error {
 		}
 		params, err := driver.PackParams(fn, data, uint32(kn))
 		if err != nil {
-			return err
+			return 0, 0, err
 		}
 		const block = 256
 		grid := kn / block
@@ -446,9 +478,9 @@ func (b *Benchmark) Run(ctx *driver.Context, size Size) error {
 		}
 		for launch := 0; launch < k.launches[size]; launch++ {
 			if err := ctx.LaunchKernel(fn, gpu.D1(grid), gpu.D1(block), 0, params); err != nil {
-				return fmt.Errorf("specaccel: %s/%s launch %d: %w", b.Name, k.name, launch, err)
+				return 0, 0, fmt.Errorf("specaccel: %s/%s launch %d: %w", b.Name, k.name, launch, err)
 			}
 		}
 	}
-	return nil
+	return data, words, nil
 }
