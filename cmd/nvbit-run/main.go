@@ -5,9 +5,18 @@
 //	nvbit-run -tool memdiv -workload ml:ResNet
 //	nvbit-run -tool opcode_hist -workload specaccel:ostencil
 //	nvbit-run -trace out.json -metrics -tool opcode_hist
+//	nvbit-run -connect /run/nvbitd.sock -tool itrace -workload specaccel:cg
 //
-// The tool may also be chosen with the NVBIT_TOOL environment variable
-// (flag wins), echoing how the real framework is injected via environment.
+// Every flag has an NVBIT_* environment fallback (flag wins over the
+// environment, the environment over the default): -tool falls back to
+// NVBIT_TOOL, -jit-cache to NVBIT_JIT_CACHE, and so on — see
+// docs/nvbit-run.md for the full table, which is generated from the same
+// declarations the parser uses.
+//
+// With -connect the workload runs as one session of an nvbitd daemon
+// instead of on an in-process device: the tool is injected daemon-side and
+// the session's report comes back over the socket, byte-identical to a
+// standalone run's (docs/nvbitd.md).
 //
 // Exit codes are uniform across tools:
 //
@@ -26,18 +35,13 @@ import (
 	"time"
 
 	"nvbitgo/internal/campaign"
+	"nvbitgo/internal/cliconf"
 	"nvbitgo/internal/driver"
 	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/nvbitd"
 	"nvbitgo/internal/profile"
 	"nvbitgo/internal/sass"
-	"nvbitgo/internal/tools/cachesim"
-	"nvbitgo/internal/tools/faultinject"
-	"nvbitgo/internal/tools/instrcount"
-	"nvbitgo/internal/tools/itrace"
-	"nvbitgo/internal/tools/memcheck"
-	"nvbitgo/internal/tools/memdiv"
-	"nvbitgo/internal/tools/memtrace"
-	"nvbitgo/internal/tools/ophisto"
+	"nvbitgo/internal/tools/registry"
 	"nvbitgo/internal/workloads/mlsuite"
 	"nvbitgo/internal/workloads/specaccel"
 	"nvbitgo/nvbit"
@@ -51,32 +55,96 @@ const (
 	exitUsage     = 64
 )
 
+// appConfig is every nvbit-run flag, declared through one cliconf.Set so
+// each gets its NVBIT_* environment fallback and a row in the generated
+// docs table.
+type appConfig struct {
+	tool         *string
+	out          *string
+	backpressure *string
+	traceOut     *string
+	traceJSON    *string
+	metrics      *bool
+	jitCacheDir  *string
+	workload     *string
+	connect      *string
+	fiGroup      *string
+	fiModel      *string
+	fiTarget     *uint64
+	fiBit        *uint
+	fiValue      *uint
+	campaignDir  *string
+	campaignRuns *int
+	campaignMax  *int
+	seed         *uint64
+	workers      *int
+	sizeName     *string
+	familyName   *string
+	schedName    *string
+}
+
+// newFlags declares the flag surface on fs. flags_test.go keeps
+// docs/nvbit-run.md's table in sync with these declarations.
+func newFlags(fs *flag.FlagSet) (*appConfig, *cliconf.Set) {
+	cc := cliconf.New(fs)
+	c := &appConfig{
+		tool:         cc.String("tool", "", "tool: none, instrcount, instrcount-bb, memdiv, ophisto, opcode_hist, ophisto-sampled, cachesim, itrace, memtrace, memcheck, faultinject"),
+		out:          cc.String("out", "", "write tool reports to this file instead of stdout"),
+		backpressure: cc.String("backpressure", "drop", "channel tools (cachesim, itrace, memtrace): drop or block when buffers fill"),
+		traceOut:     cc.String("trace-out", "", "itrace: write the collected warp trace to this file"),
+		traceJSON:    cc.String("trace", "", "write a chrome://tracing activity timeline (JSON) to this file"),
+		metrics:      cc.Bool("metrics", false, "print the per-kernel metrics table after the run"),
+		jitCacheDir:  cc.String("jit-cache", "", "persist instrumented code to this directory and reuse it across runs"),
+		workload:     cc.String("workload", "specaccel:ostencil", "workload: specaccel:<name> or ml:<Network>"),
+		connect:      cc.String("connect", "", "run as a session of the nvbitd daemon at this unix socket instead of in-process"),
+		fiGroup:      cc.String("fi-group", "gpr", "faultinject: instruction group (gpr, fp32, fp64, ld, all)"),
+		fiModel:      cc.String("fi-model", "flip", "faultinject: injection model (flip, flip2, rand, zero; campaigns also accept mix)"),
+		fiTarget:     cc.Uint64("fi-target", 0, "faultinject: dynamic thread-instruction index to corrupt"),
+		fiBit:        cc.Uint("fi-bit", 0, "faultinject: bit position for flip/flip2 models"),
+		fiValue:      cc.Uint("fi-value", 0, "faultinject: replacement value for the rand model"),
+		campaignDir:  cc.String("campaign", "", "fault-injection campaign directory: plan a campaign there if absent, resume it otherwise"),
+		campaignRuns: cc.Int("campaign-runs", 1000, "campaign: planned number of injection runs"),
+		campaignMax:  cc.Int("campaign-max-runs", 0, "campaign: stop this invocation after N runs (0 = finish the campaign)"),
+		seed:         cc.Uint64("seed", 1, "campaign: manifest RNG seed"),
+		workers:      cc.Int("workers", 4, "campaign: parallel simulator instances"),
+		sizeName:     cc.String("size", "medium", "specaccel size: small, medium, large"),
+		familyName:   cc.String("family", "volta", "device family"),
+		schedName:    cc.String("scheduler", "sequential", "CTA scheduler: sequential or parallel (one worker per SM)"),
+	}
+	return c, cc
+}
+
+// deferredFile is an io.Writer that creates its file on first write, so a
+// failed run leaves no empty artifact behind.
+type deferredFile struct {
+	path string
+	f    *os.File
+}
+
+func (d *deferredFile) Write(p []byte) (int, error) {
+	if d.f == nil {
+		f, err := os.Create(d.path)
+		if err != nil {
+			return 0, err
+		}
+		d.f = f
+	}
+	return d.f.Write(p)
+}
+
+func (d *deferredFile) Close() error {
+	if d.f == nil {
+		return nil
+	}
+	return d.f.Close()
+}
+
 func main() {
 	// A ContinueOnError flag set: the flag package's default behavior exits
 	// with status 2 on a bad flag, which would collide with the
 	// tool-violation code; usage errors exit 64 instead (EX_USAGE).
 	fs := flag.NewFlagSet("nvbit-run", flag.ContinueOnError)
-	toolName := fs.String("tool", os.Getenv("NVBIT_TOOL"), "tool: none, instrcount, instrcount-bb, memdiv, ophisto, opcode_hist, ophisto-sampled, cachesim, itrace, memtrace, memcheck, faultinject")
-	outPath := fs.String("out", "", "write tool reports to this file instead of stdout")
-	backpressure := fs.String("backpressure", "drop", "channel tools (cachesim, itrace, memtrace): drop or block when buffers fill")
-	traceOut := fs.String("trace-out", "", "itrace: write the collected warp trace to this file")
-	traceJSON := fs.String("trace", "", "write a chrome://tracing activity timeline (JSON) to this file")
-	metrics := fs.Bool("metrics", false, "print the per-kernel metrics table after the run")
-	jitCacheDir := fs.String("jit-cache", os.Getenv("NVBIT_JIT_CACHE"), "persist instrumented code to this directory and reuse it across runs (env NVBIT_JIT_CACHE)")
-	workload := fs.String("workload", "specaccel:ostencil", "workload: specaccel:<name> or ml:<Network>")
-	fiGroup := fs.String("fi-group", "gpr", "faultinject: instruction group (gpr, fp32, fp64, ld, all)")
-	fiModel := fs.String("fi-model", "flip", "faultinject: injection model (flip, flip2, rand, zero; campaigns also accept mix)")
-	fiTarget := fs.Uint64("fi-target", 0, "faultinject: dynamic thread-instruction index to corrupt")
-	fiBit := fs.Uint("fi-bit", 0, "faultinject: bit position for flip/flip2 models")
-	fiValue := fs.Uint("fi-value", 0, "faultinject: replacement value for the rand model")
-	campaignDir := fs.String("campaign", "", "fault-injection campaign directory: plan a campaign there if absent, resume it otherwise")
-	campaignRuns := fs.Int("campaign-runs", 1000, "campaign: planned number of injection runs")
-	campaignMax := fs.Int("campaign-max-runs", 0, "campaign: stop this invocation after N runs (0 = finish the campaign)")
-	seed := fs.Uint64("seed", 1, "campaign: manifest RNG seed")
-	workers := fs.Int("workers", 4, "campaign: parallel simulator instances")
-	sizeName := fs.String("size", "medium", "specaccel size: small, medium, large")
-	familyName := fs.String("family", "volta", "device family")
-	schedName := fs.String("scheduler", "sequential", "CTA scheduler: sequential or parallel (one worker per SM)")
+	c, cc := newFlags(fs)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: nvbit-run [flags]")
 		fs.PrintDefaults()
@@ -84,6 +152,10 @@ func main() {
 output:
   tool reports go to stdout by default; -out <file> redirects them (the
   workload/JIT summary lines stay on stdout, diagnostics on stderr)
+
+environment:
+  every flag falls back to NVBIT_<FLAG> (uppercased, dashes to
+  underscores) when not given on the command line; see docs/nvbit-run.md
 
 exit codes:
   0   workload completed, no tool violations
@@ -107,21 +179,25 @@ exit codes:
 		os.Exit(exitUsage)
 	}
 
+	if err := cc.Resolve(); err != nil {
+		usage(err)
+	}
+
 	fam, ok := map[string]sass.Family{
 		"kepler": sass.Kepler, "maxwell": sass.Maxwell,
 		"pascal": sass.Pascal, "volta": sass.Volta,
-	}[*familyName]
+	}[*c.familyName]
 	if !ok {
-		usage(fmt.Errorf("unknown family %q", *familyName))
+		usage(fmt.Errorf("unknown family %q", *c.familyName))
 	}
 	size, ok := map[string]specaccel.Size{
 		"small": specaccel.Small, "medium": specaccel.Medium, "large": specaccel.Large,
-	}[*sizeName]
+	}[*c.sizeName]
 	if !ok {
-		usage(fmt.Errorf("unknown size %q", *sizeName))
+		usage(fmt.Errorf("unknown size %q", *c.sizeName))
 	}
 
-	sched, err := gpu.ParseScheduler(*schedName)
+	sched, err := gpu.ParseScheduler(*c.schedName)
 	if err != nil {
 		usage(err)
 	}
@@ -129,199 +205,111 @@ exit codes:
 	// Campaign mode: no single workload run, no tool injection here — the
 	// campaign engine executes the victim once per planned injection in its
 	// own simulator instances (Volta, sequential scheduler, watchdog).
-	if *campaignDir != "" {
-		kind, name, _ := strings.Cut(*workload, ":")
+	if *c.campaignDir != "" {
+		if *c.connect != "" {
+			usage(fmt.Errorf("-campaign and -connect are mutually exclusive: campaigns own their simulator instances"))
+		}
+		kind, name, _ := strings.Cut(*c.workload, ":")
 		if kind != "specaccel" {
-			usage(fmt.Errorf("campaigns run specaccel victims, got workload %q", *workload))
+			usage(fmt.Errorf("campaigns run specaccel victims, got workload %q", *c.workload))
 		}
 		cfg := campaign.Config{
 			Benchmark: name,
-			Size:      *sizeName,
-			Group:     *fiGroup,
-			Model:     *fiModel,
-			Runs:      *campaignRuns,
-			Seed:      *seed,
+			Size:      *c.sizeName,
+			Group:     *c.fiGroup,
+			Model:     *c.fiModel,
+			Runs:      *c.campaignRuns,
+			Seed:      *c.seed,
 		}
-		c, err := campaign.Open(*campaignDir, cfg)
+		cmp, err := campaign.Open(*c.campaignDir, cfg)
 		if err != nil {
 			fail(err)
 		}
 		start := time.Now()
-		done, err := c.Run(*workers, *campaignMax)
+		done, err := cmp.Run(*c.workers, *c.campaignMax)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Printf("campaign %s: %d runs this invocation (%.2fs wall, %d workers)\n",
-			*campaignDir, done, time.Since(start).Seconds(), *workers)
-		fmt.Print(c.Report())
+			*c.campaignDir, done, time.Since(start).Seconds(), *c.workers)
+		fmt.Print(cmp.Report())
 		os.Exit(exitOK)
 	}
-	policy, ok := map[string]nvbit.ChannelPolicy{
-		"drop": nvbit.ChannelDrop, "block": nvbit.ChannelBlock,
-	}[*backpressure]
-	if !ok {
-		usage(fmt.Errorf("unknown backpressure policy %q (want drop or block)", *backpressure))
+
+	if _, ok := map[string]bool{"drop": true, "block": true}[*c.backpressure]; !ok {
+		usage(fmt.Errorf("unknown backpressure policy %q (want drop or block)", *c.backpressure))
+	}
+	policy := nvbit.ChannelDrop
+	if *c.backpressure == "block" {
+		policy = nvbit.ChannelBlock
 	}
 
 	// Tool reports go to -out when given; everything else stays on stdout.
 	var reportW io.Writer = os.Stdout
 	var outFile *os.File
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
+	if *c.out != "" {
+		f, err := os.Create(*c.out)
 		if err != nil {
 			fail(err)
 		}
 		outFile = f
 		reportW = f
 	}
+
+	if *c.connect != "" {
+		runConnected(c, cc, size, reportW, outFile, fail, usage)
+		return
+	}
+
+	// Resolve the tool through the registry (the same catalog nvbitd
+	// serves, so reports stay byte-identical across both paths).
+	toolName := *c.tool
+	if toolName == "" {
+		toolName = "none"
+	}
+	var traceFile *deferredFile
+	regOpts := registry.Options{
+		Policy:   policy,
+		FIGroup:  *c.fiGroup,
+		FIModel:  *c.fiModel,
+		FITarget: *c.fiTarget,
+		FIBit:    *c.fiBit,
+		FIValue:  uint32(*c.fiValue),
+	}
+	if *c.traceOut != "" {
+		traceFile = &deferredFile{path: *c.traceOut}
+		regOpts.TraceOut = traceFile
+	}
+	inst, err := registry.New(toolName, regOpts)
+	if err != nil {
+		usage(err)
+	}
+
 	api, err := driver.New(gpu.DefaultConfig(fam))
 	if err != nil {
 		fail(err)
 	}
-	tracing := *traceJSON != "" || *metrics
+	tracing := *c.traceJSON != "" || *c.metrics
 
-	// Inject the selected tool (at most one library can be injected).
-	var tool nvbit.Tool
-	violations := false
-	var report func(w io.Writer, nv *nvbit.NVBit)
-	switch *toolName {
-	case "", "none":
-	case "instrcount", "instrcount-bb":
-		t := instrcount.New()
-		t.PerBasicBlock = *toolName == "instrcount-bb"
-		tool = t
-		report = func(w io.Writer, nv *nvbit.NVBit) {
-			fmt.Fprintf(w, "thread-level instructions: app %d, libraries %d (%.1f%% in libraries)\n",
-				t.AppInstrs(nv), t.LibInstrs(nv), 100*t.LibraryFraction(nv))
-		}
-	case "memdiv":
-		t := memdiv.New()
-		tool = t
-		report = func(w io.Writer, nv *nvbit.NVBit) {
-			fmt.Fprintf(w, "average cache lines requested per memory instruction %f\n",
-				t.AvgLinesPerMemInstr(nv))
-		}
-	case "cachesim":
-		cfg := cachesim.DefaultConfig()
-		cfg.Policy = policy
-		t := cachesim.New(cfg)
-		tool = t
-		report = func(w io.Writer, nv *nvbit.NVBit) {
-			st := t.Stats()
-			fmt.Fprintf(w, "cache replay: %d accesses, L1 %.1f%% hit, L2 %d hits / %d misses, %d dropped\n",
-				st.Accesses, 100*st.L1HitRate(), st.L2Hits, st.L2Misses, st.Dropped)
-		}
-	case "itrace":
-		t := itrace.New(1 << 20)
-		t.Policy = policy
-		tool = t
-		report = func(w io.Writer, nv *nvbit.NVBit) {
-			kernels := map[uint32]bool{}
-			for _, r := range t.Records {
-				kernels[r.KernelID] = true
-			}
-			fmt.Fprintf(w, "trace: %d warp-level records across %d kernels, %d dropped\n",
-				len(t.Records), len(kernels), t.Dropped())
-			if *traceOut != "" {
-				f, err := os.Create(*traceOut)
-				if err != nil {
-					fail(err)
-				}
-				if _, err := t.WriteTo(f); err != nil {
-					fail(err)
-				}
-				if err := f.Close(); err != nil {
-					fail(err)
-				}
-				fmt.Fprintf(w, "trace written to %s\n", *traceOut)
-			}
-		}
-	case "memtrace":
-		// 280-byte records are double-buffered per SM: 64K aggregate slots
-		// cost ~36 MB of device memory and mid-kernel flushes recycle them.
-		t := memtrace.New(1 << 16)
-		t.Policy = policy
-		tool = t
-		report = func(w io.Writer, nv *nvbit.NVBit) {
-			kernels := map[uint32]bool{}
-			var lanes uint64
-			for _, r := range t.Records {
-				kernels[r.KernelID] = true
-				for m := r.ExecMask; m != 0; m &= m - 1 {
-					lanes++
-				}
-			}
-			st := t.Stats()
-			fmt.Fprintf(w, "memtrace: %d warp-level accesses (%d lane addresses) across %d kernels, %d dropped\n",
-				len(t.Records), lanes, len(kernels), st.Dropped)
-			fmt.Fprintf(w, "memtrace channel: %d flushes (%d sweep, %d cta, %d drain), %d bytes shipped\n",
-				st.Flushes, st.TickFlushes, st.CTAFlushes, st.DrainFlushes, st.BytesShipped)
-		}
-	case "memcheck":
-		t := memcheck.New(1 << 20)
-		tool = t
-		report = func(w io.Writer, nv *nvbit.NVBit) {
-			t.Report(w)
-			if t.TotalViolations > 0 {
-				violations = true
-			}
-		}
-	case "faultinject":
-		group, err := faultinject.ParseGroup(*fiGroup)
-		if err != nil {
-			usage(err)
-		}
-		model, err := faultinject.ParseModel(*fiModel)
-		if err != nil {
-			usage(err)
-		}
-		t := faultinject.New(faultinject.Injection{
-			Group: group, Target: *fiTarget, Model: model,
-			Bit: *fiBit, Value: uint32(*fiValue),
-		})
-		tool = t
-		report = func(w io.Writer, nv *nvbit.NVBit) {
-			r, err := t.Result()
-			if err != nil {
-				fail(err)
-			}
-			fmt.Fprintf(w, "faultinject: %s\n", r)
-		}
-	case "ophisto", "opcode_hist", "ophisto-sampled":
-		t := ophisto.New(*toolName == "ophisto-sampled")
-		tool = t
-		report = func(w io.Writer, nv *nvbit.NVBit) {
-			fmt.Fprintln(w, "top-5 executed instructions:")
-			for _, e := range t.Top(nv, 5) {
-				fmt.Fprintf(w, "  %-8s %12d\n", e.Opcode, e.Count)
-			}
-		}
-	default:
-		usage(fmt.Errorf("unknown tool %q", *toolName))
+	// One options struct configures the attachment — or, with no tool, the
+	// bare device — so the two paths cannot drift.
+	opts := []nvbit.Option{nvbit.WithScheduler(sched)}
+	if tracing {
+		opts = append(opts, nvbit.WithTracing(0))
 	}
 	var jc *nvbit.JITCache
-	if *jitCacheDir != "" {
-		if jc, err = nvbit.NewJITCache(*jitCacheDir, 0); err != nil {
+	if *c.jitCacheDir != "" {
+		if jc, err = nvbit.NewJITCache(*c.jitCacheDir, 0); err != nil {
 			fail(err)
 		}
+		opts = append(opts, nvbit.WithJITCache(jc))
 	}
 	var nv *nvbit.NVBit
-	if tool != nil {
-		opts := []nvbit.Option{nvbit.WithScheduler(sched)}
-		if tracing {
-			opts = append(opts, nvbit.WithTracing(0))
-		}
-		if jc != nil {
-			opts = append(opts, nvbit.WithJITCache(jc))
-		}
-		if nv, err = nvbit.Attach(api, tool, opts...); err != nil {
-			fail(err)
-		}
+	if toolName == "none" {
+		nvbit.Configure(api, opts...)
 	} else {
-		// No interposer library: configure the device directly.
-		api.Device().SetScheduler(sched)
-		if tracing {
-			api.Device().SetProfiler(profile.NewCollector(0))
+		if nv, err = nvbit.Attach(api, inst.Tool, opts...); err != nil {
+			fail(err)
 		}
 	}
 
@@ -331,46 +319,26 @@ exit codes:
 	}
 
 	start := time.Now()
-	kind, name, _ := strings.Cut(*workload, ":")
-	switch kind {
-	case "specaccel":
-		var b *specaccel.Benchmark
-		for _, cand := range specaccel.Benchmarks() {
-			if cand.Name == name {
-				b = cand
-			}
-		}
-		if b == nil {
-			usage(fmt.Errorf("unknown specaccel benchmark %q", name))
-		}
-		if err := b.Run(ctx, size); err != nil {
-			fail(err)
-		}
-	case "ml":
-		var net *mlsuite.Network
-		for _, cand := range mlsuite.Networks() {
-			if cand.Name == name {
-				c := cand
-				net = &c
-			}
-		}
-		if net == nil {
-			usage(fmt.Errorf("unknown ML network %q", name))
-		}
-		if _, err := mlsuite.Run(ctx, nil, *net); err != nil {
-			fail(err)
-		}
-	default:
-		usage(fmt.Errorf("unknown workload kind %q (want specaccel: or ml:)", kind))
-	}
+	runWorkload(ctx, *c.workload, size, fail, usage)
 	elapsed := time.Since(start)
 	api.Close()
 
 	st := api.Device().Stats()
 	fmt.Printf("workload %s: %d launches, %d warp instructions, %d cycles, %.2fs wall\n",
-		*workload, st.Launches, st.WarpInstrs, st.Cycles, elapsed.Seconds())
-	if report != nil {
-		report(reportW, nv)
+		*c.workload, st.Launches, st.WarpInstrs, st.Cycles, elapsed.Seconds())
+	violations := false
+	if toolName != "none" {
+		v, err := inst.Report(reportW, nv)
+		if err != nil {
+			fail(err)
+		}
+		violations = v
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(reportW, "trace written to %s\n", *c.traceOut)
+		}
 	}
 	if outFile != nil {
 		if err := outFile.Close(); err != nil {
@@ -388,12 +356,12 @@ exit codes:
 		}
 	}
 	if prof := api.Device().Profiler(); prof != nil {
-		if *metrics {
+		if *c.metrics {
 			fmt.Print(profile.FormatMetrics(prof.Metrics()))
 		}
-		if *traceJSON != "" {
+		if *c.traceJSON != "" {
 			recs := prof.Records()
-			f, err := os.Create(*traceJSON)
+			f, err := os.Create(*c.traceJSON)
 			if err != nil {
 				fail(err)
 			}
@@ -404,10 +372,113 @@ exit codes:
 				fail(err)
 			}
 			fmt.Printf("activity timeline: %d records written to %s (%d dropped)\n",
-				len(recs), *traceJSON, prof.Dropped())
+				len(recs), *c.traceJSON, prof.Dropped())
 		}
 	}
 	if violations {
 		os.Exit(exitViolation)
 	}
+}
+
+// runWorkload dispatches the -workload argument onto a launcher. The ml
+// suite needs an in-process *driver.Context (its layers call into the
+// device directly), so it is dispatched separately below.
+func runWorkload(ctx *driver.Context, workload string, size specaccel.Size, fail, usage func(error)) {
+	kind, name, _ := strings.Cut(workload, ":")
+	switch kind {
+	case "specaccel":
+		b := findBenchmark(name)
+		if b == nil {
+			usage(fmt.Errorf("unknown specaccel benchmark %q", name))
+		}
+		if err := b.Run(ctx, size); err != nil {
+			fail(err)
+		}
+	case "ml":
+		var net *mlsuite.Network
+		for _, cand := range mlsuite.Networks() {
+			if cand.Name == name {
+				cp := cand
+				net = &cp
+			}
+		}
+		if net == nil {
+			usage(fmt.Errorf("unknown ML network %q", name))
+		}
+		if _, err := mlsuite.Run(ctx, nil, *net); err != nil {
+			fail(err)
+		}
+	default:
+		usage(fmt.Errorf("unknown workload kind %q (want specaccel: or ml:)", kind))
+	}
+}
+
+func findBenchmark(name string) *specaccel.Benchmark {
+	for _, cand := range specaccel.Benchmarks() {
+		if cand.Name == name {
+			return cand
+		}
+	}
+	return nil
+}
+
+// runConnected executes the workload as one session of an nvbitd daemon.
+// Device-side knobs (-family, -scheduler, -jit-cache) belong to the daemon
+// and are rejected when set explicitly, as are the in-process-only
+// observability flags.
+func runConnected(c *appConfig, cc *cliconf.Set, size specaccel.Size, reportW io.Writer, outFile *os.File, fail, usage func(error)) {
+	for _, name := range []string{"family", "scheduler", "jit-cache", "trace", "trace-out", "metrics"} {
+		if cc.Explicit(name) {
+			usage(fmt.Errorf("-%s is not available with -connect: the daemon owns its devices (see docs/nvbitd.md)", name))
+		}
+	}
+	kind, name, _ := strings.Cut(*c.workload, ":")
+	if kind != "specaccel" {
+		usage(fmt.Errorf("connect mode runs specaccel workloads, got %q (the ml suite needs an in-process device)", *c.workload))
+	}
+	b := findBenchmark(name)
+	if b == nil {
+		usage(fmt.Errorf("unknown specaccel benchmark %q", name))
+	}
+	toolName := *c.tool
+	if toolName == "" {
+		toolName = "none"
+	}
+	sess, err := nvbitd.Dial(*c.connect, nvbitd.OpenSpec{
+		Tool:     toolName,
+		Policy:   *c.backpressure,
+		FIGroup:  *c.fiGroup,
+		FIModel:  *c.fiModel,
+		FITarget: *c.fiTarget,
+		FIBit:    *c.fiBit,
+		FIValue:  uint32(*c.fiValue),
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer sess.Close()
+
+	start := time.Now()
+	if err := b.Run(sess, size); err != nil {
+		fail(err)
+	}
+	elapsed := time.Since(start)
+	r, err := sess.Report()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("workload %s: %d launches, %d session cycles (nvbitd session %d), %.2fs wall\n",
+		*c.workload, r.Launches, r.Cycles, sess.Session(), elapsed.Seconds())
+	if _, err := io.WriteString(reportW, r.Text); err != nil {
+		fail(err)
+	}
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if r.Violation {
+		os.Exit(exitViolation)
+	}
+	os.Exit(exitOK)
 }

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nvbitgo/internal/cliconf"
+)
+
+// TestFlagTable keeps the flag table in docs/nvbitd.md generated from the
+// flag declarations. Regenerate with:
+//
+//	UPDATE_DOCS=1 go test ./cmd/nvbitd -run TestFlagTable
+func TestFlagTable(t *testing.T) {
+	fs := flag.NewFlagSet("nvbitd", flag.ContinueOnError)
+	_, cc := newFlags(fs)
+	table := cc.TableMarkdown()
+	path := filepath.Join("..", "..", "docs", "nvbitd.md")
+
+	if os.Getenv("UPDATE_DOCS") != "" {
+		if err := cliconf.WriteDocsTable(path, table); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	got, err := cliconf.DocsTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != strings.Trim(table, "\n") {
+		t.Errorf("docs/nvbitd.md flag table is stale; regenerate with UPDATE_DOCS=1 go test ./cmd/nvbitd -run TestFlagTable\nwant:\n%s\ngot:\n%s", table, got)
+	}
+}

@@ -122,6 +122,16 @@ type Config struct {
 	OnBatch func(data []byte)
 	// QueueDepth bounds the flush→receiver Go channel (default 64).
 	QueueDepth int
+	// Scope, when non-zero, ties the channel's flush hooks to one session:
+	// they fire only during launches carrying the same gpu.LaunchSpec
+	// HookScope, so concurrent sessions' channels never observe each
+	// other's kernels. Zero (the default) flushes at every launch's
+	// boundaries. NVBit.OpenChannel fills this in for session attachments.
+	Scope uint64
+	// Profiler, when non-nil, receives the channel's flush/drain activity
+	// records instead of the device-wide collector — a session's private
+	// timeline.
+	Profiler *profile.Collector
 }
 
 // Stats is a consistent snapshot of a channel's counters. All counters are
@@ -234,9 +244,17 @@ func Open(dev *gpu.Device, cfg Config) (*Channel, error) {
 			return nil, fmt.Errorf("channel %s: %w", cfg.Name, err)
 		}
 	}
-	c.unhook = dev.AddFlushHook(c.onFlushPoint)
+	c.unhook = dev.AddFlushHookScoped(cfg.Scope, c.onFlushPoint)
 	go c.receive()
 	return c, nil
+}
+
+// prof resolves the collector for the channel's activity records.
+func (c *Channel) prof() *profile.Collector {
+	if c.cfg.Profiler != nil {
+		return c.cfg.Profiler
+	}
+	return c.dev.Profiler()
 }
 
 // CtrlAddr returns the device address of the shard control-block array —
@@ -299,7 +317,7 @@ func (c *Channel) flushShard(sm int, point gpu.FlushPoint, drain bool) {
 		}
 	}
 
-	prof := c.dev.Profiler()
+	prof := c.prof()
 	var t0 time.Duration
 	if prof != nil {
 		t0 = prof.Now()
@@ -396,7 +414,7 @@ func (c *Channel) receive() {
 func (c *Channel) Drain() {
 	before := c.delivered.Load()
 	bytesBefore := c.bytesShipped.Load()
-	prof := c.dev.Profiler()
+	prof := c.prof()
 	var t0 time.Duration
 	if prof != nil {
 		t0 = prof.Now()

@@ -1,0 +1,55 @@
+package cliconf
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Docs-file markers delimiting a generated flag table. The table between
+// them is owned by the flag declarations: golden tests compare
+// Set.TableMarkdown against the section and regenerate it under
+// UPDATE_DOCS=1.
+const (
+	docsBegin = "<!-- flags:begin -->"
+	docsEnd   = "<!-- flags:end -->"
+)
+
+func splitDocs(data string) (before, table, after string, err error) {
+	b := strings.Index(data, docsBegin)
+	e := strings.Index(data, docsEnd)
+	if b < 0 || e < 0 || e < b {
+		return "", "", "", fmt.Errorf("missing %s / %s markers", docsBegin, docsEnd)
+	}
+	b += len(docsBegin)
+	return data[:b], strings.Trim(data[b:e], "\n"), data[e:], nil
+}
+
+// DocsTable reads the generated flag table between the markers of a docs
+// file.
+func DocsTable(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	_, table, _, err := splitDocs(string(data))
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", path, err)
+	}
+	return table, nil
+}
+
+// WriteDocsTable replaces the marked section of a docs file with table,
+// leaving everything outside the markers untouched.
+func WriteDocsTable(path, table string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	before, _, after, err := splitDocs(string(data))
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	out := before + "\n" + strings.Trim(table, "\n") + "\n" + after
+	return os.WriteFile(path, []byte(out), 0o644)
+}

@@ -7,7 +7,14 @@ import (
 // OpenChannel opens a device→host streaming record channel on the current
 // device (the framework-level entry point tools use from AtInit). The
 // channel registers mid-kernel flush hooks with the device, so it must be
-// opened — and later Drained/Closed — between launches.
+// opened — and later Drained/Closed — between launches. For a session
+// attachment the channel is automatically scoped: its flush hooks fire only
+// during the session's own launches, and its drain records go to the
+// session's collector.
 func (n *NVBit) OpenChannel(cfg channel.Config) (*channel.Channel, error) {
+	if n.ctx != nil {
+		cfg.Scope = n.ctx.Scope()
+		cfg.Profiler = n.prof
+	}
 	return channel.Open(n.api.Device(), cfg)
 }

@@ -45,6 +45,13 @@ type NVBit struct {
 	tool Tool
 	hal  *HAL
 
+	// ctx is the session context this instance is scoped to; nil for a
+	// process-wide Attach.
+	ctx *driver.Context
+	// prof is the session's private activity collector; nil routes to the
+	// device-wide collector.
+	prof *profile.Collector
+
 	loader *toolLoader
 	funcs  map[*driver.Function]*funcState
 	stats  JITStats
@@ -63,12 +70,14 @@ type NVBit struct {
 	cache *jitcache.Cache
 }
 
-// Attach injects the tool into the driver as its interposer library and
-// fires the tool's AtInit callback. Exactly one tool can be attached per
-// driver instance, matching the single-LD_PRELOAD-library rule. Options
-// configure the attachment (WithScheduler, WithWatchdogInterval,
-// WithTracing); they are applied before the tool's AtInit runs, so the tool
-// observes the configured device.
+// Attach injects the tool into the driver as its process-wide interposer
+// library and fires the tool's AtInit callback — the one-session
+// compatibility wrapper over the session model (OpenSession): the attached
+// tool observes every unscoped context's driver calls, and exactly one such
+// tool can be attached per driver instance, matching the
+// single-LD_PRELOAD-library rule. Options configure the attachment
+// (WithScheduler, WithWatchdogInterval, WithTracing); they are applied
+// before the tool's AtInit runs, so the tool observes the configured device.
 func Attach(api *driver.API, tool Tool, opts ...Option) (*NVBit, error) {
 	n := &NVBit{
 		api:   api,
@@ -126,7 +135,7 @@ func (h *hook) Before(cbid driver.CBID, name string, p *driver.CallParams) {
 		n.hal = newHAL(n.api.Device())
 	}
 	if cbid == driver.CBLaunchKernel {
-		prof := n.api.Device().Profiler()
+		prof := n.profiler()
 		var jitBefore JITStats
 		var profT0 time.Duration
 		if prof != nil {

@@ -107,25 +107,6 @@ func ArgLaunchDim(d LaunchDim) CallArg {
 	return CallArg{kind: argCBank, bank: 0, off: 4 * int(d)}
 }
 
-// Deprecated aliases for the pre-unification constructor names. They remain
-// source-compatible indefinitely; new code should use the Arg* names above.
-var (
-	// Deprecated: use ArgReg.
-	ArgRegVal = ArgReg
-	// Deprecated: use ArgReg64.
-	ArgRegVal64 = ArgReg64
-	// Deprecated: use ArgConst32.
-	ArgImm32 = ArgConst32
-	// Deprecated: use ArgConst64.
-	ArgImm64 = ArgConst64
-	// Deprecated: use ArgConstBank.
-	ArgCBank = ArgConstBank
-	// Deprecated: use ArgPred.
-	ArgPredVal = ArgPred
-	// Deprecated: use ArgSitePred.
-	ArgGuardPred = ArgSitePred
-)
-
 // bytes returns the argument's ABI width.
 func (a CallArg) bytes() int {
 	if a.kind == argRegVal64 || a.kind == argImm64 || a.kind == argMRefAddr {

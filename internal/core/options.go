@@ -1,6 +1,7 @@
 package core
 
 import (
+	"nvbitgo/internal/driver"
 	"nvbitgo/internal/gpu"
 	"nvbitgo/internal/jitcache"
 	"nvbitgo/internal/profile"
@@ -56,20 +57,51 @@ func WithJITCache(c *jitcache.Cache) Option {
 	return func(cfg *attachConfig) { cfg.cache = c }
 }
 
-// apply mutates the device per the collected options.
+// apply mutates the device per the collected options (the process-wide
+// Attach path: tracing installs a device-wide collector).
 func (c *attachConfig) apply(dev *gpu.Device) {
+	c.applyShared(dev)
+	if c.tracing && dev.Profiler() == nil {
+		dev.SetProfiler(profile.NewCollector(c.traceBuffer))
+	}
+}
+
+// applyShared applies the device-wide knobs both Attach and OpenSession
+// honor; session tracing is handled separately (a private collector).
+func (c *attachConfig) applyShared(dev *gpu.Device) {
 	if c.setScheduler {
 		dev.SetScheduler(c.scheduler)
 	}
 	if c.setWatchdog {
 		dev.SetWatchdogInterval(c.watchdog)
 	}
-	if c.tracing && dev.Profiler() == nil {
-		dev.SetProfiler(profile.NewCollector(c.traceBuffer))
-	}
 }
 
-// Profiler returns the activity collector attached to the framework's
-// device, nil when tracing is off. Tools and launchers use it to subscribe
-// to records, drain the timeline, or read the per-kernel metrics table.
-func (n *NVBit) Profiler() *profile.Collector { return n.api.Device().Profiler() }
+// Configure applies attach options to a driver instance's device without
+// attaching a tool — the launcher path for running a workload uninjected
+// while still selecting the scheduler, watchdog budget, or tracing through
+// the same options struct every attachment uses. Attachment-only options
+// (WithJITCache) are accepted and ignored: there is no JIT without a tool.
+func Configure(api *driver.API, opts ...Option) {
+	var cfg attachConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.apply(api.Device())
+}
+
+// Profiler returns the activity collector this attachment's records go to —
+// the session's private collector for OpenSession attachments, else the
+// device-wide one; nil when tracing is off. Tools and launchers use it to
+// subscribe to records, drain the timeline, or read the per-kernel metrics
+// table.
+func (n *NVBit) Profiler() *profile.Collector { return n.profiler() }
+
+// profiler resolves this instance's collector: session-private first, then
+// device-wide.
+func (n *NVBit) profiler() *profile.Collector {
+	if n.prof != nil {
+		return n.prof
+	}
+	return n.api.Device().Profiler()
+}

@@ -1,0 +1,304 @@
+// Session-model tests: concurrent sessions must behave exactly like the
+// standalone attachments they replace — identical record streams, strict
+// cross-session isolation, and no resource leaks across open/close cycles.
+// (External test package: the assertions drive real tools through the
+// public nvbit facade.)
+package core_test
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"nvbitgo/internal/driver"
+	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/jitcache"
+	"nvbitgo/internal/sass"
+	"nvbitgo/internal/tools/instrcount"
+	"nvbitgo/internal/tools/itrace"
+	"nvbitgo/internal/workloads/specaccel"
+	"nvbitgo/nvbit"
+)
+
+func sessionBenchmark(name string) *specaccel.Benchmark {
+	for _, b := range specaccel.Benchmarks() {
+		if b.Name == name {
+			return b
+		}
+	}
+	panic("no benchmark " + name)
+}
+
+// canonicalTraceHash hashes the multiset of trace records in a canonical
+// order. The parallel scheduler delivers records from concurrent SM
+// workers, so arrival order is schedule-dependent; record *content* is
+// not, and content is what sessions must reproduce.
+func canonicalTraceHash(recs []itrace.Record) [32]byte {
+	sorted := append([]itrace.Record(nil), recs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.KernelID != b.KernelID {
+			return a.KernelID < b.KernelID
+		}
+		if a.WarpID != b.WarpID {
+			return a.WarpID < b.WarpID
+		}
+		if a.InstIdx != b.InstIdx {
+			return a.InstIdx < b.InstIdx
+		}
+		return a.ExecMask < b.ExecMask
+	})
+	h := sha256.New()
+	for _, r := range sorted {
+		var buf [16]byte
+		binary.LittleEndian.PutUint32(buf[0:], r.KernelID)
+		binary.LittleEndian.PutUint32(buf[4:], r.InstIdx)
+		binary.LittleEndian.PutUint32(buf[8:], r.WarpID)
+		binary.LittleEndian.PutUint32(buf[12:], r.ExecMask)
+		h.Write(buf[:])
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// traceSession runs one itrace session over a benchmark on a fresh device
+// and returns the canonical hash of its record stream.
+func traceSession(bench string, sched gpu.SchedulerKind, cache *jitcache.Cache) ([32]byte, error) {
+	var zero [32]byte
+	api, err := driver.New(gpu.DefaultConfig(sass.Volta))
+	if err != nil {
+		return zero, err
+	}
+	defer api.Close()
+	tool := itrace.New(1 << 20)
+	opts := []nvbit.Option{nvbit.WithScheduler(sched)}
+	if cache != nil {
+		opts = append(opts, nvbit.WithJITCache(cache))
+	}
+	sess, err := nvbit.OpenSession(api, tool, opts...)
+	if err != nil {
+		return zero, err
+	}
+	if err := sessionBenchmark(bench).Run(sess.Ctx(), specaccel.Small); err != nil {
+		return zero, err
+	}
+	if err := sess.Close(); err != nil {
+		return zero, err
+	}
+	if d := tool.Dropped(); d != 0 {
+		return zero, fmt.Errorf("%s: %d records dropped", bench, d)
+	}
+	if len(tool.Records) == 0 {
+		return zero, fmt.Errorf("%s: empty trace", bench)
+	}
+	return canonicalTraceHash(tool.Records), nil
+}
+
+// TestConcurrentSessionStreamsByteIdentical runs N sessions concurrently —
+// each with its own device, sharing one JIT cache — and requires every
+// session's record stream to hash identically to a standalone run of the
+// same tool/benchmark pair, under both schedulers.
+func TestConcurrentSessionStreamsByteIdentical(t *testing.T) {
+	benches := []string{"ostencil", "cg", "olbm"}
+	for schedName, sched := range map[string]gpu.SchedulerKind{
+		"sequential": gpu.SchedulerSequential,
+		"parallel":   gpu.SchedulerParallelSM,
+	} {
+		t.Run(schedName, func(t *testing.T) {
+			want := make(map[string][32]byte, len(benches))
+			for _, b := range benches {
+				h, err := traceSession(b, sched, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[b] = h
+			}
+			cache, err := jitcache.New("", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([][32]byte, len(benches))
+			errs := make([]error, len(benches))
+			var wg sync.WaitGroup
+			for i, b := range benches {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					got[i], errs[i] = traceSession(b, sched, cache)
+				}()
+			}
+			wg.Wait()
+			for i, b := range benches {
+				if errs[i] != nil {
+					t.Fatal(errs[i])
+				}
+				if got[i] != want[b] {
+					t.Errorf("%s: concurrent-session stream hash %x differs from standalone %x", b, got[i], want[b])
+				}
+			}
+		})
+	}
+}
+
+// instrSession counts thread-level instructions for one benchmark through
+// a session on the given driver (launching on the session's own context).
+func instrSession(api *driver.API, bench string) (uint64, error) {
+	tool := instrcount.New()
+	sess, err := nvbit.OpenSession(api, tool)
+	if err != nil {
+		return 0, err
+	}
+	if err := sessionBenchmark(bench).Run(sess.Ctx(), specaccel.Small); err != nil {
+		return 0, err
+	}
+	if err := sess.Close(); err != nil {
+		return 0, err
+	}
+	return tool.AppInstrs(sess.NVBit()), nil
+}
+
+// TestSharedDeviceSessionIsolation runs two sessions concurrently on ONE
+// device and requires each session's count to equal its solo-run count:
+// neither session may observe the other's launches.
+func TestSharedDeviceSessionIsolation(t *testing.T) {
+	solo := make(map[string]uint64)
+	for _, b := range []string{"cg", "olbm"} {
+		api, err := driver.New(gpu.DefaultConfig(sass.Volta))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := instrSession(api, b)
+		api.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Fatalf("%s: zero instructions", b)
+		}
+		solo[b] = n
+	}
+
+	api, err := driver.New(gpu.DefaultConfig(sass.Volta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer api.Close()
+	var wg sync.WaitGroup
+	got := make(map[string]uint64, 2)
+	errs := make(map[string]error, 2)
+	var mu sync.Mutex
+	for _, b := range []string{"cg", "olbm"} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n, err := instrSession(api, b)
+			mu.Lock()
+			got[b], errs[b] = n, err
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	for b, err := range errs {
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+	}
+	for b, n := range got {
+		if n != solo[b] {
+			t.Errorf("%s: shared-device session counted %d instructions, solo run counted %d", b, n, solo[b])
+		}
+	}
+}
+
+// TestSessionCloseReleasesResources cycles sessions open/closed on one
+// driver and checks hooks, flush hooks and device allocations return to
+// baseline every time.
+func TestSessionCloseReleasesResources(t *testing.T) {
+	api, err := driver.New(gpu.DefaultConfig(sass.Volta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer api.Close()
+	dev := api.Device()
+
+	baseHooks := api.HookCount()
+	baseFlush := dev.FlushHookCount()
+	baseAllocs := len(dev.Allocations())
+
+	for i := 0; i < 100; i++ {
+		tool := itrace.New(1 << 12)
+		sess, err := nvbit.OpenSession(api, tool)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		if api.HookCount() != baseHooks+1 {
+			t.Fatalf("cycle %d: hook count %d while open, want %d", i, api.HookCount(), baseHooks+1)
+		}
+		if err := sess.Close(); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		if got := api.HookCount(); got != baseHooks {
+			t.Fatalf("cycle %d: %d hooks leaked", i, got-baseHooks)
+		}
+		if got := dev.FlushHookCount(); got != baseFlush {
+			t.Fatalf("cycle %d: %d flush hooks leaked", i, got-baseFlush)
+		}
+		if got := len(dev.Allocations()); got != baseAllocs {
+			t.Fatalf("cycle %d: %d device allocations leaked", i, got-baseAllocs)
+		}
+	}
+
+	// A cycle that actually launches: hooks and channel state must still
+	// unwind (the workload's own data buffer legitimately stays).
+	tool := itrace.New(1 << 16)
+	sess, err := nvbit.OpenSession(api, tool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sessionBenchmark("ostencil").Run(sess.Ctx(), specaccel.Small); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := api.HookCount(); got != baseHooks {
+		t.Errorf("after launching cycle: %d hooks leaked", got-baseHooks)
+	}
+	if got := dev.FlushHookCount(); got != baseFlush {
+		t.Errorf("after launching cycle: %d flush hooks leaked", got-baseFlush)
+	}
+	if len(tool.Records) == 0 {
+		t.Error("launching cycle produced no records")
+	}
+}
+
+// TestSessionCloseIdempotent double-closes and verifies the API stays
+// usable for new sessions afterwards.
+func TestSessionCloseIdempotent(t *testing.T) {
+	api, err := driver.New(gpu.DefaultConfig(sass.Volta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer api.Close()
+	sess, err := nvbit.OpenSession(api, instrcount.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	n, err := instrSession(api, "ostencil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("post-close session counted nothing")
+	}
+}

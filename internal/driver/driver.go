@@ -4,10 +4,25 @@
 //
 // On a real system, compute runtimes (CUDA, OpenCL, OpenACC, CUDA-Fortran)
 // all sit on top of the CUDA driver API, and NVBit interposes that API via
-// LD_PRELOAD. Here, applications call this package directly, and exactly one
-// Hook — the analog of one preloaded tool library — may be attached with
-// SetHook to observe every driver call with CUPTI-style enter/exit callbacks
-// and callback ids.
+// LD_PRELOAD. Here, applications call this package directly, and Hooks
+// observe driver calls with CUPTI-style enter/exit callbacks and callback
+// ids at two scopes:
+//
+//   - A process-wide interposer (SetHook) — the analog of one preloaded tool
+//     library. At most one may be attached, matching the paper's "only a
+//     single library can be injected" rule, and it observes every call made
+//     on unscoped contexts.
+//   - Session hooks (CtxCreateScoped) — each bound to its own context, with
+//     its own activity collector and flush-hook scope. Any number of
+//     sessions coexist on one device; each hook observes only its own
+//     context's calls, and the fair-share Gate serializes their
+//     device-owning operations (module loads, memory traffic, launches)
+//     with least-accumulated-cycles admission and bounded-queue
+//     load-shedding (OverloadError).
+//
+// The process-wide interposer and session hooks are mutually isolated: a
+// preloaded tool does not observe other sessions' private contexts, so two
+// tools never instrument the same loaded function.
 package driver
 
 import (
@@ -76,12 +91,65 @@ type Hook interface {
 	After(cbid CBID, name string, p *CallParams, result error)
 }
 
+// Launcher is the minimal driver surface a workload needs to load code, move
+// memory and launch kernels. *Context implements it locally; nvbitd's remote
+// session client implements it over the wire, so workloads run unchanged
+// against either.
+type Launcher interface {
+	ModuleLoadPTX(name, source string) (*Module, error)
+	MemAlloc(n uint64) (uint64, error)
+	MemFree(addr uint64) error
+	MemcpyHtoD(dst uint64, src []byte) error
+	MemcpyDtoH(dst []byte, src uint64) error
+	LaunchKernel(f *Function, grid, block gpu.Dim3, sharedBytes int, params []byte) error
+}
+
+var _ Launcher = (*Context)(nil)
+
+// hookEntry binds one attached Hook to its scope. ctx == nil is the
+// process-wide interposer (the classic preloaded-library model); a non-nil
+// ctx scopes the hook to that context's session. prof, when non-nil, is the
+// session's private collector for the hook's tool-callback records; nil
+// falls back to the device-wide collector.
+type hookEntry struct {
+	h    Hook
+	ctx  *Context
+	prof *profile.Collector
+}
+
+// observes reports whether the entry's hook sees a call with the given
+// parameters. Session hooks see only their own context's calls; the
+// process-wide interposer sees everything except other sessions' private
+// contexts (so a preloaded tool and a session tool never fight over one
+// function's code).
+func (e *hookEntry) observes(p *CallParams) bool {
+	if e.ctx != nil {
+		return p != nil && p.Ctx == e.ctx
+	}
+	return p == nil || p.Ctx == nil || p.Ctx.scope == 0
+}
+
+func (e *hookEntry) profFor(a *API) *profile.Collector {
+	if e.prof != nil {
+		return e.prof
+	}
+	return a.dev.Profiler()
+}
+
 // API is the driver instance bound to one simulated device.
 type API struct {
-	dev    *gpu.Device
-	hook   Hook
-	ctxs   []*Context
-	closed bool
+	dev *gpu.Device
+
+	// mu guards hooks/ctxs/closed/nextScope. hooks is copy-on-write: it is
+	// replaced wholesale on attach/detach, so driver calls iterate a
+	// snapshot lock-free.
+	mu        sync.Mutex
+	hooks     []hookEntry
+	ctxs      []*Context
+	closed    bool
+	nextScope uint64
+
+	gate *Gate
 }
 
 // New initializes the driver on a fresh simulated device.
@@ -90,17 +158,65 @@ func New(cfg gpu.Config) (*API, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &API{dev: dev}, nil
+	return &API{dev: dev, gate: NewGate(DefaultQueueLimit)}, nil
 }
 
-// SetHook attaches the single interposer library. A second attachment fails,
-// matching the paper's "only a single library can be injected" rule.
+// SetHook attaches the process-wide interposer library. A second process-wide
+// attachment fails, matching the paper's "only a single library can be
+// injected" rule; context-scoped session hooks (CtxCreateScoped) are not
+// limited by it.
 func (a *API) SetHook(h Hook) error {
-	if a.hook != nil {
-		return fmt.Errorf("driver: an interposer library is already injected")
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, e := range a.hooks {
+		if e.ctx == nil {
+			return fmt.Errorf("driver: an interposer library is already injected")
+		}
 	}
-	a.hook = h
+	a.addHookLocked(hookEntry{h: h})
 	return nil
+}
+
+// addHookLocked installs a hook entry copy-on-write.
+func (a *API) addHookLocked(e hookEntry) {
+	next := make([]hookEntry, len(a.hooks), len(a.hooks)+1)
+	copy(next, a.hooks)
+	a.hooks = append(next, e)
+}
+
+// takeCtxHook atomically unregisters and returns a context's session hook.
+func (a *API) takeCtxHook(c *Context) (hookEntry, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, e := range a.hooks {
+		if e.ctx == c {
+			next := make([]hookEntry, 0, len(a.hooks)-1)
+			for _, o := range a.hooks {
+				if o.ctx != c {
+					next = append(next, o)
+				}
+			}
+			a.hooks = next
+			return e, true
+		}
+	}
+	return hookEntry{}, false
+}
+
+func (a *API) hookSnapshot() []hookEntry {
+	a.mu.Lock()
+	h := a.hooks
+	a.mu.Unlock()
+	return h
+}
+
+// HookCount reports how many hooks — process-wide and session — are
+// currently registered. Monitoring and leak tests use it: every session
+// close must return the count to its pre-open value.
+func (a *API) HookCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.hooks)
 }
 
 // Device exposes the underlying simulated device. The NVBit core uses this
@@ -108,65 +224,101 @@ func (a *API) SetHook(h Hook) error {
 // behaved applications never need it.
 func (a *API) Device() *gpu.Device { return a.dev }
 
-// prof returns the activity collector attached to the device, nil when
-// tracing is off. Every emission site below is guarded by a nil check so the
-// tracing-off path does no extra work.
-func (a *API) prof() *profile.Collector { return a.dev.Profiler() }
+// Gate exposes the fair-share admission gate serializing device-owning
+// operations across sessions; nvbitd tunes its queue limit for
+// load-shedding.
+func (a *API) Gate() *Gate { return a.gate }
 
-// before fires the interposer's enter callback. A panic inside the callback
-// is recovered into an ErrToolCallback error; the caller must then skip the
-// interposed operation, so a broken tool turns into a failing driver call
-// instead of a crashed host process.
+// fireBefore runs one hook entry's enter callback, wrapped in its
+// tool-callback activity record (emitted even when the callback panics, via
+// defer, so the trace shows where the time went).
+func (a *API) fireBefore(e hookEntry, cbid CBID, p *CallParams) {
+	if prof := e.profFor(a); prof != nil {
+		t0 := prof.Now()
+		defer func() {
+			prof.Emit(profile.Record{
+				Kind: profile.KindToolCallback, Name: cbid.String() + ":enter",
+				Start: t0, Dur: prof.Now() - t0, SM: -1,
+			})
+		}()
+	}
+	e.h.Before(cbid, cbid.String(), p)
+}
+
+// fireAfter is fireBefore's exit-callback counterpart.
+func (a *API) fireAfter(e hookEntry, cbid CBID, p *CallParams, result error) {
+	if prof := e.profFor(a); prof != nil {
+		t0 := prof.Now()
+		defer func() {
+			prof.Emit(profile.Record{
+				Kind: profile.KindToolCallback, Name: cbid.String() + ":exit",
+				Start: t0, Dur: prof.Now() - t0, SM: -1,
+			})
+		}()
+	}
+	e.h.After(cbid, cbid.String(), p, result)
+}
+
+// before fires the enter callbacks of every hook observing this call. A
+// panic inside a callback is recovered into an ErrToolCallback error; the
+// caller must then skip the interposed operation, so a broken tool turns
+// into a failing driver call instead of a crashed host process.
 func (a *API) before(cbid CBID, p *CallParams) (err error) {
 	defer recoverHookPanic(cbid, &err)
-	if a.hook != nil {
-		if prof := a.prof(); prof != nil {
-			t0 := prof.Now()
-			defer func() {
-				prof.Emit(profile.Record{
-					Kind: profile.KindToolCallback, Name: cbid.String() + ":enter",
-					Start: t0, Dur: prof.Now() - t0, SM: -1,
-				})
-			}()
+	for _, e := range a.hookSnapshot() {
+		if e.observes(p) {
+			a.fireBefore(e, cbid, p)
 		}
-		a.hook.Before(cbid, cbid.String(), p)
 	}
 	return nil
 }
 
-// after fires the interposer's exit callback, with the same panic recovery
-// as before. The operation itself has already happened; a panicking After
-// only changes the error the application sees.
+// after fires the exit callbacks, with the same panic recovery as before.
+// The operation itself has already happened; a panicking After only changes
+// the error the application sees.
 func (a *API) after(cbid CBID, p *CallParams, result error) (err error) {
 	defer recoverHookPanic(cbid, &err)
-	if a.hook != nil {
-		if prof := a.prof(); prof != nil {
-			t0 := prof.Now()
-			defer func() {
-				prof.Emit(profile.Record{
-					Kind: profile.KindToolCallback, Name: cbid.String() + ":exit",
-					Start: t0, Dur: prof.Now() - t0, SM: -1,
-				})
-			}()
+	for _, e := range a.hookSnapshot() {
+		if e.observes(p) {
+			a.fireAfter(e, cbid, p, result)
 		}
-		a.hook.After(cbid, cbid.String(), p, result)
 	}
 	return nil
 }
 
-// Close shuts the driver down, firing the application-exit callback. It
-// returns an error when that callback panics (tools flush their results
-// there, so the failure matters).
+// Close shuts the driver down. Sessions still attached receive their
+// synthetic application-exit callbacks first (scoped to their contexts),
+// then the process-wide interposer's fires. It returns the first error (tools
+// flush their results at exit, so a panicking AtTerm matters).
 func (a *API) Close() error {
+	a.mu.Lock()
 	if a.closed {
+		a.mu.Unlock()
 		return nil
 	}
 	a.closed = true
+	entries := a.hooks
+	a.mu.Unlock()
+	var first error
+	for _, e := range entries {
+		if e.ctx == nil {
+			continue
+		}
+		if err := e.ctx.DetachHook(); err != nil && first == nil {
+			first = err
+		}
+	}
 	p := &CallParams{}
 	if err := a.before(CBAppExit, p); err != nil {
-		return err
+		if first == nil {
+			first = err
+		}
+		return first
 	}
-	return a.after(CBAppExit, p, nil)
+	if err := a.after(CBAppExit, p, nil); err != nil && first == nil {
+		first = err
+	}
+	return first
 }
 
 // Context is the CUcontext analog: per-context module and allocation state,
@@ -179,35 +331,134 @@ type Context struct {
 	modules []*Module
 	nextMod int
 
+	// scope is the context's session/tenant id: 0 for classic CtxCreate
+	// contexts, unique per CtxCreateScoped session. It tags launches'
+	// flush-hook scope and the gate's per-tenant fair-share accounting.
+	scope uint64
+	// profOv is the session's private activity collector; nil routes the
+	// context's records to the device-wide collector (gpu.SetProfiler).
+	profOv *profile.Collector
+	// hook is the session hook bound by CtxCreateScoped, nil otherwise.
+	hook Hook
+
 	mu     sync.Mutex
 	sticky error
 }
 
 // CtxCreate creates a context on the device.
 func (a *API) CtxCreate() (*Context, error) {
+	return a.ctxCreate(nil, nil)
+}
+
+// CtxCreateScoped creates a context with its own session hook. The hook is
+// registered before the CBCtxCreate callback fires — so it observes its own
+// context's creation (where the NVBit core initializes its HAL) — and from
+// then on it observes exactly this context's driver calls. prof, when
+// non-nil, is the session's private activity collector: the context's
+// memory/module records, its launches' kernel records and its hook's
+// tool-callback records all go there instead of the device-wide collector.
+// Detach with Context.DetachHook.
+func (a *API) CtxCreateScoped(h Hook, prof *profile.Collector) (*Context, error) {
+	if h == nil {
+		return nil, fmt.Errorf("driver: nil session hook")
+	}
+	return a.ctxCreate(h, prof)
+}
+
+func (a *API) ctxCreate(h Hook, sessProf *profile.Collector) (*Context, error) {
+	a.mu.Lock()
 	if a.closed {
+		a.mu.Unlock()
 		return nil, fmt.Errorf("driver: closed")
 	}
 	c := &Context{api: a}
+	if h != nil {
+		a.nextScope++
+		c.scope = a.nextScope
+		c.profOv = sessProf
+		c.hook = h
+		a.addHookLocked(hookEntry{h: h, ctx: c, prof: sessProf})
+	}
+	a.mu.Unlock()
+
+	// Context creation is device-owning work (the core's HAL init may write
+	// device state), so it runs inside the gate's admission window.
+	if err := a.gate.Admit(c.scope); err != nil {
+		a.takeCtxHook(c)
+		return nil, err
+	}
+	defer a.gate.Release(c.scope, 0)
+
 	p := &CallParams{Ctx: c}
 	var t0 time.Duration
-	if prof := a.prof(); prof != nil {
+	if prof := c.prof(); prof != nil {
 		t0 = prof.Now()
 	}
 	if err := a.before(CBCtxCreate, p); err != nil {
+		a.takeCtxHook(c)
 		return nil, err
 	}
+	a.mu.Lock()
 	a.ctxs = append(a.ctxs, c)
-	if prof := a.prof(); prof != nil {
+	a.mu.Unlock()
+	if prof := c.prof(); prof != nil {
 		prof.Emit(profile.Record{
 			Kind: profile.KindCtxCreate, Name: CBCtxCreate.String(),
 			Start: t0, Dur: prof.Now() - t0, SM: -1,
 		})
 	}
 	if err := a.after(CBCtxCreate, p, nil); err != nil {
+		a.takeCtxHook(c)
 		return nil, err
 	}
 	return c, nil
+}
+
+// DetachHook fires the session hook's synthetic application-exit callback —
+// scoped to this context; the process-wide interposer does not see it — and
+// unregisters the hook. Further driver calls on the context run
+// uninstrumented. It is idempotent and a no-op for unscoped contexts.
+func (c *Context) DetachHook() error {
+	e, ok := c.api.takeCtxHook(c)
+	if !ok {
+		return nil
+	}
+	p := &CallParams{Ctx: c}
+	var err error
+	func() {
+		defer recoverHookPanic(CBAppExit, &err)
+		c.api.fireBefore(e, CBAppExit, p)
+	}()
+	var aerr error
+	func() {
+		defer recoverHookPanic(CBAppExit, &aerr)
+		c.api.fireAfter(e, CBAppExit, p, nil)
+	}()
+	if err == nil {
+		err = aerr
+	}
+	return err
+}
+
+// DiscardHook unregisters the session hook without firing its exit callback
+// — the cleanup path when session setup fails partway (the tool's AtInit
+// errored, so its AtTerm must not run).
+func (c *Context) DiscardHook() {
+	c.api.takeCtxHook(c)
+}
+
+// Scope returns the context's session/tenant id (0 for unscoped contexts).
+// Channels bound to a session pass it as their flush-hook scope so their
+// mid-kernel flushes fire only during this context's launches.
+func (c *Context) Scope() uint64 { return c.scope }
+
+// prof resolves the collector receiving this context's activity records: the
+// session's private collector when set, else the device-wide one.
+func (c *Context) prof() *profile.Collector {
+	if c.profOv != nil {
+		return c.profOv
+	}
+	return c.api.dev.Profiler()
 }
 
 // stickyErr returns the context's persisting error, if any.
@@ -254,12 +505,16 @@ func (c *Context) MemAlloc(n uint64) (uint64, error) {
 	if err := c.stickyErr(); err != nil {
 		return 0, err
 	}
+	if err := c.api.gate.Admit(c.scope); err != nil {
+		return 0, err
+	}
+	defer c.api.gate.Release(c.scope, 0)
 	p := &CallParams{Ctx: c, Bytes: int(n)}
 	if err := c.api.before(CBMemAlloc, p); err != nil {
 		return 0, err
 	}
 	var t0 time.Duration
-	prof := c.api.prof()
+	prof := c.prof()
 	if prof != nil {
 		t0 = prof.Now()
 	}
@@ -282,12 +537,16 @@ func (c *Context) MemFree(addr uint64) error {
 	if err := c.stickyErr(); err != nil {
 		return err
 	}
+	if err := c.api.gate.Admit(c.scope); err != nil {
+		return err
+	}
+	defer c.api.gate.Release(c.scope, 0)
 	p := &CallParams{Ctx: c, Addr: addr}
 	if err := c.api.before(CBMemFree, p); err != nil {
 		return err
 	}
 	var t0 time.Duration
-	prof := c.api.prof()
+	prof := c.prof()
 	if prof != nil {
 		t0 = prof.Now()
 	}
@@ -309,12 +568,16 @@ func (c *Context) MemcpyHtoD(dst uint64, src []byte) error {
 	if err := c.stickyErr(); err != nil {
 		return err
 	}
+	if err := c.api.gate.Admit(c.scope); err != nil {
+		return err
+	}
+	defer c.api.gate.Release(c.scope, 0)
 	p := &CallParams{Ctx: c, Addr: dst, Bytes: len(src)}
 	if err := c.api.before(CBMemcpyHtoD, p); err != nil {
 		return err
 	}
 	var t0 time.Duration
-	prof := c.api.prof()
+	prof := c.prof()
 	if prof != nil {
 		t0 = prof.Now()
 	}
@@ -336,12 +599,16 @@ func (c *Context) MemcpyDtoH(dst []byte, src uint64) error {
 	if err := c.stickyErr(); err != nil {
 		return err
 	}
+	if err := c.api.gate.Admit(c.scope); err != nil {
+		return err
+	}
+	defer c.api.gate.Release(c.scope, 0)
 	p := &CallParams{Ctx: c, Addr: src, Bytes: len(dst)}
 	if err := c.api.before(CBMemcpyDtoH, p); err != nil {
 		return err
 	}
 	var t0 time.Duration
-	prof := c.api.prof()
+	prof := c.prof()
 	if prof != nil {
 		t0 = prof.Now()
 	}
@@ -361,7 +628,10 @@ func (c *Context) MemcpyDtoH(dst []byte, src uint64) error {
 // LaunchKernel launches a kernel function (cuLaunchKernel). The interposer's
 // Before callback fires first — that is where the NVBit core inspects and
 // instruments the function and decides which code version runs — then the
-// kernel executes on the device.
+// kernel executes on the device. The whole window (JIT included) runs under
+// the gate's admission, so concurrent sessions' launches are serialized onto
+// the shared SM capacity in least-accumulated-cycles order; under overload
+// the launch is rejected with an OverloadError before any tool work runs.
 func (c *Context) LaunchKernel(f *Function, grid, block gpu.Dim3, sharedBytes int, params []byte) error {
 	if err := c.stickyErr(); err != nil {
 		return err
@@ -372,19 +642,26 @@ func (c *Context) LaunchKernel(f *Function, grid, block gpu.Dim3, sharedBytes in
 	if !f.Entry {
 		return fmt.Errorf("driver: %s is not a kernel entry", f.Name)
 	}
+	if err := c.api.gate.Admit(c.scope); err != nil {
+		return fmt.Errorf("driver: launching %s: %w", f.Name, err)
+	}
 	lp := &LaunchParams{Func: f, Grid: grid, Block: block, SharedBytes: sharedBytes, ParamData: params}
 	p := &CallParams{Ctx: c, Launch: lp}
 	if err := c.api.before(CBLaunchKernel, p); err != nil {
+		c.api.gate.Release(c.scope, 0)
 		return err
 	}
-	_, err := c.api.dev.Launch(gpu.LaunchSpec{
+	st, err := c.api.dev.Launch(gpu.LaunchSpec{
 		Entry:       f.launchAddr(),
 		Name:        f.Name,
 		Grid:        lp.Grid,
 		Block:       lp.Block,
 		Params:      lp.ParamData,
 		SharedBytes: f.SharedBytes + lp.SharedBytes,
+		Prof:        c.profOv,
+		HookScope:   c.scope,
 	})
+	c.api.gate.Release(c.scope, st.Cycles)
 	if err != nil {
 		_, isFault := gpu.AsFault(err)
 		err = mapLaunchError(f.Name, err)

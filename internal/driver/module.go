@@ -87,8 +87,32 @@ func (m *Module) Functions() []*Function {
 	return out
 }
 
+// NewDetachedModule builds a module handle that is not backed by a local
+// context — the client half of a remote (nvbitd) session. The Function
+// handles carry the parameter tables and launch metadata the client needs
+// for PackParams; Addr is the server-side load address. GetFunction on a
+// detached module resolves locally without firing hooks.
+func NewDetachedModule(name string, funcs []*Function) *Module {
+	m := &Module{Name: name, funcs: make(map[string]*Function, len(funcs))}
+	for _, f := range funcs {
+		f.Module = m
+		m.funcs[f.Name] = f
+		m.order = append(m.order, f.Name)
+	}
+	return m
+}
+
 // GetFunction resolves a kernel by name (cuModuleGetFunction).
 func (m *Module) GetFunction(name string) (*Function, error) {
+	if m.ctx == nil {
+		// Detached module: plain lookup, there is no local driver to
+		// interpose.
+		f, ok := m.funcs[name]
+		if !ok {
+			return nil, fmt.Errorf("driver: module %s has no function %q", m.Name, name)
+		}
+		return f, nil
+	}
 	if err := m.ctx.stickyErr(); err != nil {
 		return nil, err
 	}
@@ -166,6 +190,12 @@ func (c *Context) ModuleLoadCubin(image []byte) (*Module, error) {
 // loadCompiled places every function of a compiled module into device code
 // space, resolves intra-module CAL relocations, and encodes the final bytes.
 func (c *Context) loadCompiled(name string, pm *ptx.Module, fromCubin, withLines bool) (*Module, error) {
+	// Module loads write device code space, so they run inside the gate's
+	// admission window like launches do.
+	if err := c.api.gate.Admit(c.scope); err != nil {
+		return nil, fmt.Errorf("driver: loading module %s: %w", name, err)
+	}
+	defer c.api.gate.Release(c.scope, 0)
 	m := &Module{Name: name, FromCubin: fromCubin, ctx: c, funcs: make(map[string]*Function)}
 	p := &CallParams{Ctx: c, Module: m}
 	if err := c.api.before(CBModuleLoadData, p); err != nil {
@@ -173,7 +203,7 @@ func (c *Context) loadCompiled(name string, pm *ptx.Module, fromCubin, withLines
 	}
 	var t0 time.Duration
 	var code0 uint64
-	prof := c.api.prof()
+	prof := c.prof()
 	if prof != nil {
 		t0 = prof.Now()
 		code0 = c.api.dev.Stats().CodeBytesWritten

@@ -141,8 +141,24 @@ type Device struct {
 
 	// flushHooks are invoked by the scheduler at CTA-completion and
 	// warp-sweep boundaries (see FlushHook); nil when no channel is bound,
-	// which keeps the launch hot path allocation- and call-free.
+	// which keeps the launch hot path allocation- and call-free. Entries
+	// registered with a non-zero scope fire only for launches whose
+	// LaunchSpec.HookScope matches — how concurrent sessions keep their
+	// channels out of each other's kernels.
 	flushHooks []*flushHookEntry
+	// activeHooks is the per-launch filtered view of flushHooks (scope 0
+	// plus the launch's own scope), reused across launches so scoped
+	// sessions keep the tracing-off launch path allocation-free.
+	activeHooks []*flushHookEntry
+	// launchFlush is the hook view resolved once at the top of Launch and
+	// read by every worker context of that launch; resolving once keeps
+	// parallel workers off the reused activeHooks buffer.
+	launchFlush []*flushHookEntry
+
+	// allocMu guards the global-memory allocator. Concurrent sessions open
+	// channels and allocate tool state between launches; none of these
+	// paths are on the per-instruction hot path.
+	allocMu sync.Mutex
 
 	// atomLocks stripes the simulated ATOM/RED read-modify-write path by
 	// global word address so concurrent CTA workers stay race-free.
@@ -172,13 +188,26 @@ const (
 // nothing to do.
 type FlushHook func(sm int, point FlushPoint)
 
-type flushHookEntry struct{ fn FlushHook }
+type flushHookEntry struct {
+	fn    FlushHook
+	scope uint64
+}
 
-// AddFlushHook registers a flush hook and returns a function that removes
-// it. Both registration and removal must happen between launches — the hook
-// slice is captured by each launch's execution contexts.
+// AddFlushHook registers a flush hook that fires for every launch and
+// returns a function that removes it. Both registration and removal must
+// happen between launches — the hook slice is captured by each launch's
+// execution contexts.
 func (d *Device) AddFlushHook(h FlushHook) (remove func()) {
-	e := &flushHookEntry{fn: h}
+	return d.AddFlushHookScoped(0, h)
+}
+
+// AddFlushHookScoped registers a flush hook bound to a hook scope: it fires
+// only for launches whose LaunchSpec.HookScope equals scope. Scope 0 is the
+// unscoped default — such hooks fire for every launch. Sessions give their
+// channels a private scope so one session's mid-kernel flushes never run
+// inside another session's kernels.
+func (d *Device) AddFlushHookScoped(scope uint64, h FlushHook) (remove func()) {
+	e := &flushHookEntry{fn: h, scope: scope}
 	d.flushHooks = append(d.flushHooks, e)
 	return func() {
 		for i, cur := range d.flushHooks {
@@ -191,6 +220,38 @@ func (d *Device) AddFlushHook(h FlushHook) (remove func()) {
 			}
 		}
 	}
+}
+
+// FlushHookCount reports how many flush hooks are registered. Leak tests
+// use it: closing a channel must return the count to its prior value.
+func (d *Device) FlushHookCount() int { return len(d.flushHooks) }
+
+// hooksFor filters the registered flush hooks down to those a launch with
+// the given scope must run (unscoped entries plus matching scoped ones),
+// reusing a device-owned buffer so the filter itself never allocates after
+// the first scoped launch. Launches on one device are serialized by the
+// driver's launch gate, so the shared buffer is never aliased.
+func (d *Device) hooksFor(scope uint64) []*flushHookEntry {
+	if len(d.flushHooks) == 0 {
+		return nil
+	}
+	all := true
+	for _, e := range d.flushHooks {
+		if e.scope != 0 && e.scope != scope {
+			all = false
+			break
+		}
+	}
+	if all {
+		return d.flushHooks
+	}
+	d.activeHooks = d.activeHooks[:0]
+	for _, e := range d.flushHooks {
+		if e.scope == 0 || e.scope == scope {
+			d.activeHooks = append(d.activeHooks, e)
+		}
+	}
+	return d.activeHooks
 }
 
 // atomStripes is the number of address-hashed locks serializing simulated
@@ -271,12 +332,17 @@ func (d *Device) SetWatchdogInterval(v int64) { d.cfg.WatchdogInterval = v }
 // --- Global memory ---------------------------------------------------------
 
 // Malloc allocates device global memory and returns its 64-bit address.
+// Safe for concurrent callers (sessions allocate tool state independently).
 func (d *Device) Malloc(n uint64) (uint64, error) {
+	d.allocMu.Lock()
+	defer d.allocMu.Unlock()
 	return d.alloc.alloc(n)
 }
 
 // Free releases an allocation made by Malloc.
 func (d *Device) Free(addr uint64) error {
+	d.allocMu.Lock()
+	defer d.allocMu.Unlock()
 	return d.alloc.free(addr)
 }
 
@@ -308,6 +374,8 @@ const (
 // addresses against; launches are synchronous, so the snapshot is stable
 // between launches.
 func (d *Device) Allocations() []AllocSpan {
+	d.allocMu.Lock()
+	defer d.allocMu.Unlock()
 	out := make([]AllocSpan, 0, len(d.alloc.sizes))
 	for base, size := range d.alloc.sizes {
 		out = append(out, AllocSpan{base, size})
@@ -321,6 +389,8 @@ func (d *Device) Allocations() []AllocSpan {
 // once any part of it is handed out again; QueryAddr resolves that by
 // checking the live table first.
 func (d *Device) FreedSpans() []AllocSpan {
+	d.allocMu.Lock()
+	defer d.allocMu.Unlock()
 	out := make([]AllocSpan, len(d.alloc.freed))
 	for i, s := range d.alloc.freed {
 		out[len(out)-1-i] = s
@@ -332,6 +402,8 @@ func (d *Device) FreedSpans() []AllocSpan {
 // a remembered freed allocation, or unallocated. Live wins over freed (the
 // memory may have been recycled).
 func (d *Device) QueryAddr(addr uint64) (AllocSpan, AllocState) {
+	d.allocMu.Lock()
+	defer d.allocMu.Unlock()
 	for base, size := range d.alloc.sizes {
 		if s := (AllocSpan{base, size}); s.Contains(addr, 1) {
 			return s, AddrLive

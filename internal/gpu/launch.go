@@ -32,6 +32,13 @@ type LaunchSpec struct {
 	Grid, Block Dim3
 	Params      []byte // raw parameter block, mapped to constant bank 1
 	SharedBytes int    // dynamic shared memory per CTA
+	// Prof, when non-nil, overrides the device-wide collector for this
+	// launch's activity records — how each session keeps its own profiler
+	// shard on a shared device. Nil falls back to SetProfiler's collector.
+	Prof *profile.Collector
+	// HookScope selects which scoped flush hooks run during this launch
+	// (see AddFlushHookScoped). Zero runs only unscoped hooks.
+	HookScope uint64
 }
 
 // Launch executes a kernel to completion and returns the statistics of this
@@ -54,11 +61,15 @@ func (d *Device) Launch(spec LaunchSpec) (Stats, error) {
 		return Stats{}, fmt.Errorf("gpu: %d bytes of shared memory exceed the per-CTA limit %d", spec.SharedBytes, d.cfg.SharedMemPerCTA)
 	}
 
-	prof := d.prof
+	prof := d.launchProf(spec)
 	var profStart time.Duration
 	if prof != nil {
 		profStart = prof.Now()
 	}
+	// Resolve the flush-hook view once per launch: parallel workers share
+	// the returned slice read-only, so the reused filter buffer is never
+	// touched while a worker iterates it.
+	d.launchFlush = d.hooksFor(spec.HookScope)
 
 	nCTA := spec.Grid.Count()
 	smCycles, smWarps := d.smCycles, d.smWarps
@@ -153,6 +164,15 @@ func (d *Device) emitKernelRecord(prof *profile.Collector, spec LaunchSpec, star
 	}
 }
 
+// launchProf resolves the collector for one launch: the spec's per-session
+// override when set, else the device-wide collector.
+func (d *Device) launchProf(spec LaunchSpec) *profile.Collector {
+	if spec.Prof != nil {
+		return spec.Prof
+	}
+	return d.prof
+}
+
 // ctasOnSM returns how many of nCTA blocks the fixed cta%NumSMs mapping
 // places on the given SM.
 func (d *Device) ctasOnSM(sm, nCTA int) int {
@@ -176,7 +196,7 @@ func (d *Device) launchSequential(spec LaunchSpec, nCTA int, launch *Stats, smCy
 		smWarps[sm] += warpsPerCTA
 	}
 	launch.Add(ctx.stats)
-	if prof := d.prof; prof != nil {
+	if prof := d.launchProf(spec); prof != nil {
 		// Synthesize the per-SM spans in ascending SM order from the
 		// per-SM accumulators (the single walking context has no
 		// per-worker wall clocks; span content matches the parallel
@@ -207,7 +227,7 @@ func (d *Device) launchSequential(spec LaunchSpec, nCTA int, launch *Stats, smCy
 // counts derived from it) can differ from the sequential backend. See
 // docs/scheduler.md.
 func (d *Device) launchParallelSM(spec LaunchSpec, nCTA int, launch *Stats, smCycles, smWarps []uint64) error {
-	prof := d.prof
+	prof := d.launchProf(spec)
 	nWorkers := d.cfg.NumSMs
 	if nWorkers > nCTA {
 		nWorkers = nCTA // trailing SMs would have no CTAs
@@ -392,7 +412,7 @@ func (d *Device) newExecContext(spec LaunchSpec, l2 *cache) *execContext {
 	c.cancel = nil
 	c.heedCancel = false
 	c.shard = nil
-	c.flush = d.flushHooks
+	c.flush = d.launchFlush
 	c.wdBudget = d.watchdogBudget()
 
 	// Constant bank 0: launch configuration (grid and block dimensions),

@@ -1,0 +1,343 @@
+package nvbitd_test
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"nvbitgo/internal/core"
+	"nvbitgo/internal/driver"
+	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/nvbitd"
+	"nvbitgo/internal/sass"
+	"nvbitgo/internal/tools/registry"
+	"nvbitgo/internal/workloads/specaccel"
+)
+
+// startServer launches a daemon on a fresh unix socket and returns the
+// socket path.
+func startServer(t *testing.T, cfg nvbitd.Config) string {
+	t.Helper()
+	srv, err := nvbitd.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock := filepath.Join(t.TempDir(), "nvbitd.sock")
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(sock) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-errc; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	// Wait for the socket to appear.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s, err := nvbitd.Dial(sock, nvbitd.OpenSpec{Tool: "instrcount"}); err == nil {
+			s.Close()
+			return sock
+		} else if time.Now().After(deadline) {
+			t.Fatalf("daemon did not come up: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func findBenchmark(t *testing.T, name string) *specaccel.Benchmark {
+	t.Helper()
+	for _, b := range specaccel.Benchmarks() {
+		if b.Name == name {
+			return b
+		}
+	}
+	t.Fatalf("no specaccel benchmark %q", name)
+	return nil
+}
+
+// standaloneReport runs the benchmark with the tool attached in-process on
+// a fresh device and returns the tool's report — the reference a daemon
+// session's report must match byte for byte.
+func standaloneReport(t *testing.T, tool, bench string) string {
+	t.Helper()
+	api, err := driver.New(gpu.DefaultConfig(sass.Volta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer api.Close()
+	inst, err := registry.New(tool, registry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := core.OpenSession(api, inst.Tool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := findBenchmark(t, bench).Run(sess.Ctx(), specaccel.Small); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := inst.Report(&buf, sess.NVBit()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestConcurrentSessionsMatchStandalone runs two different tools over two
+// concurrent daemon sessions and checks each session's report against a
+// standalone in-process run of the same tool/workload pair. The pool has
+// two devices: itrace's and memtrace's channel buffers together exceed one
+// simulated device's memory, the situation device pooling exists for.
+func TestConcurrentSessionsMatchStandalone(t *testing.T) {
+	sock := startServer(t, nvbitd.Config{Family: sass.Volta, Devices: 2, QueueLimit: -1})
+
+	cases := []struct{ tool, bench string }{
+		{"itrace", "cg"},
+		{"memtrace", "olbm"},
+	}
+	reports := make([]string, len(cases))
+	var wg sync.WaitGroup
+	for i, c := range cases {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := nvbitd.Dial(sock, nvbitd.OpenSpec{Tool: c.tool})
+			if err != nil {
+				t.Errorf("%s: dial: %v", c.tool, err)
+				return
+			}
+			defer s.Close()
+			if err := findBenchmark(t, c.bench).Run(s, specaccel.Small); err != nil {
+				t.Errorf("%s: run: %v", c.tool, err)
+				return
+			}
+			r, err := s.Report()
+			if err != nil {
+				t.Errorf("%s: report: %v", c.tool, err)
+				return
+			}
+			if r.Launches == 0 || r.Cycles == 0 {
+				t.Errorf("%s: empty session accounting: %+v", c.tool, r)
+			}
+			reports[i] = r.Text
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for i, c := range cases {
+		want := standaloneReport(t, c.tool, c.bench)
+		if reports[i] != want {
+			t.Errorf("%s/%s report differs from standalone:\ndaemon:\n%s\nstandalone:\n%s",
+				c.tool, c.bench, reports[i], want)
+		}
+	}
+}
+
+// TestRunCaptureOverDaemon checks the data-path ops (alloc, h2d, launch,
+// d2h) by comparing a benchmark's captured output buffer across remote and
+// local execution.
+func TestRunCaptureOverDaemon(t *testing.T) {
+	sock := startServer(t, nvbitd.Config{Family: sass.Volta, QueueLimit: -1})
+	b := findBenchmark(t, "ostencil")
+
+	s, err := nvbitd.Dial(sock, nvbitd.OpenSpec{Tool: "instrcount"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	remote, err := b.RunCapture(s, specaccel.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	api, err := driver.New(gpu.DefaultConfig(sass.Volta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer api.Close()
+	ctx, err := api.CtxCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := b.RunCapture(ctx, specaccel.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(remote, local) {
+		t.Fatalf("remote capture differs from local (%d vs %d bytes)", len(remote), len(local))
+	}
+}
+
+// spinPTX is a one-parameter arithmetic loop used to keep the device gate
+// owned for a while.
+const spinPTX = `
+.visible .entry spin(.param .u32 iters)
+{
+	.reg .u32 %r<4>;
+	.reg .f32 %f<4>;
+	.reg .pred %p<2>;
+	ld.param.u32 %r0, [iters];
+	mov.u32 %f0, 1.5;
+	mov.u32 %f1, 0.5;
+SLOOP:
+	fma.rn.f32 %f1, %f1, %f0, %f0;
+	sub.u32 %r0, %r0, 1;
+	setp.gt.u32 %p0, %r0, 0;
+	@%p0 bra SLOOP;
+	exit;
+}
+`
+
+// TestOverloadShedsTyped drives the daemon past its admission queue bound
+// (zero: no waiting allowed) and checks that the victim request is
+// rejected with the typed overload error while the admitted session's
+// launch completes.
+func TestOverloadShedsTyped(t *testing.T) {
+	sock := startServer(t, nvbitd.Config{Family: sass.Volta, QueueLimit: 0})
+
+	// Both sessions open and stage their work before the gate is held:
+	// session opens are themselves gated, so they must happen while the
+	// device is idle.
+	owner, err := nvbitd.Dial(sock, nvbitd.OpenSpec{Tool: "instrcount"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer owner.Close()
+	victim, err := nvbitd.Dial(sock, nvbitd.OpenSpec{Tool: "instrcount"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Close()
+
+	mod, err := owner.ModuleLoadPTX("spin.ptx", spinPTX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := mod.GetFunction("spin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := driver.PackParams(fn, uint32(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Owner holds the gate with a long launch; the victim polls with a
+	// gated allocation until it is shed.
+	launchDone := make(chan error, 1)
+	go func() {
+		launchDone <- owner.LaunchKernel(fn, gpu.D1(8), gpu.D1(256), 0, params)
+	}()
+
+	var shedErr error
+	deadline := time.Now().Add(30 * time.Second)
+poll:
+	for {
+		select {
+		case err := <-launchDone:
+			if err != nil {
+				t.Fatalf("owner launch failed: %v", err)
+			}
+			// Launch finished before the victim collided; relaunch.
+			go func() {
+				launchDone <- owner.LaunchKernel(fn, gpu.D1(8), gpu.D1(256), 0, params)
+			}()
+		default:
+		}
+		if _, err := victim.MemAlloc(64); err != nil {
+			shedErr = err
+			break poll
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no overload rejection observed")
+		}
+	}
+	if err := <-launchDone; err != nil {
+		t.Fatalf("owner launch failed: %v", err)
+	}
+
+	if !errors.Is(shedErr, driver.ErrDeviceOverloaded) {
+		t.Fatalf("shed error is not ErrDeviceOverloaded: %v", shedErr)
+	}
+	ov, ok := driver.AsOverload(shedErr)
+	if !ok {
+		t.Fatalf("shed error is not an OverloadError: %v", shedErr)
+	}
+	if ov.Limit != 0 {
+		t.Errorf("overload Limit = %d, want 0", ov.Limit)
+	}
+	if ov.Tenant != victim.Session() {
+		t.Errorf("overload Tenant = %d, want %d", ov.Tenant, victim.Session())
+	}
+
+	// The shed session survives: once the device drains it can proceed.
+	if _, err := victim.MemAlloc(64); err != nil {
+		t.Fatalf("victim cannot proceed after shed: %v", err)
+	}
+	r, err := owner.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Launches == 0 {
+		t.Error("owner session recorded no launches")
+	}
+}
+
+// TestSessionChurn opens and finalizes many sessions against one daemon to
+// shake out per-session leaks (hooks, channels, pool accounting).
+func TestSessionChurn(t *testing.T) {
+	sock := startServer(t, nvbitd.Config{Family: sass.Volta, QueueLimit: -1})
+	b := findBenchmark(t, "ostencil")
+	for i := 0; i < 20; i++ {
+		tool := []string{"instrcount", "ophisto", "memdiv"}[i%3]
+		s, err := nvbitd.Dial(sock, nvbitd.OpenSpec{Tool: tool})
+		if err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		if err := b.Run(s, specaccel.Small); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		if _, err := s.Report(); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+	}
+}
+
+// TestBadRequests exercises protocol error paths.
+func TestBadRequests(t *testing.T) {
+	sock := startServer(t, nvbitd.Config{Family: sass.Volta, QueueLimit: -1})
+
+	if _, err := nvbitd.Dial(sock, nvbitd.OpenSpec{Tool: "no-such-tool"}); err == nil {
+		t.Error("opening an unknown tool succeeded")
+	}
+	if _, err := nvbitd.Dial(sock, nvbitd.OpenSpec{Tool: "itrace", Policy: "bogus"}); err == nil {
+		t.Error("opening with a bogus policy succeeded")
+	}
+
+	s, err := nvbitd.Dial(sock, nvbitd.OpenSpec{Tool: "instrcount"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.MemFree(0xdead); err == nil {
+		t.Error("freeing an unallocated address succeeded")
+	}
+	if _, err := s.Report(); err != nil {
+		t.Fatal(err)
+	}
+	// After finalization only close is allowed.
+	if _, err := s.MemAlloc(64); err == nil {
+		t.Error("op after report succeeded")
+	}
+}

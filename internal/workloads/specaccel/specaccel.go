@@ -400,10 +400,12 @@ func Benchmarks() []*Benchmark {
 	}
 }
 
-// Run executes the benchmark at the given size on the context: it loads the
+// Run executes the benchmark at the given size on the launcher: it loads the
 // benchmark's kernels as one JIT-compiled module (the OpenACC path), seeds
-// the data buffer, and performs every kernel launch.
-func (b *Benchmark) Run(ctx *driver.Context, size Size) error {
+// the data buffer, and performs every kernel launch. The launcher is usually
+// a *driver.Context, but any driver.Launcher works — in particular the
+// nvbitd remote session, which is how a daemon client replays the suite.
+func (b *Benchmark) Run(ctx driver.Launcher, size Size) error {
 	_, _, err := b.run(ctx, size)
 	return err
 }
@@ -413,7 +415,7 @@ func (b *Benchmark) Run(ctx *driver.Context, size Size) error {
 // against a fault-free capture is how a fault-injection campaign tells a
 // silent data corruption from a masked fault (the buffer covers input,
 // halo and output partitions, so any surviving corruption is visible).
-func (b *Benchmark) RunCapture(ctx *driver.Context, size Size) ([]byte, error) {
+func (b *Benchmark) RunCapture(ctx driver.Launcher, size Size) ([]byte, error) {
 	data, words, err := b.run(ctx, size)
 	if err != nil {
 		return nil, err
@@ -425,7 +427,7 @@ func (b *Benchmark) RunCapture(ctx *driver.Context, size Size) ([]byte, error) {
 	return out, nil
 }
 
-func (b *Benchmark) run(ctx *driver.Context, size Size) (data uint64, words int, err error) {
+func (b *Benchmark) run(ctx driver.Launcher, size Size) (data uint64, words int, err error) {
 	var src strings.Builder
 	for _, k := range b.kernels {
 		src.WriteString(k.ptx)

@@ -263,13 +263,54 @@ const (
 	MemConst  = sass.MemConst
 )
 
-// Attach injects a tool into an application's driver instance and fires its
-// AtInit callback. Only one tool can be attached per driver. Options
-// configure the attachment (WithScheduler, WithWatchdogInterval,
-// WithTracing) and are applied before AtInit runs.
+// Attach injects a tool into an application's driver instance as its
+// process-wide interposer and fires its AtInit callback — the one-session
+// compatibility wrapper over the session model: only one such tool can be
+// attached per driver (the paper's single-LD_PRELOAD-library rule), and it
+// observes every unscoped context. Options configure the attachment
+// (WithScheduler, WithWatchdogInterval, WithTracing) and are applied before
+// AtInit runs. Use OpenSession to run several tools concurrently on one
+// device, each scoped to its own context.
 func Attach(api *driver.API, tool Tool, opts ...Option) (*NVBit, error) {
 	return core.Attach(api, tool, opts...)
 }
+
+// Configure applies attach options (scheduler, watchdog, tracing) to a
+// driver instance's device without attaching a tool — the single options
+// struct also covers the uninjected-run path, so launchers need no
+// tool-or-not special casing.
+func Configure(api *driver.API, opts ...Option) {
+	core.Configure(api, opts...)
+}
+
+// Session is one tenant's attachment to a shared driver: its own context,
+// tool, JIT state and (with WithTracing) private activity timeline. Any
+// number of sessions coexist on one device; the driver schedules their
+// kernels onto the shared SM capacity with fair-share admission and rejects
+// work with ErrDeviceOverloaded under overload. See docs/nvbitd.md for the
+// daemon built on top of sessions, and docs/tools.md for migrating Attach
+// calls.
+type Session = core.Session
+
+// OpenSession attaches a tool to a fresh context on the driver instead of to
+// the whole process. The tool's AtInit fires before OpenSession returns; its
+// AtTerm fires at Session.Close. The session's launches, channels and
+// activity records are isolated from every other session's.
+func OpenSession(api *driver.API, tool Tool, opts ...Option) (*Session, error) {
+	return core.OpenSession(api, tool, opts...)
+}
+
+// Load-shedding (docs/nvbitd.md): when the driver's fair-share gate is
+// saturated, device-owning calls fail fast with a typed *OverloadError
+// wrapping the ErrDeviceOverloaded sentinel; the rejected session stays
+// healthy and may retry.
+type OverloadError = driver.OverloadError
+
+// ErrDeviceOverloaded classifies load-shedding rejections via errors.Is.
+var ErrDeviceOverloaded = driver.ErrDeviceOverloaded
+
+// AsOverload unwraps an error looking for its *OverloadError.
+var AsOverload = driver.AsOverload
 
 // Argument constructors (nvbit_add_call_arg variants); see docs/tools.md for
 // the full mapping.
@@ -293,22 +334,4 @@ const (
 	BlockDimX = core.BlockDimX
 	BlockDimY = core.BlockDimY
 	BlockDimZ = core.BlockDimZ
-)
-
-// Deprecated argument-constructor aliases (pre-unification names).
-var (
-	// Deprecated: use ArgReg.
-	ArgRegVal = core.ArgReg
-	// Deprecated: use ArgReg64.
-	ArgRegVal64 = core.ArgReg64
-	// Deprecated: use ArgConst32.
-	ArgImm32 = core.ArgConst32
-	// Deprecated: use ArgConst64.
-	ArgImm64 = core.ArgConst64
-	// Deprecated: use ArgConstBank.
-	ArgCBank = core.ArgConstBank
-	// Deprecated: use ArgPred.
-	ArgPredVal = core.ArgPred
-	// Deprecated: use ArgSitePred.
-	ArgGuardPred = core.ArgSitePred
 )
