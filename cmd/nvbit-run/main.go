@@ -81,6 +81,7 @@ type appConfig struct {
 	sizeName     *string
 	familyName   *string
 	schedName    *string
+	injectName   *string
 }
 
 // newFlags declares the flag surface on fs. flags_test.go keeps
@@ -110,6 +111,7 @@ func newFlags(fs *flag.FlagSet) (*appConfig, *cliconf.Set) {
 		sizeName:     cc.String("size", "medium", "specaccel size: small, medium, large"),
 		familyName:   cc.String("family", "volta", "device family"),
 		schedName:    cc.String("scheduler", "sequential", "CTA scheduler: sequential or parallel (one worker per SM)"),
+		injectName:   cc.String("inject", "trampoline", "injection codegen mode: trampoline, full-save, or inline"),
 	}
 	return c, cc
 }
@@ -198,6 +200,10 @@ exit codes:
 	}
 
 	sched, err := gpu.ParseScheduler(*c.schedName)
+	if err != nil {
+		usage(err)
+	}
+	inject, err := nvbit.ParseInjectionMode(*c.injectName)
 	if err != nil {
 		usage(err)
 	}
@@ -293,7 +299,7 @@ exit codes:
 
 	// One options struct configures the attachment — or, with no tool, the
 	// bare device — so the two paths cannot drift.
-	opts := []nvbit.Option{nvbit.WithScheduler(sched)}
+	opts := []nvbit.Option{nvbit.WithScheduler(sched), nvbit.WithInjectionMode(inject)}
 	if tracing {
 		opts = append(opts, nvbit.WithTracing(0))
 	}
@@ -347,8 +353,8 @@ exit codes:
 	}
 	if nv != nil {
 		js := nv.JITStats()
-		fmt.Printf("jit: lifted %d funcs / %d instrs, %d trampolines (%.1f saved regs each), %v total (%v disasm)\n",
-			js.FunctionsLifted, js.InstrsLifted, js.TrampolinesEmitted, js.AvgSavedRegs(), js.Total().Round(time.Microsecond), js.Disassemble.Round(time.Microsecond))
+		fmt.Printf("jit: lifted %d funcs / %d instrs, %d trampolines (%.1f saved regs each), %d inlined sites, %v total (%v disasm)\n",
+			js.FunctionsLifted, js.InstrsLifted, js.TrampolinesEmitted, js.AvgSavedRegs(), js.InlinedSites, js.Total().Round(time.Microsecond), js.Disassemble.Round(time.Microsecond))
 		if jc != nil {
 			fmt.Printf("jit-cache: %d lookups, %d hits, %d misses (%.1f%% hit ratio), %d bytes in, %d bytes out, %d trampolines from cache\n",
 				js.CacheLookups, js.CacheHits, js.CacheMisses, 100*js.CacheHitRatio(),
@@ -447,6 +453,7 @@ func runConnected(c *appConfig, cc *cliconf.Set, size specaccel.Size, reportW io
 	sess, err := nvbitd.Dial(*c.connect, nvbitd.OpenSpec{
 		Tool:     toolName,
 		Policy:   *c.backpressure,
+		Inject:   *c.injectName,
 		FIGroup:  *c.fiGroup,
 		FIModel:  *c.fiModel,
 		FITarget: *c.fiTarget,

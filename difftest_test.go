@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"strings"
+	"sync"
 	"testing"
 
 	"nvbitgo/gpusim"
@@ -98,22 +100,23 @@ func diffBenchmark(t *testing.T) *specaccel.Benchmark {
 	return nil
 }
 
-// diffRun executes the workload under one tool/save-mode/scheduler triple
-// and returns the tool's report output plus the mean saved registers per
-// trampoline. Extra attach options (e.g. WithJITCache) apply on top.
-func diffRun(t *testing.T, toolName string, fullSave bool, sched gpusim.SchedulerKind, extra ...nvbit.Option) (string, float64) {
+// diffRun executes the workload under one tool/injection-mode/scheduler
+// triple and returns the tool's report output plus the run's JIT stats.
+// Extra attach options (e.g. WithJITCache) apply on top.
+func diffRun(t *testing.T, toolName string, mode nvbit.InjectionMode, sched gpusim.SchedulerKind, extra ...nvbit.Option) (string, nvbit.JITStats) {
 	t.Helper()
 	api, err := gpusim.New(gpusim.Volta)
 	if err != nil {
 		t.Fatal(err)
 	}
 	tool, report := diffTools[toolName]()
-	opts := append([]nvbit.Option{nvbit.WithScheduler(sched)}, extra...)
+	opts := append([]nvbit.Option{
+		nvbit.WithScheduler(sched), nvbit.WithInjectionMode(mode),
+	}, extra...)
 	nv, err := nvbit.Attach(api, tool, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	nv.ForceFullSaveSet(fullSave)
 	ctx, err := api.CtxCreate()
 	if err != nil {
 		t.Fatal(err)
@@ -126,10 +129,16 @@ func diffRun(t *testing.T, toolName string, fullSave bool, sched gpusim.Schedule
 	report(&buf, nv)
 
 	js := nv.JITStats()
-	if js.TrampolinesEmitted == 0 {
+	if mode == nvbit.InjectInline {
+		// Inline mode may splice any mix of sites; the rest fall back to
+		// trampolines. Zero of both means nothing was instrumented.
+		if js.TrampolinesEmitted+js.InlinedSites == 0 {
+			t.Fatalf("%s: no instrumentation sites generated", toolName)
+		}
+	} else if js.TrampolinesEmitted == 0 {
 		t.Fatalf("%s: no trampolines emitted", toolName)
 	}
-	return buf.String(), js.AvgSavedRegs()
+	return buf.String(), js
 }
 
 // quickCounter reproduces the quickstart example's tool (Listing 1): one
@@ -272,6 +281,48 @@ func TestQuickstartSaveSetBelowMaxRegs(t *testing.T) {
 	}
 }
 
+// TestDifferentialInlineInjection is the same end-to-end guarantee for the
+// inline injection strategy: for all six tools and both schedulers, splicing
+// tool bodies into dead registers (with per-site trampoline fallback) yields
+// reports byte-identical to pure trampoline codegen. At least one site must
+// actually inline somewhere across the matrix, or the mode silently
+// degenerated to the thing it is tested against.
+func TestDifferentialInlineInjection(t *testing.T) {
+	scheds := map[string]gpusim.SchedulerKind{
+		"sequential": gpusim.SchedulerSequential,
+		"parallel":   gpusim.SchedulerParallelSM,
+	}
+	var mu sync.Mutex
+	inlined := 0
+	t.Run("tools", func(t *testing.T) {
+		for toolName := range diffTools {
+			for schedName, sched := range scheds {
+				toolName, schedName, sched := toolName, schedName, sched
+				t.Run(toolName+"/"+schedName, func(t *testing.T) {
+					t.Parallel()
+					tramp, jsTramp := diffRun(t, toolName, nvbit.InjectTrampoline, sched)
+					inline, jsInline := diffRun(t, toolName, nvbit.InjectInline, sched)
+					if inline != tramp {
+						t.Errorf("output diverges between inline and trampoline injection:\ntrampoline:\n%s\ninline:\n%s", tramp, inline)
+					}
+					if tramp == "" {
+						t.Error("empty report")
+					}
+					if jsTramp.InlinedSites != 0 {
+						t.Errorf("trampoline mode spliced %d inline sites", jsTramp.InlinedSites)
+					}
+					mu.Lock()
+					inlined += jsInline.InlinedSites
+					mu.Unlock()
+				})
+			}
+		}
+	})
+	if inlined == 0 {
+		t.Fatal("inline mode never spliced a single site across any tool or scheduler")
+	}
+}
+
 // TestDifferentialSaveSets is the end-to-end guarantee behind the liveness
 // optimization: for all six tools and both schedulers, minimal and full
 // save sets yield identical reports.
@@ -285,8 +336,9 @@ func TestDifferentialSaveSets(t *testing.T) {
 			toolName, schedName, sched := toolName, schedName, sched
 			t.Run(toolName+"/"+schedName, func(t *testing.T) {
 				t.Parallel()
-				minimal, avgMin := diffRun(t, toolName, false, sched)
-				full, avgFull := diffRun(t, toolName, true, sched)
+				minimal, jsMin := diffRun(t, toolName, nvbit.InjectTrampoline, sched)
+				full, jsFull := diffRun(t, toolName, nvbit.InjectFullSave, sched)
+				avgMin, avgFull := jsMin.AvgSavedRegs(), jsFull.AvgSavedRegs()
 				if minimal != full {
 					t.Errorf("output diverges between minimal and full save sets:\nminimal:\n%s\nfull:\n%s", minimal, full)
 				}
@@ -300,5 +352,187 @@ func TestDifferentialSaveSets(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// boundaryCounter instruments only LOP (logic-op) instructions, so the
+// boundary kernels below expose exactly one instrumentation site. Its tool
+// function is a tally with a deliberately padded working set (six u64
+// pairs) so that the baseline kernel's spare dead registers do not already
+// cover it and the trampoline→inline flip lands inside the probe range.
+type boundaryCounter struct {
+	counter uint64
+}
+
+const boundaryToolPTX = `
+.toolfunc bnd_count(.param .u64 counter)
+{
+	.reg .u64 %rd<12>;
+	ld.param.u64 %rd0, [counter];
+	mov.u64 %rd2, 7;
+	mov.u64 %rd4, 7;
+	mov.u64 %rd6, 7;
+	mov.u64 %rd8, 7;
+	mov.u64 %rd10, 1;
+	red.global.add.u64 [%rd0], %rd10;
+	ret;
+}
+`
+
+func (t *boundaryCounter) AtInit(n *nvbit.NVBit) {
+	if err := n.RegisterToolPTX(boundaryToolPTX); err != nil {
+		panic(err)
+	}
+	var err error
+	if t.counter, err = n.Malloc(8); err != nil {
+		panic(err)
+	}
+}
+
+func (t *boundaryCounter) AtTerm(*nvbit.NVBit) {}
+
+func (t *boundaryCounter) AtCUDACall(n *nvbit.NVBit, exit bool, cbid nvbit.CBID, name string, p *nvbit.CallParams) {
+	if exit || cbid != nvbit.CBLaunchKernel {
+		return
+	}
+	f := p.Launch.Func
+	if n.IsInstrumented(f) {
+		return
+	}
+	insts, err := n.GetInstrs(f)
+	if err != nil {
+		panic(err)
+	}
+	for _, i := range insts {
+		if i.GetOpcode() == "LOP" {
+			n.InsertCallArgs(i, "bnd_count", nvbit.IPointBefore, nvbit.ArgConst64(t.counter))
+		}
+	}
+}
+
+// boundaryPTX builds a kernel with exactly one LOP site and `dead` extra
+// registers that are defined early and never read again — dead across the
+// site. Every other register is defined before the AND and used after it, so
+// the PTX compiler's linear allocator (no live-range reuse) makes each
+// increment of `dead` grow the site's dead-register pool by exactly one
+// physical register.
+func boundaryPTX(dead int) string {
+	var b strings.Builder
+	b.WriteString(".visible .entry bnd(.param .u64 out)\n{\n")
+	fmt.Fprintf(&b, "\t.reg .u32 %%r<%d>;\n", dead+4)
+	b.WriteString("\t.reg .u64 %rd<4>;\n")
+	b.WriteString("\tmov.u32 %r0, %tid.x;\n")
+	b.WriteString("\tld.param.u64 %rd0, [out];\n")
+	b.WriteString("\tmul.wide.u32 %rd2, %r0, 4;\n")
+	b.WriteString("\tadd.u64 %rd0, %rd0, %rd2;\n")
+	b.WriteString("\tmov.u32 %r1, 5;\n")
+	for k := 0; k < dead; k++ {
+		fmt.Fprintf(&b, "\tmov.u32 %%r%d, 9;\n", k+3)
+	}
+	b.WriteString("\tand.b32 %r2, %r0, 63;\n") // the single instrumented site
+	b.WriteString("\tadd.u32 %r2, %r2, %r1;\n")
+	b.WriteString("\tadd.u64 %rd2, %rd2, 8;\n") // keeps %rd2 live across the site
+	b.WriteString("\tst.global.u32 [%rd0], %r2;\n")
+	b.WriteString("\texit;\n}\n")
+	return b.String()
+}
+
+// runBoundary launches one boundary kernel (2 CTAs x 32 threads) under the
+// given injection mode and returns the tally plus JIT stats.
+func runBoundary(t *testing.T, dead int, mode nvbit.InjectionMode, sched gpusim.SchedulerKind) (uint64, nvbit.JITStats) {
+	t.Helper()
+	api, err := gpusim.New(gpusim.Volta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := &boundaryCounter{}
+	nv, err := nvbit.Attach(api, tool, nvbit.WithScheduler(sched), nvbit.WithInjectionMode(mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := api.CtxCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := ctx.ModuleLoadPTX("bnd", boundaryPTX(dead))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := mod.GetFunction("bnd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := ctx.MemAlloc(4 * 64)
+	params, err := gpusim.PackParams(f, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.LaunchKernel(f, gpusim.D1(2), gpusim.D1(32), 0, params); err != nil {
+		t.Fatal(err)
+	}
+	count, err := nv.ReadU64(tool.counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return count, nv.JITStats()
+}
+
+// TestInlineFallbackBoundary pins the inline/trampoline decision to the exact
+// register where it flips: with a dead-register pool one register short of
+// what the tool body needs, inline mode must fall back to a trampoline; one
+// register over, it must splice. Either side of the boundary, under either
+// scheduler, the tally is identical — the fallback is invisible except in JIT
+// stats.
+func TestInlineFallbackBoundary(t *testing.T) {
+	// Probe for the flip point: the smallest dead pool that lets the tally
+	// body inline. Codegen is deterministic, so one scheduler suffices to
+	// locate it; both schedulers then verify behavior on each side.
+	flip := -1
+	for d := 0; d <= 24; d++ {
+		_, js := runBoundary(t, d, nvbit.InjectInline, gpusim.SchedulerSequential)
+		if js.InlinedSites > 0 {
+			flip = d
+			break
+		}
+	}
+	if flip < 0 {
+		t.Fatal("tally never inlined with up to 24 spare dead registers")
+	}
+	if flip == 0 {
+		t.Fatal("tally inlined with no padding dead registers; boundary not probeable")
+	}
+	scheds := map[string]gpusim.SchedulerKind{
+		"sequential": gpusim.SchedulerSequential,
+		"parallel":   gpusim.SchedulerParallelSM,
+	}
+	for schedName, sched := range scheds {
+		schedName, sched := schedName, sched
+		t.Run(schedName, func(t *testing.T) {
+			for _, d := range []int{flip - 1, flip} {
+				countTramp, jsTramp := runBoundary(t, d, nvbit.InjectTrampoline, sched)
+				countInline, jsInline := runBoundary(t, d, nvbit.InjectInline, sched)
+				if jsTramp.TrampolinesEmitted != 1 || jsTramp.InlinedSites != 0 {
+					t.Fatalf("dead=%d: trampoline mode emitted %d trampolines, %d inline sites",
+						d, jsTramp.TrampolinesEmitted, jsTramp.InlinedSites)
+				}
+				if d < flip {
+					// One register short: the site must fall back.
+					if jsInline.InlinedSites != 0 || jsInline.TrampolinesEmitted != 1 {
+						t.Errorf("dead=%d (one short, %s): inline mode spliced %d sites, emitted %d trampolines; want pure fallback",
+							d, schedName, jsInline.InlinedSites, jsInline.TrampolinesEmitted)
+					}
+				} else if jsInline.InlinedSites != 1 || jsInline.TrampolinesEmitted != 0 {
+					t.Errorf("dead=%d (one over, %s): inline mode spliced %d sites, emitted %d trampolines; want pure inline",
+						d, schedName, jsInline.InlinedSites, jsInline.TrampolinesEmitted)
+				}
+				if countInline != countTramp {
+					t.Errorf("dead=%d (%s): tally diverges, inline %d vs trampoline %d",
+						d, schedName, countInline, countTramp)
+				}
+				if countTramp == 0 {
+					t.Error("no site visits counted")
+				}
+			}
+		})
 	}
 }

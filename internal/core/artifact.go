@@ -32,8 +32,9 @@ import (
 
 // artifactVersion invalidates serialized artifacts when the codec layout
 // changes. It is also folded into the cache keys, so a bump makes old
-// entries unreachable rather than merely undecodable.
-const artifactVersion = 1
+// entries unreachable rather than merely undecodable. Version 2 added the
+// per-site inline flag and the relocInlineSkip relocation kind.
+const artifactVersion = 2
 
 // relocKind says how one trampoline instruction's immediate is resolved at
 // materialization time.
@@ -53,6 +54,10 @@ const (
 	// branch; aux holds its original immediate and the new immediate is
 	// origTarget − (trampoline base + slot + 1).
 	relocRelBranch
+	// relocInlineSkip: a branch skipping over (part of) an inlined tool
+	// body; aux holds the body-relative distance, which is placement-
+	// independent and becomes the immediate verbatim.
+	relocInlineSkip
 )
 
 // reloc is one deferred immediate fix-up within a site's trampoline body.
@@ -66,7 +71,10 @@ type reloc struct {
 type siteArtifact struct {
 	idx     int  // word index of the instrumented instruction
 	nopOnly bool // removal without calls: in-place NOP, no trampoline
-	saveN   int  // granularity-rounded save-frame size
+	// inline marks a spliced-body site (InjectInline): no save/restore, no
+	// tool CALs; saveN and savedRegs are zero.
+	inline bool
+	saveN  int // granularity-rounded save-frame size
 	// savedRegs is the site's contribution to JITStats.SavedRegs — the
 	// liveness-derived requirement before granularity rounding.
 	savedRegs int
@@ -215,6 +223,7 @@ func encodeCodeArtifact(a *codeArtifact) []byte {
 		s := &a.sites[i]
 		w.u32(uint32(s.idx))
 		w.bool(s.nopOnly)
+		w.bool(s.inline)
 		w.u32(uint32(s.saveN))
 		w.u32(uint32(s.savedRegs))
 		w.u32(uint32(len(s.insts)))
@@ -241,11 +250,12 @@ func decodeCodeArtifact(b []byte) (*codeArtifact, error) {
 	for i := 0; i < nNames && r.err == nil; i++ {
 		a.toolNames = append(a.toolNames, r.str())
 	}
-	nSites := r.count(17)
+	nSites := r.count(18)
 	for i := 0; i < nSites && r.err == nil; i++ {
 		var s siteArtifact
 		s.idx = int(r.u32())
 		s.nopOnly = r.bool()
+		s.inline = r.bool()
 		s.saveN = int(r.u32())
 		s.savedRegs = int(r.u32())
 		nInsts := r.count(instBinBytes)

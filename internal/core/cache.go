@@ -64,7 +64,10 @@ func (n *NVBit) liftKey(raw []byte) jitcache.Key {
 func (n *NVBit) codeKey(fs *funcState) jitcache.Key {
 	h := jitcache.NewHasher(codeKeyDomain)
 	n.hashHAL(h)
-	h.Bool(n.forceFullSave)
+	// The injection mode decides the codegen strategy per site (trampoline,
+	// full-save ablation, or inline splicing), so artifacts generated under
+	// different modes never alias.
+	h.Int(int(n.injectMode))
 	// MaxRegs comes from compiler metadata, not the code bytes: two
 	// byte-identical functions can declare different register budgets, and
 	// the budget feeds save-set sizing and the capture scratch register.

@@ -231,6 +231,86 @@ func TestCacheFullSaveNeverServedLivenessArtifact(t *testing.T) {
 	}
 }
 
+// TestCacheVersionSkewRegenerates is the mixed-version regression test for
+// the artifactVersion bump: an artifact serialized under an older codec
+// version but reachable under the current key (a version-skewed writer) must
+// decode-fail into a miss at BOTH cache tiers — memory LRU and disk — and
+// regenerate, never hard-error the attach. Ordinary skew is unreachable by
+// key rotation (artifactVersion is hashed into every key); this test plants
+// the blob under the live key to exercise the decode-mismatch safety net
+// behind it.
+func TestCacheVersionSkewRegenerates(t *testing.T) {
+	dir := t.TempDir()
+
+	// Baseline: populate the cache and record ground-truth output.
+	cold := cacheRun(t, newDiskCache(t, dir), false, nil)
+	fs := cold.env.nv.funcs[cold.env.fn]
+	if fs == nil {
+		t.Fatal("cold run left no funcState for the kernel")
+	}
+	key := cold.env.nv.codeKey(fs)
+
+	// A minimal well-formed v1 blob: version=1, zero tool names, zero sites.
+	// It passes the store's integrity checksum (Put recomputes it) but must
+	// fail the artifact codec's version check.
+	v1 := func() []byte {
+		var w artWriter
+		w.u32(1)
+		w.u32(0)
+		w.u32(0)
+		return w.b
+	}
+
+	// Memory tier: Put seeds both the seeding instance's LRU and the disk;
+	// reusing the same instance makes the lookup hit in memory first.
+	memCache := newDiskCache(t, dir)
+	if err := memCache.Put(key, v1()); err != nil {
+		t.Fatal(err)
+	}
+	mem := cacheRun(t, memCache, false, nil)
+	memStats := mem.env.nv.JITStats()
+	if memStats.CacheMisses == 0 {
+		t.Fatal("v1 artifact in the memory tier was served as a usable hit")
+	}
+	if memStats.TrampolinesFromCache != 0 {
+		t.Fatalf("materialized %d trampolines from a version-skewed artifact, want 0",
+			memStats.TrampolinesFromCache)
+	}
+	if cold.count != mem.count {
+		t.Fatalf("counts diverge after memory-tier skew: cold %d, skewed %d", cold.count, mem.count)
+	}
+	sameResults(t, "memory-tier skew", cold.results, mem.results)
+
+	// Disk tier: seed through one instance, read through a fresh one whose
+	// memory LRU is empty, so the skewed blob is served from disk.
+	if err := newDiskCache(t, dir).Put(key, v1()); err != nil {
+		t.Fatal(err)
+	}
+	disk := cacheRun(t, newDiskCache(t, dir), false, nil)
+	diskStats := disk.env.nv.JITStats()
+	if diskStats.CacheMisses == 0 {
+		t.Fatal("v1 artifact in the disk tier was served as a usable hit")
+	}
+	if diskStats.TrampolinesFromCache != 0 {
+		t.Fatalf("materialized %d trampolines from a version-skewed disk artifact, want 0",
+			diskStats.TrampolinesFromCache)
+	}
+	if cold.count != disk.count {
+		t.Fatalf("counts diverge after disk-tier skew: cold %d, skewed %d", cold.count, disk.count)
+	}
+	sameResults(t, "disk-tier skew", cold.results, disk.results)
+
+	// The skewed entry was evicted on first decode failure; it must not have
+	// been rewritten in the old format. A final fresh-instance run can miss
+	// (the fallback regeneration does not re-populate) but must never see a
+	// version error — and still matches.
+	final := cacheRun(t, newDiskCache(t, dir), false, nil)
+	if cold.count != final.count {
+		t.Fatalf("counts diverge on post-skew run: cold %d, final %d", cold.count, final.count)
+	}
+	sameResults(t, "post-skew", cold.results, final.results)
+}
+
 // TestCachePlanChangeMisses: a different instrumentation plan over the same
 // function must miss the code cache (the plan is hashed site by site,
 // argument by argument) while still reusing the lift object.

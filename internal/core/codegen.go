@@ -29,7 +29,7 @@ func (n *NVBit) generate(fs *funcState) error {
 // tool-function load addresses, the return jump, relocated relative
 // branches). It performs no device writes and no trampoline allocation, so
 // its output is a pure function of (function bytes, plan, tool sources,
-// family, MaxRegs, forceFullSave) — exactly the inputs the cache key covers,
+// family, MaxRegs, injection mode) — exactly the inputs the cache key covers,
 // which is what makes artifacts shareable across attaches.
 func (n *NVBit) buildArtifact(fs *funcState) (*codeArtifact, error) {
 	hal := n.hal
@@ -130,8 +130,20 @@ func (n *NVBit) buildArtifact(fs *funcState) (*codeArtifact, error) {
 				}
 			}
 		}
+		// Inline injection: when liveness proves enough dead registers to
+		// hold every injected body's renamed working set, splice the bodies
+		// into the relocated stream and skip the save/restore machinery
+		// entirely. Any ineligible call falls the whole site back to the
+		// trampoline path below.
+		if n.injectMode == InjectInline {
+			if site, ok := n.buildInlineSite(fs, i); ok {
+				art.sites = append(art.sites, site)
+				continue
+			}
+		}
+
 		saveN := hal.SaveSetSize(maxRegs)
-		if n.forceFullSave {
+		if n.injectMode == InjectFullSave {
 			saveN = hal.RegsPerThread
 		}
 		// The capture scratch register must exist; when the function and
@@ -228,7 +240,7 @@ func (n *NVBit) buildArtifact(fs *funcState) (*codeArtifact, error) {
 		// frame the HAL caches save routines by: the requirement is the
 		// quantity the paper's minimality claim is about, and rounding
 		// would mask per-site variation below one granule.
-		if n.forceFullSave {
+		if n.injectMode == InjectFullSave {
 			site.savedRegs = hal.RegsPerThread
 		} else {
 			site.savedRegs = maxRegs
@@ -293,6 +305,14 @@ func (n *NVBit) materializeArtifact(fs *funcState, art *codeArtifact, fromCache 
 				tr[rl.slot].Imm = int64(tf.addr)
 			case relocRetJump:
 				tr[rl.slot].Imm = int64(f.Addr) + int64(site.idx) + 1
+			case relocInlineSkip:
+				// Skip over (part of) an inlined body: the distance is
+				// body-relative, so it is placement-independent and carried
+				// verbatim in the relocation.
+				if !hal.ImmFits(sass.OpBRA, rl.aux) {
+					return fmt.Errorf("nvbit: inline skip in %s at word %d out of branch range (%d)", f.Name, site.idx, rl.aux)
+				}
+				tr[rl.slot].Imm = rl.aux
 			}
 		}
 		base, err := n.loader.allocTramp(len(tr))
@@ -325,12 +345,20 @@ func (n *NVBit) materializeArtifact(fs *funcState, art *codeArtifact, fromCache 
 		if err := hal.Codec().Encode(jmp, fs.instrCode[site.idx*ib:]); err != nil {
 			return err
 		}
-		n.stats.TrampolinesEmitted++
-		n.stats.TrampolineWords += len(tr)
-		n.stats.SavedRegs += site.savedRegs
-		if fromCache {
-			n.stats.TrampolinesFromCache++
-			n.stats.SavedRegsFromCache += site.savedRegs
+		if site.inline {
+			n.stats.InlinedSites++
+			n.stats.InlineWords += len(tr)
+			if fromCache {
+				n.stats.InlinedFromCache++
+			}
+		} else {
+			n.stats.TrampolinesEmitted++
+			n.stats.TrampolineWords += len(tr)
+			n.stats.SavedRegs += site.savedRegs
+			if fromCache {
+				n.stats.TrampolinesFromCache++
+				n.stats.SavedRegsFromCache += site.savedRegs
+			}
 		}
 	}
 	fs.instrumented = true

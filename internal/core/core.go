@@ -63,8 +63,9 @@ type NVBit struct {
 	// userPhase tracks whether we are inside the tool's launch callback,
 	// so nested inspection work is attributed to the right JIT phase.
 	inUserCallback bool
-	// forceFullSave disables minimal save-set sizing (ablation only).
-	forceFullSave bool
+	// injectMode selects trampoline, full-save (ablation) or inline
+	// code generation (see InjectionMode).
+	injectMode InjectionMode
 	// cache is the content-addressed instrumentation cache (WithJITCache);
 	// nil keeps the uncached JIT pipeline.
 	cache *jitcache.Cache
@@ -91,6 +92,7 @@ func Attach(api *driver.API, tool Tool, opts ...Option) (*NVBit, error) {
 	}
 	cfg.apply(api.Device())
 	n.cache = cfg.cache
+	n.injectMode = cfg.injectMode
 	if err := api.SetHook((*hook)(n)); err != nil {
 		return nil, err
 	}
@@ -192,6 +194,9 @@ func (n *NVBit) emitJITPhases(prof *profile.Collector, before JITStats, t0 time.
 	cachedTramps := uint64(n.stats.TrampolinesFromCache - before.TrampolinesFromCache)
 	cachedSaved := uint64(n.stats.SavedRegsFromCache - before.SavedRegsFromCache)
 	genTramps, genSaved := tramps-cachedTramps, saved-cachedSaved
+	inlined := uint64(n.stats.InlinedSites - before.InlinedSites)
+	cachedInlined := uint64(n.stats.InlinedFromCache - before.InlinedFromCache)
+	genInlined := inlined - cachedInlined
 	t := t0
 	for i := range cur {
 		d := cur[i] - prev[i]
@@ -199,19 +204,20 @@ func (n *NVBit) emitJITPhases(prof *profile.Collector, before JITStats, t0 time.
 			Kind: profile.KindJITPhase, Name: names[i], Kernel: f.Name,
 			Parent: parent, Start: t, Dur: d, SM: -1,
 		}
-		withTramps := uint64(0)
+		withSites := uint64(0)
 		switch names[i] {
 		case "codegen":
-			rec.Trampolines, rec.SavedRegs = genTramps, genSaved
-			withTramps = genTramps
+			rec.Trampolines, rec.SavedRegs, rec.InlinedSites = genTramps, genSaved, genInlined
+			withSites = genTramps + genInlined
 		case "cache_hit":
-			rec.Trampolines, rec.SavedRegs = cachedTramps, cachedSaved
-			withTramps = cachedTramps
+			rec.Trampolines, rec.SavedRegs, rec.InlinedSites = cachedTramps, cachedSaved, cachedInlined
+			withSites = cachedTramps + cachedInlined
 		}
 		// Phases that did no work are skipped — except a carrier phase
-		// that emitted trampolines, whose save-set metrics must survive
-		// even when the measured duration rounds to zero.
-		if d <= 0 && withTramps == 0 {
+		// that emitted trampolines or inline splices, whose codegen
+		// metrics must survive even when the measured duration rounds to
+		// zero.
+		if d <= 0 && withSites == 0 {
 			continue
 		}
 		prof.Emit(rec)

@@ -29,14 +29,14 @@ const predAppPTX = `
 }
 `
 
-func runPredApp(t *testing.T, arm func(n *NVBit, i *Instr, ctr uint64)) (uint64, *NVBit, gpu.Stats) {
+func runPredApp(t *testing.T, arm func(n *NVBit, i *Instr, ctr uint64), opts ...Option) (uint64, *NVBit, gpu.Stats) {
 	t.Helper()
 	api, err := driver.New(gpu.DefaultConfig(sass.Volta))
 	if err != nil {
 		t.Fatal(err)
 	}
 	tool := &testTool{}
-	nv, err := Attach(api, tool)
+	nv, err := Attach(api, tool, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"testing"
+
+	"nvbitgo/internal/driver"
+	"nvbitgo/internal/gpu"
+	"nvbitgo/internal/sass"
+)
+
+// The inline-injection mode (InjectInline) must be output-equivalent to the
+// trampoline mode while actually splicing bodies: these tests pin the
+// differential, the stats partition, and the guarded-site fallback rules.
+
+// runInlineWork instruments every instruction of the work kernel with the
+// tally under the given mode and returns the app results, the tool's count,
+// the JIT stats and the device execution stats.
+func runInlineWork(t *testing.T, fam sass.Family, mode InjectionMode) ([]uint32, uint64, JITStats, gpu.Stats) {
+	t.Helper()
+	tool := &testTool{}
+	env := setup(t, fam, tool, WithInjectionMode(mode))
+	ctr, err := env.nv.Malloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool.onLaunch = instrumentAll(ctr)
+	env.launch(t)
+	count, err := env.nv.ReadU64(ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env.results(t), count, env.nv.JITStats(), env.api.Device().Stats()
+}
+
+// TestInlineInjectionMatchesTrampoline: per-instruction tally instrumentation
+// under inline mode must count and compute exactly what trampoline mode does,
+// while actually inlining sites and executing strictly fewer instructions —
+// inline splices pay no save/restore routine and no CAL/RET pairs, which is
+// the residual overhead this mode exists to kill. (Static code size goes the
+// other way: inline duplicates the tool body per site, so the win is only
+// visible in executed instructions, never in emitted words.)
+func TestInlineInjectionMatchesTrampoline(t *testing.T) {
+	for _, fam := range []sass.Family{sass.Pascal, sass.Volta} {
+		t.Run(fam.String(), func(t *testing.T) {
+			trRes, trCount, trStats, trDev := runInlineWork(t, fam, InjectTrampoline)
+			inRes, inCount, inStats, inDev := runInlineWork(t, fam, InjectInline)
+			if trCount == 0 || inCount != trCount {
+				t.Fatalf("counts diverge: trampoline %d, inline %d", trCount, inCount)
+			}
+			for i := range trRes {
+				if inRes[i] != trRes[i] {
+					t.Fatalf("result[%d]: trampoline %d, inline %d", i, trRes[i], inRes[i])
+				}
+			}
+			if inStats.InlinedSites == 0 {
+				t.Fatal("inline mode inlined no sites")
+			}
+			if inStats.InlineWords == 0 {
+				t.Fatal("inline mode recorded no inline words")
+			}
+			if trStats.InlinedSites != 0 || trStats.InlineWords != 0 {
+				t.Fatalf("trampoline mode reports inline activity: %+v", trStats)
+			}
+			if got := inStats.InlinedSites + inStats.TrampolinesEmitted; got != trStats.TrampolinesEmitted {
+				t.Fatalf("site count diverges: inline mode covered %d sites, trampoline mode %d",
+					got, trStats.TrampolinesEmitted)
+			}
+			if inDev.WarpInstrs >= trDev.WarpInstrs {
+				t.Fatalf("inline mode executed %d warp instrs, not below trampoline's %d",
+					inDev.WarpInstrs, trDev.WarpInstrs)
+			}
+		})
+	}
+}
+
+// TestInlineAllInlineAvgSavedRegsZero pins the stats-partition edge case: a
+// plan whose every site inlines emits zero trampolines, and AvgSavedRegs
+// must report 0 — not NaN, not a value borrowed from inline sites.
+func TestInlineAllInlineAvgSavedRegsZero(t *testing.T) {
+	tool := &testTool{}
+	env := setup(t, sass.Volta, tool, WithInjectionMode(InjectInline))
+	ctr, err := env.nv.Malloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool.onLaunch = func(n *NVBit, p *driver.CallParams) {
+		if n.IsInstrumented(p.Launch.Func) {
+			return
+		}
+		insts, err := n.GetInstrs(p.Launch.Func)
+		if err != nil {
+			panic(err)
+		}
+		// Only the entry instruction: nothing is live there, so the site
+		// always inlines.
+		n.InsertCallArgs(insts[0], "tally", IPointBefore, ArgConst64(ctr))
+	}
+	env.launch(t)
+	st := env.nv.JITStats()
+	if st.InlinedSites != 1 || st.TrampolinesEmitted != 0 {
+		t.Fatalf("sites: %d inlined / %d trampolines, want 1/0", st.InlinedSites, st.TrampolinesEmitted)
+	}
+	if avg := st.AvgSavedRegs(); avg != 0 {
+		t.Fatalf("AvgSavedRegs = %v with zero trampolines, want 0", avg)
+	}
+	if st.SavedRegs != 0 {
+		t.Fatalf("SavedRegs = %d for an all-inline run, want 0", st.SavedRegs)
+	}
+	count, err := env.nv.ReadU64(ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 256 { // 4 CTAs × 64 threads execute the entry instruction
+		t.Fatalf("count = %d, want 256", count)
+	}
+}
+
+// selfClobPTX guards a setp with the very predicate it writes — the
+// self-clobbering-guard shape. P0 is true for tid < 12 at the site, and the
+// guarded setp flips it to false for exactly those lanes.
+const selfClobPTX = `
+.visible .entry selfclob(.param .u64 out)
+{
+	.reg .u32 %r<4>;
+	.reg .u64 %rd<4>;
+	.reg .pred %p<2>;
+	mov.u32 %r0, %tid.x;
+	setp.lt.u32 %p0, %r0, 12;
+	@%p0 setp.ge.u32 %p0, %r0, 100;
+	ld.param.u64 %rd0, [out];
+	mul.wide.u32 %rd2, %r0, 4;
+	add.u64 %rd0, %rd0, %rd2;
+	st.global.u32 [%rd0], %r0;
+	exit;
+}
+`
+
+// cleanGuardPTX is the same kernel without the self-clobber: the guarded setp
+// writes P1, leaving its own guard intact.
+const cleanGuardPTX = `
+.visible .entry selfclob(.param .u64 out)
+{
+	.reg .u32 %r<4>;
+	.reg .u64 %rd<4>;
+	.reg .pred %p<2>;
+	mov.u32 %r0, %tid.x;
+	setp.lt.u32 %p0, %r0, 12;
+	@%p0 setp.ge.u32 %p1, %r0, 100;
+	ld.param.u64 %rd0, [out];
+	mul.wide.u32 %rd2, %r0, 4;
+	add.u64 %rd0, %rd0, %rd2;
+	st.global.u32 [%rd0], %r0;
+	exit;
+}
+`
+
+// runSelfClob arms a site-guarded after-injection on the guarded setp and
+// returns the tally count plus the JIT stats.
+func runSelfClob(t *testing.T, src string, mode InjectionMode) (uint64, JITStats) {
+	t.Helper()
+	api, err := driver.New(gpu.DefaultConfig(sass.Volta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := &testTool{}
+	nv, err := Attach(api, tool, WithInjectionMode(mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr, _ := nv.Malloc(8)
+	tool.onLaunch = func(n *NVBit, p *driver.CallParams) {
+		if n.IsInstrumented(p.Launch.Func) {
+			return
+		}
+		insts, err := n.GetInstrs(p.Launch.Func)
+		if err != nil {
+			panic(err)
+		}
+		for _, i := range insts {
+			if _, _, guarded := i.GetPredicate(); guarded && i.Op() == sass.OpISETP {
+				n.InsertCallArgs(i, "tally", IPointAfter, ArgConst64(ctr))
+				n.GuardCallBySite(i)
+			}
+		}
+	}
+	ctx, _ := api.CtxCreate()
+	mod, err := ctx.ModuleLoadPTX("app", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := mod.GetFunction("selfclob")
+	out, _ := ctx.MemAlloc(4 * 64)
+	params, _ := driver.PackParams(f, out)
+	if err := ctx.LaunchKernel(f, gpu.D1(1), gpu.D1(64), 0, params); err != nil {
+		t.Fatal(err)
+	}
+	count, err := nv.ReadU64(ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return count, nv.JITStats()
+}
+
+// TestInlineSelfClobberGuardFallsBack: an after-injection guarded by the
+// site predicate, on an instruction that writes its own guard, must reuse the
+// trampoline path (whose entry snapshot preserves site-entry predicate
+// values) — an inlined guard skip would re-read the clobbered live bank and
+// count 0 lanes instead of 12.
+func TestInlineSelfClobberGuardFallsBack(t *testing.T) {
+	trCount, _ := runSelfClob(t, selfClobPTX, InjectTrampoline)
+	inCount, inStats := runSelfClob(t, selfClobPTX, InjectInline)
+	if trCount != 12 || inCount != 12 {
+		t.Fatalf("counts: trampoline %d, inline %d, want 12 (site-entry predicate values)", trCount, inCount)
+	}
+	if inStats.InlinedSites != 0 || inStats.TrampolinesEmitted != 1 {
+		t.Fatalf("self-clobbering guarded site not forced onto the trampoline path: %d inlined / %d trampolines",
+			inStats.InlinedSites, inStats.TrampolinesEmitted)
+	}
+
+	// Control: the identical site without the self-clobber is inline-eligible,
+	// proving the fallback above was the self-clobber rule and not a
+	// dead-set shortfall.
+	cleanCount, cleanStats := runSelfClob(t, cleanGuardPTX, InjectInline)
+	if cleanCount != 12 {
+		t.Fatalf("clean-guard count = %d, want 12", cleanCount)
+	}
+	if cleanStats.InlinedSites != 1 || cleanStats.TrampolinesEmitted != 0 {
+		t.Fatalf("clean guarded site did not inline: %d inlined / %d trampolines",
+			cleanStats.InlinedSites, cleanStats.TrampolinesEmitted)
+	}
+}
+
+// TestInlineGuardedCounts re-runs the guard-matching counts under inline
+// mode: predicate-matched skips must select the same lane sets as in
+// trampoline mode, for both polarities.
+func TestInlineGuardedCounts(t *testing.T) {
+	pos, nv, _ := runPredApp(t, func(n *NVBit, i *Instr, ctr uint64) {
+		n.InsertCallArgs(i, "tally", IPointBefore, ArgConst64(ctr))
+		n.GuardCall(i, sass.Pred(0), false)
+	}, WithInjectionMode(InjectInline))
+	if st := nv.JITStats(); st.InlinedSites == 0 {
+		t.Fatalf("guarded site did not inline: %+v", st)
+	}
+	neg, _, _ := runPredApp(t, func(n *NVBit, i *Instr, ctr uint64) {
+		n.InsertCallArgs(i, "tally", IPointBefore, ArgConst64(ctr))
+		n.GuardCall(i, sass.Pred(0), true)
+	}, WithInjectionMode(InjectInline))
+	if pos != 12 || neg != 52 {
+		t.Fatalf("pos=%d neg=%d under inline mode, want 12/52", pos, neg)
+	}
+}

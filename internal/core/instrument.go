@@ -180,13 +180,67 @@ func (n *NVBit) RemoveOrig(i *Instr) {
 	i.fs.dirty = true
 }
 
+// InjectionMode selects how the Code Generator materializes injected tool
+// calls at instrumented sites.
+type InjectionMode int
+
+const (
+	// InjectTrampoline (the default) jumps to a per-site trampoline that
+	// saves the liveness-minimal register set, marshals arguments, calls the
+	// tool function and restores (paper Section 5.1).
+	InjectTrampoline InjectionMode = iota
+	// InjectFullSave is the ablation baseline: trampolines that save the
+	// entire register file regardless of per-site liveness.
+	InjectFullSave
+	// InjectInline splices eligible tool bodies directly into the relocated
+	// stream, renamed into registers liveness proved dead at the site — no
+	// save/restore, no call. Sites that cannot inline (indirect control
+	// flow, self-clobbering guards, dead set too small) fall back to
+	// trampolines.
+	InjectInline
+)
+
+var injectionModeNames = [...]string{"trampoline", "full-save", "inline"}
+
+func (m InjectionMode) String() string {
+	if m >= InjectTrampoline && int(m) < len(injectionModeNames) {
+		return injectionModeNames[m]
+	}
+	return fmt.Sprintf("InjectionMode(%d)", int(m))
+}
+
+// ParseInjectionMode converts a flag-style mode name ("trampoline",
+// "full-save", "inline") into an InjectionMode.
+func ParseInjectionMode(s string) (InjectionMode, error) {
+	for i, name := range injectionModeNames {
+		if s == name {
+			return InjectionMode(i), nil
+		}
+	}
+	return InjectTrampoline, fmt.Errorf("nvbit: unknown injection mode %q (want trampoline, full-save or inline)", s)
+}
+
+// SetInjectionMode switches the Code Generator's injection strategy. It takes
+// effect at the next instrumentation pass; cached artifacts are keyed on the
+// mode, so switching never reuses code generated under another mode.
+func (n *NVBit) SetInjectionMode(m InjectionMode) { n.injectMode = m }
+
+// InjectionMode returns the active injection strategy.
+func (n *NVBit) InjectionMode() InjectionMode { return n.injectMode }
+
 // ForceFullSaveSet makes the Code Generator always save the entire register
 // file instead of the per-site minimal set derived from the backward
 // register-liveness analysis (see LiveRegs). It exists as the ablation
 // baseline for the paper's design choice that "NVBit saves only the minimum
 // amount of general purpose registers" (Section 5.1); no real tool should
-// enable it.
-func (n *NVBit) ForceFullSaveSet(v bool) { n.forceFullSave = v }
+// enable it. Equivalent to SetInjectionMode(InjectFullSave) / (InjectTrampoline).
+func (n *NVBit) ForceFullSaveSet(v bool) {
+	if v {
+		n.injectMode = InjectFullSave
+	} else {
+		n.injectMode = InjectTrampoline
+	}
+}
 
 // hasWork reports whether the instruction carries instrumentation requests.
 func (i *Instr) hasWork() bool {

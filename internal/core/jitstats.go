@@ -37,7 +37,14 @@ type JITStats struct {
 	TrampolinesEmitted int
 	TrampolineWords    int // total instruction words across emitted trampolines
 	SavedRegs          int // total save-set registers across emitted trampolines
-	SwapBytes          int
+	// InlinedSites / InlineWords count sites materialized through the
+	// inline-injection strategy (InjectInline) and their total instruction
+	// words. Inline sites save no registers and are deliberately kept out of
+	// TrampolinesEmitted / TrampolineWords / SavedRegs, so AvgSavedRegs
+	// keeps meaning "save-set size per trampoline" when both kinds coexist.
+	InlinedSites int
+	InlineWords  int
+	SwapBytes    int
 
 	// Instrumentation-cache counters (all zero without WithJITCache). One
 	// lookup covers one cached object — a function has a lift object and a
@@ -47,16 +54,18 @@ type JITStats struct {
 	CacheMisses       int
 	CacheBytesRead    int // artifact bytes served from the cache
 	CacheBytesWritten int // artifact bytes stored into the cache
-	// TrampolinesFromCache / SavedRegsFromCache are the subset of
-	// TrampolinesEmitted / SavedRegs materialized from cached artifacts
-	// rather than fresh code generation.
+	// TrampolinesFromCache / SavedRegsFromCache / InlinedFromCache are the
+	// subset of TrampolinesEmitted / SavedRegs / InlinedSites materialized
+	// from cached artifacts rather than fresh code generation.
 	TrampolinesFromCache int
 	SavedRegsFromCache   int
+	InlinedFromCache     int
 }
 
 // AvgSavedRegs returns the mean save-set size per emitted trampoline — the
 // per-site cost the liveness pass minimizes (paper Section 5.1) — or 0 when
-// no trampolines were emitted.
+// no trampolines were emitted. Inline sites save nothing and are excluded
+// from the denominator: an all-inline run reports 0, not a division artifact.
 func (s JITStats) AvgSavedRegs() float64 {
 	if s.TrampolinesEmitted == 0 {
 		return 0

@@ -23,6 +23,8 @@ type attachConfig struct {
 	traceBuffer int
 
 	cache *jitcache.Cache
+
+	injectMode InjectionMode
 }
 
 // WithScheduler selects the CTA-to-SM execution backend (see
@@ -55,6 +57,14 @@ func WithTracing(bufferRecords int) Option {
 // cache coalesces racing generations so each unique function is JITted once.
 func WithJITCache(c *jitcache.Cache) Option {
 	return func(cfg *attachConfig) { cfg.cache = c }
+}
+
+// WithInjectionMode selects the Code Generator's injection strategy for this
+// attachment: trampoline (default), full-save (ablation baseline), or inline
+// (splice eligible tool bodies into dead registers; see docs/tools.md). The
+// mode can also be switched later via SetInjectionMode.
+func WithInjectionMode(m InjectionMode) Option {
+	return func(c *attachConfig) { c.injectMode = m }
 }
 
 // apply mutates the device per the collected options (the process-wide

@@ -41,6 +41,7 @@ func OpenSession(api *driver.API, tool Tool, opts ...Option) (*Session, error) {
 	}
 	cfg.applyShared(api.Device())
 	n.cache = cfg.cache
+	n.injectMode = cfg.injectMode
 	if cfg.tracing {
 		n.prof = profile.NewCollector(cfg.traceBuffer)
 	}

@@ -17,6 +17,7 @@ type toolFunc struct {
 	addr    gpu.CodeAddr
 	numRegs int
 	params  []ptx.Param // Offset = ABI register index
+	insts   []sass.Inst // resolved body, kept for inline splicing
 }
 
 // toolLoader is the Tool Functions Loader. It compiles and loads the tool's
@@ -124,6 +125,7 @@ func (l *toolLoader) loadSource(modName, src string) error {
 			addr:    addrs[f.Name],
 			numRegs: f.NumRegs,
 			params:  f.Params,
+			insts:   insts,
 		}
 	}
 	return nil

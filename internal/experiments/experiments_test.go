@@ -98,6 +98,12 @@ func TestFig789Shape(t *testing.T) {
 		if f8[i].Full < 2 {
 			t.Fatalf("%s: full-instrumentation slowdown %.2fx implausibly low", f8[i].Benchmark, f8[i].Full)
 		}
+		// Inline injection kills save/restore and CAL/RET overhead at
+		// eligible sites; it must never be slower than trampolines.
+		if f8[i].Inline > f8[i].Full*1.01 {
+			t.Fatalf("%s: inline slowdown %.1fx above trampoline full %.1fx",
+				f8[i].Benchmark, f8[i].Inline, f8[i].Full)
+		}
 		// Sampling only helps when kernels are re-launched; a kernel
 		// launched once is always the sampled launch.
 		if repeats[f8[i].Benchmark] {
@@ -118,11 +124,16 @@ func TestFig789Shape(t *testing.T) {
 			t.Fatalf("%s: grid-dim benchmark with sampling error %.3f%%", f9[i].Benchmark, f9[i].ErrPct)
 		}
 	}
-	// Aggregate direction: average sampled slowdown well below full.
-	var full, sampled float64
+	// Aggregate direction: average sampled slowdown well below full, and
+	// inline injection strictly below trampoline full instrumentation.
+	var full, inline, sampled float64
 	for i := range f8 {
 		full += f8[i].Full
+		inline += f8[i].Inline
 		sampled += f8[i].Sampled
+	}
+	if inline >= full {
+		t.Fatalf("inline average %.1fx not below trampoline full average %.1fx", inline/15, full/15)
 	}
 	// At Small scale kernels launch only a handful of times, so sampling
 	// saves proportionally less than at the paper's Large scale (where it
@@ -160,6 +171,8 @@ func TestSaveSetShape(t *testing.T) {
 	if len(rows) != 15 {
 		t.Fatalf("rows = %d", len(rows))
 	}
+	var inlinedTotal uint64
+	var trampW, inlW float64
 	for _, r := range rows {
 		if r.Trampolines == 0 {
 			t.Fatalf("%s: no trampolines", r.Benchmark)
@@ -170,9 +183,38 @@ func TestSaveSetShape(t *testing.T) {
 		if r.LiveRegs >= r.FullRegs {
 			t.Fatalf("%s: liveness saves %.1f regs/site, full baseline %.1f", r.Benchmark, r.LiveRegs, r.FullRegs)
 		}
-		if r.CycleRatio <= 0 || r.CycleRatio > 1 {
-			t.Fatalf("%s: cycle ratio %.3f outside (0, 1]", r.Benchmark, r.CycleRatio)
+		if r.TrampCycleRatio <= 0 || r.TrampCycleRatio > 1 {
+			t.Fatalf("%s: trampoline cycle ratio %.3f outside (0, 1]", r.Benchmark, r.TrampCycleRatio)
 		}
+		if r.InlineCycleRatio <= 0 || r.InlineCycleRatio > 1 {
+			t.Fatalf("%s: inline cycle ratio %.3f outside (0, 1]", r.Benchmark, r.InlineCycleRatio)
+		}
+		// The executed-cost ordering: a liveness trampoline never pays more
+		// per site visit than a full-save trampoline, and inline splicing
+		// strictly undercuts the trampoline wherever it engages. On a
+		// benchmark where no site inlined, inline mode degenerates to the
+		// trampoline plan and the two costs are identical.
+		if r.TrampWords > r.FullWords {
+			t.Fatalf("%s: trampoline words/site %.1f above full-save %.1f", r.Benchmark, r.TrampWords, r.FullWords)
+		}
+		if r.InlinedSites > 0 {
+			if r.InlineWords >= r.TrampWords {
+				t.Fatalf("%s: inline words/site %.1f not below trampoline %.1f with %d inlined sites",
+					r.Benchmark, r.InlineWords, r.TrampWords, r.InlinedSites)
+			}
+		} else if r.InlineWords != r.TrampWords {
+			t.Fatalf("%s: zero inlined sites but inline words/site %.1f != trampoline %.1f",
+				r.Benchmark, r.InlineWords, r.TrampWords)
+		}
+		inlinedTotal += r.InlinedSites
+		trampW += r.TrampWords
+		inlW += r.InlineWords
+	}
+	if inlinedTotal == 0 {
+		t.Fatal("inline mode spliced no sites across the whole suite")
+	}
+	if inlW >= trampW {
+		t.Fatalf("mean inline words/site %.1f not below trampoline %.1f", inlW/15, trampW/15)
 	}
 	if out := RenderSaveSet(rows); len(out) == 0 {
 		t.Fatal("empty rendering")

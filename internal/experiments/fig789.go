@@ -19,11 +19,15 @@ type Fig7Row struct {
 }
 
 // Fig8Row is one benchmark's execution slowdown relative to native for full
-// instrumentation and for grid-dimension kernel sampling (paper Figure 8;
-// paper averages: full 36.4x, up to 112x; sampling 2.3x).
+// instrumentation (trampoline codegen), full instrumentation with inline
+// injection (InjectInline: tool bodies spliced into dead registers, no
+// save/restore or CAL/RET at eligible sites), and grid-dimension kernel
+// sampling (paper Figure 8; paper averages: full 36.4x, up to 112x;
+// sampling 2.3x).
 type Fig8Row struct {
 	Benchmark string
 	Full      float64
+	Inline    float64
 	Sampled   float64
 }
 
@@ -51,17 +55,22 @@ func runHisto(b *specaccel.Benchmark, size specaccel.Size, mode string) (*histoR
 	}
 	var tool *ophisto.Tool
 	var nv *nvbit.NVBit
+	inject := nvbit.InjectTrampoline
 	switch mode {
 	case "native":
 	case "full":
 		tool = ophisto.New(false)
+	case "inline":
+		tool = ophisto.New(false)
+		inject = nvbit.InjectInline
 	case "sampled":
 		tool = ophisto.New(true)
 	default:
 		return nil, fmt.Errorf("bad mode %q", mode)
 	}
 	if tool != nil {
-		if nv, err = nvbit.Attach(api, tool, attachOpts()...); err != nil {
+		opts := append(attachOpts(), nvbit.WithInjectionMode(inject))
+		if nv, err = nvbit.Attach(api, tool, opts...); err != nil {
 			return nil, err
 		}
 	}
@@ -96,6 +105,10 @@ func Fig789(size specaccel.Size) ([]Fig7Row, []Fig8Row, []Fig9Row, error) {
 		if err != nil {
 			return nil, nil, nil, err
 		}
+		inline, err := runHisto(b, size, "inline")
+		if err != nil {
+			return nil, nil, nil, err
+		}
 		sampled, err := runHisto(b, size, "sampled")
 		if err != nil {
 			return nil, nil, nil, err
@@ -110,6 +123,7 @@ func Fig789(size specaccel.Size) ([]Fig7Row, []Fig8Row, []Fig9Row, error) {
 		f8 = append(f8, Fig8Row{
 			Benchmark: b.Name,
 			Full:      float64(full.cycles) / float64(native.cycles),
+			Inline:    float64(inline.cycles) / float64(native.cycles),
 			Sampled:   float64(sampled.cycles) / float64(native.cycles),
 		})
 
@@ -152,15 +166,16 @@ func RenderFig7(rows []Fig7Row) string {
 func RenderFig8(rows []Fig8Row) string {
 	var b strings.Builder
 	b.WriteString("Figure 8: execution slowdown vs native (device cycles)\n")
-	fmt.Fprintf(&b, "%-10s %10s %10s\n", "benchmark", "full", "sampled")
-	var fullAvg, sampAvg float64
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s\n", "benchmark", "full", "inline", "sampled")
+	var fullAvg, inlAvg, sampAvg float64
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-10s %9.1fx %9.1fx\n", r.Benchmark, r.Full, r.Sampled)
+		fmt.Fprintf(&b, "%-10s %9.1fx %9.1fx %9.1fx\n", r.Benchmark, r.Full, r.Inline, r.Sampled)
 		fullAvg += r.Full
+		inlAvg += r.Inline
 		sampAvg += r.Sampled
 	}
 	n := float64(len(rows))
-	fmt.Fprintf(&b, "%-10s %9.1fx %9.1fx\n", "average", fullAvg/n, sampAvg/n)
+	fmt.Fprintf(&b, "%-10s %9.1fx %9.1fx %9.1fx\n", "average", fullAvg/n, inlAvg/n, sampAvg/n)
 	return b.String()
 }
 

@@ -9,85 +9,143 @@ import (
 	"nvbitgo/nvbit"
 )
 
-// SaveSetRow is one benchmark's save-set ablation: the mean registers saved
-// per trampoline with the per-site liveness analysis against the
-// full-register-file baseline, and the resulting instrumented-cycle ratio —
-// the quantitative form of Section 5.1's "saves only the minimum amount of
-// general purpose registers".
+// SaveSetRow is one benchmark's injection-mode ablation, three-way: the
+// full-register-file save baseline, the liveness-minimal trampoline (the
+// paper's Section 5.1 "saves only the minimum amount of general purpose
+// registers"), and inline splicing (no save/restore, no CAL/RET, when enough
+// dead registers exist). Register columns are static per-trampoline means;
+// the words/site columns are the executed instrumentation instructions per
+// site visit — the dynamic cost a site pays, which is where inlining wins
+// (its static footprint is *larger*: the tool body is duplicated per site).
 type SaveSetRow struct {
 	Benchmark string
-	// LiveRegs and FullRegs are mean saved registers per trampoline.
+	// Trampolines is the number of instrumentation sites generated in
+	// trampoline mode; InlinedSites is how many of those inline mode
+	// spliced instead of routing through a trampoline.
+	Trampolines  uint64
+	InlinedSites uint64
+	// LiveRegs and FullRegs are mean saved registers per trampoline under
+	// liveness-minimal and full-save trampolines.
 	LiveRegs float64
 	FullRegs float64
-	// Trampolines is the number of instrumentation sites generated.
-	Trampolines uint64
-	// CycleRatio is instrumented cycles with liveness-minimal save sets
-	// over cycles with full save sets (< 1 means liveness is cheaper).
-	CycleRatio float64
+	// FullWords/TrampWords/InlineWords are executed instrumentation
+	// instructions (thread-level) per site visit under each mode:
+	// (instrumented − native thread instructions) / counted site visits.
+	FullWords   float64
+	TrampWords  float64
+	InlineWords float64
+	// TrampCycleRatio is trampoline cycles over full-save cycles (< 1 means
+	// liveness is cheaper); InlineCycleRatio is inline cycles over full-save
+	// cycles.
+	TrampCycleRatio  float64
+	InlineCycleRatio float64
 }
 
-// SaveSet runs the save-set ablation over the SpecAccel suite with the
-// instruction-counting tool on every instruction.
+// savesetRun is one benchmark execution's raw measurements.
+type savesetRun struct {
+	stats   nvbit.JITStats
+	cycles  uint64
+	threads uint64 // device thread-level instructions (app + instrumentation)
+	visits  uint64 // tool-counted site visits (thread-level)
+}
+
+// SaveSet runs the injection-mode ablation over the SpecAccel suite with the
+// instruction-counting tool on every instruction: one native pass plus one
+// pass per mode, all against the same workload.
 func SaveSet(size specaccel.Size) ([]SaveSetRow, error) {
-	run := func(b *specaccel.Benchmark, full bool) (nvbit.JITStats, uint64, error) {
+	run := func(b *specaccel.Benchmark, mode nvbit.InjectionMode, native bool) (*savesetRun, error) {
 		api, err := newAPI()
 		if err != nil {
-			return nvbit.JITStats{}, 0, err
+			return nil, err
 		}
-		nv, err := nvbit.Attach(api, instrcount.New(), attachOpts()...)
-		if err != nil {
-			return nvbit.JITStats{}, 0, err
+		var nv *nvbit.NVBit
+		var tool *instrcount.Tool
+		if !native {
+			tool = instrcount.New()
+			opts := append(attachOpts(), nvbit.WithInjectionMode(mode))
+			if nv, err = nvbit.Attach(api, tool, opts...); err != nil {
+				return nil, err
+			}
 		}
-		nv.ForceFullSaveSet(full)
 		ctx, err := api.CtxCreate()
 		if err != nil {
-			return nvbit.JITStats{}, 0, err
+			return nil, err
 		}
 		if err := b.Run(ctx, size); err != nil {
-			return nvbit.JITStats{}, 0, fmt.Errorf("saveset: %s: %w", b.Name, err)
+			return nil, fmt.Errorf("saveset: %s: %w", b.Name, err)
 		}
-		return nv.JITStats(), api.Device().Stats().Cycles, nil
+		st := api.Device().Stats()
+		out := &savesetRun{cycles: st.Cycles, threads: st.ThreadInstrs}
+		if !native {
+			out.stats = nv.JITStats()
+			out.visits = tool.Total(nv)
+		}
+		return out, nil
 	}
 	var rows []SaveSetRow
 	for _, b := range specaccel.Benchmarks() {
-		live, liveCycles, err := run(b, false)
+		native, err := run(b, nvbit.InjectTrampoline, true)
 		if err != nil {
 			return nil, err
 		}
-		full, fullCycles, err := run(b, true)
+		full, err := run(b, nvbit.InjectFullSave, false)
 		if err != nil {
 			return nil, err
+		}
+		tramp, err := run(b, nvbit.InjectTrampoline, false)
+		if err != nil {
+			return nil, err
+		}
+		inline, err := run(b, nvbit.InjectInline, false)
+		if err != nil {
+			return nil, err
+		}
+		wordsPerSite := func(r *savesetRun) float64 {
+			if r.visits == 0 || r.threads <= native.threads {
+				return 0
+			}
+			return float64(r.threads-native.threads) / float64(r.visits)
 		}
 		row := SaveSetRow{
-			Benchmark:   b.Name,
-			LiveRegs:    live.AvgSavedRegs(),
-			FullRegs:    full.AvgSavedRegs(),
-			Trampolines: uint64(live.TrampolinesEmitted),
+			Benchmark:    b.Name,
+			Trampolines:  uint64(tramp.stats.TrampolinesEmitted),
+			InlinedSites: uint64(inline.stats.InlinedSites),
+			LiveRegs:     tramp.stats.AvgSavedRegs(),
+			FullRegs:     full.stats.AvgSavedRegs(),
+			FullWords:    wordsPerSite(full),
+			TrampWords:   wordsPerSite(tramp),
+			InlineWords:  wordsPerSite(inline),
 		}
-		if fullCycles > 0 {
-			row.CycleRatio = float64(liveCycles) / float64(fullCycles)
+		if full.cycles > 0 {
+			row.TrampCycleRatio = float64(tramp.cycles) / float64(full.cycles)
+			row.InlineCycleRatio = float64(inline.cycles) / float64(full.cycles)
 		}
 		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
-// RenderSaveSet formats the save-set ablation table.
+// RenderSaveSet formats the injection-mode ablation table. The words/site
+// columns are executed instrumentation instructions per site visit.
 func RenderSaveSet(rows []SaveSetRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Save-set ablation: mean saved registers per trampoline (liveness vs full file)\n")
-	fmt.Fprintf(&b, "%-10s %12s %10s %10s %12s\n",
-		"benchmark", "trampolines", "liveness", "full", "cycle-ratio")
-	var liveSum, fullSum float64
+	fmt.Fprintf(&b, "Injection-mode ablation: full-save / trampoline / inline (instrcount, every instruction)\n")
+	fmt.Fprintf(&b, "%-10s %12s %8s %9s %9s %8s %8s %8s %10s %10s\n",
+		"benchmark", "trampolines", "inlined", "full-regs", "live-regs",
+		"full-w", "tramp-w", "inl-w", "tramp-cyc", "inl-cyc")
+	var fullW, trampW, inlW float64
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-10s %12d %10.1f %10.1f %12.3f\n",
-			r.Benchmark, r.Trampolines, r.LiveRegs, r.FullRegs, r.CycleRatio)
-		liveSum += r.LiveRegs
-		fullSum += r.FullRegs
+		fmt.Fprintf(&b, "%-10s %12d %8d %9.1f %9.1f %8.1f %8.1f %8.1f %10.3f %10.3f\n",
+			r.Benchmark, r.Trampolines, r.InlinedSites, r.FullRegs, r.LiveRegs,
+			r.FullWords, r.TrampWords, r.InlineWords, r.TrampCycleRatio, r.InlineCycleRatio)
+		fullW += r.FullWords
+		trampW += r.TrampWords
+		inlW += r.InlineWords
 	}
 	if len(rows) > 0 {
-		fmt.Fprintf(&b, "%-10s %12s %10.1f %10.1f\n", "average", "",
-			liveSum/float64(len(rows)), fullSum/float64(len(rows)))
+		n := float64(len(rows))
+		fmt.Fprintf(&b, "%-10s %12s %8s %9s %9s %8.1f %8.1f %8.1f\n",
+			"average", "", "", "", "", fullW/n, trampW/n, inlW/n)
 	}
 	return b.String()
 }

@@ -14,6 +14,9 @@ import (
 type OpenSpec struct {
 	Tool   string // registry tool name
 	Policy string // channel backpressure: "", "drop", or "block"
+	// Inject selects the injected-call codegen strategy for this session:
+	// "trampoline", "full-save" or "inline"; "" keeps the daemon's default.
+	Inject string
 
 	// Fault-injection knobs (tool "faultinject"); zero values pick the
 	// registry defaults.
@@ -56,7 +59,7 @@ func Dial(socket string, spec OpenSpec) (*RemoteSession, error) {
 	}
 	s := &RemoteSession{conn: conn, mods: make(map[*driver.Module]uint64)}
 	resp, _, err := s.rpc(&request{
-		Op: opOpen, Tool: spec.Tool, Policy: spec.Policy,
+		Op: opOpen, Tool: spec.Tool, Policy: spec.Policy, Inject: spec.Inject,
 		FIGroup: spec.FIGroup, FIModel: spec.FIModel,
 		FITarget: spec.FITarget, FIBit: spec.FIBit, FIValue: spec.FIValue,
 	}, nil)

@@ -50,6 +50,7 @@ type request struct {
 	// open
 	Tool     string `json:"tool,omitempty"`
 	Policy   string `json:"policy,omitempty"` // "drop" (default) or "block"
+	Inject   string `json:"inject,omitempty"` // injection mode; "" = daemon default
 	FIGroup  string `json:"fiGroup,omitempty"`
 	FIModel  string `json:"fiModel,omitempty"`
 	FITarget uint64 `json:"fiTarget,omitempty"`

@@ -28,14 +28,18 @@ type KernelMetrics struct {
 
 	// Code-generator shape, from the JIT codegen phase records: how many
 	// trampolines this kernel's instrumentation emitted and the summed
-	// size of their register save sets.
-	Trampolines uint64
-	SavedRegs   uint64
+	// size of their register save sets. InlinedSites counts sites spliced
+	// inline instead (no trampoline, no saved registers).
+	Trampolines  uint64
+	SavedRegs    uint64
+	InlinedSites uint64
 }
 
 // AvgSavedRegs returns the mean save-set size per trampoline — the per-site
 // register count the liveness analysis minimizes — or 0 when the kernel was
-// never instrumented.
+// never instrumented. Inline sites are excluded from the denominator: a
+// fully inlined kernel reports 0 rather than attributing save traffic it
+// never paid.
 func (m KernelMetrics) AvgSavedRegs() float64 {
 	if m.Trampolines == 0 {
 		return 0
@@ -93,6 +97,7 @@ func (c *Collector) aggregateCodegen(r Record) {
 	}
 	m.Trampolines += r.Trampolines
 	m.SavedRegs += r.SavedRegs
+	m.InlinedSites += r.InlinedSites
 }
 
 // Metrics returns the per-kernel aggregate table, sorted by descending warp
@@ -116,8 +121,8 @@ func (c *Collector) Metrics() []KernelMetrics {
 // FormatMetrics renders the per-kernel metrics table as aligned text.
 func FormatMetrics(ms []KernelMetrics) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-28s %8s %6s %6s %14s %14s %12s %9s %9s\n",
-		"kernel", "launches", "instr", "faults", "warp-instrs", "thread-instrs", "cycles", "slowdown", "avg-save")
+	fmt.Fprintf(&b, "%-28s %8s %6s %6s %14s %14s %12s %9s %9s %8s\n",
+		"kernel", "launches", "instr", "faults", "warp-instrs", "thread-instrs", "cycles", "slowdown", "avg-save", "inlined")
 	for _, m := range ms {
 		slow := "-"
 		if s := m.Slowdown(); s > 0 {
@@ -127,9 +132,9 @@ func FormatMetrics(ms []KernelMetrics) string {
 		if s := m.AvgSavedRegs(); s > 0 {
 			save = fmt.Sprintf("%.1f", s)
 		}
-		fmt.Fprintf(&b, "%-28s %8d %6d %6d %14d %14d %12d %9s %9s\n",
+		fmt.Fprintf(&b, "%-28s %8d %6d %6d %14d %14d %12d %9s %9s %8d\n",
 			m.Name, m.Launches, m.InstrumentedLaunches, m.Faults,
-			m.WarpInstrs, m.ThreadInstrs, m.Cycles, slow, save)
+			m.WarpInstrs, m.ThreadInstrs, m.Cycles, slow, save, m.InlinedSites)
 	}
 	return b.String()
 }

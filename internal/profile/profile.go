@@ -112,8 +112,11 @@ type Record struct {
 	// Code-generator metrics (KindJITPhase "codegen" records): trampolines
 	// emitted during this phase and the summed size of their save sets, so
 	// the liveness pass's per-site savings are visible in the timeline.
-	Trampolines uint64
-	SavedRegs   uint64
+	// InlinedSites counts sites materialized via inline injection instead of
+	// a trampoline; they contribute nothing to Trampolines or SavedRegs.
+	Trampolines  uint64
+	SavedRegs    uint64
+	InlinedSites uint64
 }
 
 // Fingerprint returns a copy of the record with the timing-derived fields

@@ -1,0 +1,144 @@
+package sass
+
+// This file supports the inline-injection codegen mode: instead of jumping to
+// a trampoline that saves live state, calls the tool function and restores,
+// the Code Generator can splice the tool body directly into the relocated
+// stream after renaming every register the body touches into registers that
+// liveness proved dead at the site. BodyFootprint answers "what would have to
+// be renamed, and is the body splice-safe at all"; RenameBody performs the
+// rewrite under a mapping the Code Generator's allocator produced.
+
+// Footprint describes the architectural state a tool-function body touches.
+type Footprint struct {
+	// Regs are all general-purpose registers read or written by the body.
+	Regs RegSet
+	// PairBases marks registers that anchor a 64-bit pair (wide operands and
+	// global memory bases): base and base+1 must stay adjacent under any
+	// renaming.
+	PairBases RegSet
+	// Preds are all predicate registers read or written, including guards.
+	Preds PredSet
+}
+
+// BodyFootprint scans a resolved tool-function body and reports its register
+// footprint. ok is false when the body cannot be inlined at all: it contains
+// save-frame or device-API operations (those trap without a trampoline's save
+// frame), calls, absolute or indirect jumps, whole-bank predicate moves, or a
+// relative branch escaping the body. RET instructions are fine — the splice
+// turns them into skips over the remainder of the body.
+func BodyFootprint(insts []Inst) (Footprint, bool) {
+	var fp Footprint
+	for pc, in := range insts {
+		switch in.Op {
+		case OpSAVEPUSH, OpSAVEPOP, OpSTSA, OpLDSA, OpSTSP, OpLDSP, OpSTSB, OpLDSB,
+			OpRDREG, OpWRREG, OpRDPRED, OpWRPRED:
+			// Save-frame and saved-context ops require the trampoline frame.
+			return Footprint{}, false
+		case OpCAL, OpJMP, OpBRX:
+			// Control transfers whose targets cannot be relocated with the
+			// body.
+			return Footprint{}, false
+		case OpR2P:
+			// Overwrites the whole predicate bank; no dead renaming exists.
+			return Footprint{}, false
+		case OpP2R:
+			if in.Mods.SubOp() == P2RPack {
+				return Footprint{}, false // reads the whole bank
+			}
+		case OpBRA:
+			if t := pc + 1 + int(in.Imm); t < 0 || t >= len(insts) {
+				return Footprint{}, false // escapes the body
+			}
+		}
+		defs, uses, pdefs, puses := DefUse(in)
+		fp.Regs = fp.Regs.Union(defs).Union(uses)
+		fp.Preds |= pdefs | puses
+		for _, o := range in.Operands() {
+			switch o.Kind {
+			case OpdReg:
+				if o.Wide {
+					fp.PairBases.Add(o.Reg)
+				}
+			case OpdMRef:
+				if o.Space == MemGlobal {
+					fp.PairBases.Add(o.Base)
+				}
+			}
+		}
+	}
+	return fp, true
+}
+
+func mapReg(m map[Reg]Reg, r Reg) Reg {
+	if n, ok := m[r]; ok {
+		return n
+	}
+	return r
+}
+
+func mapPred(m map[Pred]Pred, p Pred) Pred {
+	if n, ok := m[p]; ok {
+		return n
+	}
+	return p
+}
+
+// RenameBody returns a copy of the body with every general-purpose register
+// rewritten through regMap and every predicate through predMap. Registers and
+// predicates absent from the maps are left alone (RZ and PT are never
+// remapped). The caller must supply entries for both halves of every pair in
+// the footprint, mapped to an adjacent pair. The body must have passed
+// BodyFootprint: opcodes rejected there are not handled here.
+func RenameBody(insts []Inst, regMap map[Reg]Reg, predMap map[Pred]Pred) []Inst {
+	out := make([]Inst, len(insts))
+	for i, in := range insts {
+		in.Pred = mapPred(predMap, in.Pred)
+		switch in.Op {
+		case OpMOV, OpMUFU, OpI2F, OpF2I, OpPOPC, OpMATCH, OpWFFT32,
+			OpLDG, OpLDS, OpLDL, OpLDC:
+			in.Dst = mapReg(regMap, in.Dst)
+			in.Src1 = mapReg(regMap, in.Src1)
+		case OpMOVI, OpMOVIH, OpS2R:
+			in.Dst = mapReg(regMap, in.Dst)
+		case OpP2R: // single mode only; pack was rejected by BodyFootprint
+			in.Dst = mapReg(regMap, in.Dst)
+			in.Mods = MakeMods(in.Mods.SubOp(), in.Mods.Wide(), in.Mods.Flag(),
+				mapPred(predMap, in.Mods.Aux()))
+		case OpSEL:
+			in.Dst = mapReg(regMap, in.Dst)
+			in.Src1 = mapReg(regMap, in.Src1)
+			in.Src2 = mapReg(regMap, in.Src2)
+			in.Mods = MakeMods(in.Mods.SubOp(), in.Mods.Wide(), in.Mods.Flag(),
+				mapPred(predMap, in.Mods.Aux()))
+		case OpIADD, OpIMUL, OpSHL, OpSHR, OpLOP, OpFADD, OpFMUL, OpSHFL, OpATOM:
+			in.Dst = mapReg(regMap, in.Dst)
+			in.Src1 = mapReg(regMap, in.Src1)
+			in.Src2 = mapReg(regMap, in.Src2)
+		case OpIMAD, OpFFMA:
+			in.Dst = mapReg(regMap, in.Dst)
+			in.Src1 = mapReg(regMap, in.Src1)
+			in.Src2 = mapReg(regMap, in.Src2)
+			in.Src3 = mapReg(regMap, in.Src3)
+		case OpISETP, OpFSETP:
+			in.Src1 = mapReg(regMap, in.Src1)
+			in.Src2 = mapReg(regMap, in.Src2)
+			in.Mods = MakeMods(in.Mods.SubOp(), in.Mods.Wide(), in.Mods.Flag(),
+				mapPred(predMap, in.Mods.Aux()))
+		case OpSTG, OpSTS, OpSTL, OpRED:
+			in.Src1 = mapReg(regMap, in.Src1)
+			in.Src2 = mapReg(regMap, in.Src2)
+		case OpVOTE:
+			if in.Mods.SubOp() == VoteBallot {
+				in.Dst = mapReg(regMap, in.Dst)
+			} else {
+				// Non-ballot VOTE keeps its destination predicate in the
+				// low bits of Dst.
+				in.Dst = Reg(int(in.Dst)&^7 | int(mapPred(predMap, Pred(in.Dst&7))&7))
+			}
+			in.Mods = MakeMods(in.Mods.SubOp(), in.Mods.Wide(), in.Mods.Flag(),
+				mapPred(predMap, in.Mods.Aux()))
+		}
+		out[i] = in
+	}
+	return out
+}

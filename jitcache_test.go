@@ -39,9 +39,9 @@ func TestDifferentialJITCache(t *testing.T) {
 			t.Run(toolName+"/"+schedName, func(t *testing.T) {
 				t.Parallel()
 				dir := t.TempDir()
-				uncached, _ := diffRun(t, toolName, false, sched)
-				cold, _ := diffRun(t, toolName, false, sched, nvbit.WithJITCache(newCache(t, dir)))
-				warm, _ := diffRun(t, toolName, false, sched, nvbit.WithJITCache(newCache(t, dir)))
+				uncached, _ := diffRun(t, toolName, nvbit.InjectTrampoline, sched)
+				cold, _ := diffRun(t, toolName, nvbit.InjectTrampoline, sched, nvbit.WithJITCache(newCache(t, dir)))
+				warm, _ := diffRun(t, toolName, nvbit.InjectTrampoline, sched, nvbit.WithJITCache(newCache(t, dir)))
 				if uncached == "" {
 					t.Fatal("empty report")
 				}

@@ -47,7 +47,27 @@ type (
 	Option = core.Option
 	// LaunchDim selects one launch-configuration dimension for ArgLaunchDim.
 	LaunchDim = core.LaunchDim
+	// InjectionMode selects the code-generation strategy for injected calls
+	// (trampoline, full-save ablation, or inline splicing).
+	InjectionMode = core.InjectionMode
 )
+
+// Injection modes (WithInjectionMode, NVBit.SetInjectionMode).
+const (
+	// InjectTrampoline is the paper's default: per-site trampolines with
+	// liveness-minimal register save sets.
+	InjectTrampoline = core.InjectTrampoline
+	// InjectFullSave is the ablation mode: trampolines saving the full
+	// register file at every site.
+	InjectFullSave = core.InjectFullSave
+	// InjectInline splices tool bodies directly into the instruction stream
+	// when enough dead registers exist — no save/restore, no CAL/RET —
+	// falling back to trampolines otherwise.
+	InjectInline = core.InjectInline
+)
+
+// ParseInjectionMode parses "trampoline", "full-save" or "inline".
+var ParseInjectionMode = core.ParseInjectionMode
 
 // Activity tracing and metrics (docs/observability.md): with
 // WithTracing the framework records a CUPTI-style activity timeline —
@@ -141,6 +161,8 @@ var (
 	WithTracing = core.WithTracing
 	// WithJITCache attaches a content-addressed instrumentation cache.
 	WithJITCache = core.WithJITCache
+	// WithInjectionMode selects the injected-call codegen strategy.
+	WithInjectionMode = core.WithInjectionMode
 )
 
 // Trace export helpers.
